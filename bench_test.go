@@ -1,0 +1,351 @@
+// Benchmark harness: one benchmark per paper figure plus ablation benches
+// for the design decisions called out in DESIGN.md §5. Real kernel and
+// engine arithmetic is measured with testing.B; cluster-scale series are
+// produced by the calibrated discrete-event simulator and attached as
+// custom metrics (vitems/s = virtual items per second of simulated time).
+//
+// Regenerate everything with:
+//
+//	go test -bench=. -benchmem .
+package bpmf_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/des"
+	"repro/internal/dist"
+	"repro/internal/graphlab"
+	"repro/internal/la"
+	"repro/internal/mc"
+	"repro/internal/partition"
+	"repro/internal/rng"
+	"repro/internal/sparse"
+)
+
+// ---------------------------------------------------------------------------
+// Figure 2: time to update one item vs number of ratings, three kernels.
+// ---------------------------------------------------------------------------
+
+func benchmarkKernel(b *testing.B, kern core.Kernel, nnz int) {
+	cfg := core.DefaultConfig()
+	k := cfg.K
+	stream := rng.New(7)
+	other := la.NewMatrix(nnz, k)
+	stream.FillNorm(other.Data)
+	cols := make([]int32, nnz)
+	vals := make([]float64, nnz)
+	for i := range cols {
+		cols[i] = int32(i)
+		vals[i] = stream.Norm()
+	}
+	hyper := core.NewHyper(k)
+	ws := core.NewWorkspace(k)
+	out := la.NewVector(k)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.UpdateItem(ws, kern, &cfg, cols, vals, other, hyper,
+			core.ItemStream(1, 0, core.SideV, 0), nil, nil, out)
+	}
+	b.ReportMetric(float64(nnz), "ratings")
+}
+
+func BenchmarkFig2UpdateKernels(b *testing.B) {
+	for _, nnz := range []int{1, 10, 100, 1000, 10000} {
+		for _, kern := range []core.Kernel{core.KernelRankOne, core.KernelCholesky, core.KernelParallelCholesky} {
+			b.Run(fmt.Sprintf("%s/nnz=%d", kern, nnz), func(b *testing.B) {
+				benchmarkKernel(b, kern, nnz)
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3: multi-core engines on the ChEMBL workload.
+// Real runs measure one Gibbs iteration; the virtual-time series for
+// 1..16 threads (this container has one core) is attached as vitems/s.
+// ---------------------------------------------------------------------------
+
+func chemblProblem(b *testing.B) *core.Problem {
+	b.Helper()
+	ds := datagen.Generate(datagen.Scaled(datagen.ChEMBL(7), 0.02))
+	train, test := sparse.SplitTrainTest(ds.R, 0.05, 7)
+	return core.NewProblem(train, test)
+}
+
+func oneIterConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.K = 16
+	cfg.Iters = 1
+	cfg.Burnin = 0
+	return cfg
+}
+
+func BenchmarkFig3Multicore(b *testing.B) {
+	prob := chemblProblem(b)
+	cfg := oneIterConfig()
+	ds := datagen.Generate(datagen.Scaled(datagen.ChEMBL(7), 0.02))
+	movie := ds.R.Transpose().RowDegrees()
+	user := ds.R.RowDegrees()
+	cm := des.DefaultCostModel(cfg.K)
+
+	engines := []struct {
+		name string
+		pol  des.Policy
+		run  func() (*core.Result, error)
+	}{
+		{"TBB", des.PolicyWorkSteal, func() (*core.Result, error) { return mc.Run(mc.WorkSteal, cfg, prob, 4) }},
+		{"OpenMP", des.PolicyStatic, func() (*core.Result, error) { return mc.Run(mc.Static, cfg, prob, 4) }},
+		{"GraphLab", des.PolicyGraphLab, func() (*core.Result, error) {
+			r, _, e := graphlab.Run(cfg, prob, 4)
+			return r, e
+		}},
+	}
+	for _, e := range engines {
+		b.Run(e.name, func(b *testing.B) {
+			var updates int64
+			for i := 0; i < b.N; i++ {
+				res, err := e.run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				updates = res.ItemUpdates
+			}
+			b.ReportMetric(float64(updates), "items/iter")
+			// Virtual-time 16-thread projection (the figure's right edge).
+			v16 := des.Fig3Point(movie, user, 16, e.pol, cm, &cfg)
+			b.ReportMetric(v16, "vitems/s@16t")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4: distributed strong scaling (virtual time via the DES).
+// ---------------------------------------------------------------------------
+
+func BenchmarkFig4DistributedScaling(b *testing.B) {
+	ds := datagen.Generate(datagen.Scaled(datagen.ML20M(5), 0.02))
+	cfg := core.DefaultConfig()
+	cm := des.DefaultCostModel(cfg.K)
+	for _, nodes := range []int{1, 4, 16, 32, 64, 256, 1024} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			var res des.ClusterResult
+			for i := 0; i < b.N; i++ {
+				plan := partition.Build(ds.R, partition.Options{Ranks: nodes})
+				w := des.BuildClusterWorkload(plan, cfg)
+				m := des.BlueGeneQ(nodes)
+				m.CacheBytes *= 0.02
+				res = des.SimulateCluster(w, m, cm, dist.DefaultBufferSize, 3)
+			}
+			b.ReportMetric(res.ItemsPerSec, "vitems/s")
+			b.ReportMetric(res.IterTime*1000, "viter-ms")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5: compute / communicate / both breakdown (virtual time).
+// ---------------------------------------------------------------------------
+
+func BenchmarkFig5Overlap(b *testing.B) {
+	ds := datagen.Generate(datagen.Scaled(datagen.ML20M(5), 0.02))
+	cfg := core.DefaultConfig()
+	cm := des.DefaultCostModel(cfg.K)
+	for _, nodes := range []int{2, 16, 128} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			var res des.ClusterResult
+			for i := 0; i < b.N; i++ {
+				plan := partition.Build(ds.R, partition.Options{Ranks: nodes})
+				w := des.BuildClusterWorkload(plan, cfg)
+				m := des.BlueGeneQ(nodes)
+				m.CacheBytes *= 0.02
+				res = des.SimulateCluster(w, m, cm, dist.DefaultBufferSize, 3)
+			}
+			b.ReportMetric(res.Breakdown.ComputeOnly*100, "compute%")
+			b.ReportMetric(res.Breakdown.Both*100, "both%")
+			b.ReportMetric(res.Breakdown.CommunicateOnly*100, "comm%")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Real distributed engine throughput on the in-process fabric.
+// ---------------------------------------------------------------------------
+
+func BenchmarkDistributedInProc(b *testing.B) {
+	ds := datagen.Generate(datagen.Small(9))
+	train, test := sparse.SplitTrainTest(ds.R, 0.1, 9)
+	prob := core.NewProblem(train, test)
+	cfg := oneIterConfig()
+	for _, ranks := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := dist.RunInProc(cfg, prob, dist.Options{Ranks: ranks}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation 1 (DESIGN.md §5.2): hybrid kernel threshold sweep.
+// ---------------------------------------------------------------------------
+
+func BenchmarkAblationKernelThreshold(b *testing.B) {
+	ds := datagen.Generate(datagen.Scaled(datagen.ChEMBL(7), 0.02))
+	movie := ds.R.Transpose().RowDegrees()
+	user := ds.R.RowDegrees()
+	cm := des.DefaultCostModel(32)
+	for _, threshold := range []int{100, 1000, 10000, 1 << 30} {
+		name := fmt.Sprintf("threshold=%d", threshold)
+		if threshold == 1<<30 {
+			name = "threshold=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.KernelThreshold = threshold
+			var v float64
+			for i := 0; i < b.N; i++ {
+				v = des.Fig3Point(movie, user, 12, des.PolicyWorkSteal, cm, &cfg)
+			}
+			b.ReportMetric(v, "vitems/s@12t")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation 2 (DESIGN.md §5.3): coalescing buffer size (paper IV-C).
+// ---------------------------------------------------------------------------
+
+func BenchmarkAblationBufferSize(b *testing.B) {
+	ds := datagen.Generate(datagen.Scaled(datagen.ML20M(5), 0.02))
+	cfg := core.DefaultConfig()
+	cm := des.DefaultCostModel(cfg.K)
+	plan := partition.Build(ds.R, partition.Options{Ranks: 32})
+	w := des.BuildClusterWorkload(plan, cfg)
+	for _, buf := range []int{0, 4 << 10, 64 << 10, 1 << 20} {
+		name := fmt.Sprintf("buffer=%dKiB", buf>>10)
+		if buf == 0 {
+			name = "buffer=per-item"
+		}
+		b.Run(name, func(b *testing.B) {
+			var res des.ClusterResult
+			for i := 0; i < b.N; i++ {
+				res = des.SimulateCluster(w, des.BlueGeneQ(32), cm, buf, 3)
+			}
+			b.ReportMetric(res.ItemsPerSec, "vitems/s")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation 3 (DESIGN.md §5.4): workload-model partitioning vs equal count.
+// ---------------------------------------------------------------------------
+
+func BenchmarkAblationPartitioning(b *testing.B) {
+	ds := datagen.Generate(datagen.Scaled(datagen.ChEMBL(7), 0.05))
+	model := partition.DefaultCostModel()
+	rowW := model.Weights(ds.R.RowDegrees())
+	colW := model.Weights(ds.R.Transpose().RowDegrees())
+	const ranks = 16
+	b.Run("chains-on-chains", func(b *testing.B) {
+		var bn float64
+		for i := 0; i < b.N; i++ {
+			bounds := partition.ChainsOnChains(colW, ranks)
+			bn = partition.Bottleneck(colW, bounds)
+		}
+		b.ReportMetric(bn, "bottleneck")
+	})
+	b.Run("equal-count", func(b *testing.B) {
+		var bn float64
+		for i := 0; i < b.N; i++ {
+			bounds := partition.EqualCount(len(colW), ranks)
+			bn = partition.Bottleneck(colW, bounds)
+		}
+		b.ReportMetric(bn, "bottleneck")
+	})
+	_ = rowW
+}
+
+// ---------------------------------------------------------------------------
+// Ablation 4 (DESIGN.md §5.6): ordered vs tree allreduce (real runs).
+// ---------------------------------------------------------------------------
+
+func BenchmarkAblationAllreduce(b *testing.B) {
+	ds := datagen.Generate(datagen.Small(9))
+	train, test := sparse.SplitTrainTest(ds.R, 0.1, 9)
+	prob := core.NewProblem(train, test)
+	cfg := oneIterConfig()
+	for _, tree := range []bool{false, true} {
+		name := "ordered"
+		if tree {
+			name = "tree"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _, err := dist.RunInProc(cfg, prob, dist.Options{Ranks: 4, TreeAllreduce: tree})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Substrate micro-benchmarks (the Eigen-replacement hot paths).
+// ---------------------------------------------------------------------------
+
+func BenchmarkCholesky(b *testing.B) {
+	for _, n := range []int{16, 32, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			stream := rng.New(3)
+			g := la.NewMatrix(n, n)
+			stream.FillNorm(g.Data)
+			a := la.NewMatrix(n, n)
+			la.Gemm(1, g, g.Transpose(), 0, a)
+			for i := 0; i < n; i++ {
+				a.Set(i, i, a.At(i, i)+float64(n))
+			}
+			l := la.NewMatrix(n, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := la.Cholesky(a, l); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkWishart(b *testing.B) {
+	k := 32
+	stream := rng.New(5)
+	scale := la.Eye(k)
+	dst := la.NewMatrix(k, k)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stream.Wishart(scale, float64(k)+2, dst)
+	}
+}
+
+func BenchmarkCoalescedExchange(b *testing.B) {
+	// Raw message-layer throughput: 1000 coalesced item records between
+	// two in-process ranks.
+	k := 32
+	rec := make([]byte, 4+8*k)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fab := newBenchFabric()
+		co := fab.coalescer(64 << 10)
+		for j := 0; j < 1000; j++ {
+			co.Append(rec)
+		}
+		co.Flush()
+		fab.drain(1000, len(rec))
+		fab.close()
+	}
+}

@@ -1,0 +1,309 @@
+// Package bpmf is a Go implementation of Distributed Bayesian
+// Probabilistic Matrix Factorization (Vander Aa, Chakroun, Haber —
+// IEEE CLUSTER 2016): the BPMF Gibbs sampler of Salakhutdinov & Mnih with
+// the paper's multi-core work-stealing engine, OpenMP-style and
+// GraphLab-style baselines, and a distributed engine with asynchronous
+// buffered communication over a hand-rolled message-passing layer.
+//
+// Quick start:
+//
+//	ratings := []bpmf.Rating{{User: 0, Item: 1, Value: 4.5}, ...}
+//	res, err := bpmf.Train(bpmf.DataFromRatings(nUsers, nItems, ratings), bpmf.Defaults())
+//	fmt.Println(res.RMSE())            // held-out accuracy
+//	fmt.Println(res.Predict(0, 7))     // predicted rating
+//
+// Engine selection, thread/rank counts and sampler hyperparameters are
+// all on Config; every engine samples the identical Markov chain for a
+// given Config (see the package's DESIGN.md).
+package bpmf
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/graphlab"
+	"repro/internal/la"
+	"repro/internal/mc"
+	"repro/internal/sparse"
+)
+
+// Rating is one observed (user, item, value) triple. Users and items are
+// dense 0-based indices.
+type Rating struct {
+	User, Item int
+	Value      float64
+}
+
+// Data is a prepared training problem: a sparse rating matrix plus a
+// held-out test set.
+type Data struct {
+	prob *core.Problem
+}
+
+// NumUsers returns the number of user rows.
+func (d *Data) NumUsers() int { return d.prob.R.M }
+
+// NumItems returns the number of item (movie) columns.
+func (d *Data) NumItems() int { return d.prob.R.N }
+
+// NumTrain returns the number of training ratings.
+func (d *Data) NumTrain() int { return d.prob.R.NNZ() }
+
+// NumTest returns the number of held-out ratings.
+func (d *Data) NumTest() int { return len(d.prob.Test) }
+
+// DataFromRatings builds a training problem from raw ratings, holding
+// out testFrac of them (default 0 = no test set) for RMSE evaluation.
+// The split is deterministic in seed and never strands a user or item
+// without training data.
+func DataFromRatings(nUsers, nItems int, ratings []Rating, testFrac float64, seed uint64) (*Data, error) {
+	if nUsers < 1 || nItems < 1 {
+		return nil, fmt.Errorf("bpmf: need positive matrix dimensions, got %dx%d", nUsers, nItems)
+	}
+	if len(ratings) == 0 {
+		return nil, fmt.Errorf("bpmf: no ratings")
+	}
+	coo := sparse.NewCOO(nUsers, nItems, len(ratings))
+	for _, r := range ratings {
+		if r.User < 0 || r.User >= nUsers || r.Item < 0 || r.Item >= nItems {
+			return nil, fmt.Errorf("bpmf: rating (%d, %d) outside %dx%d", r.User, r.Item, nUsers, nItems)
+		}
+		coo.Add(r.User, r.Item, r.Value)
+	}
+	full := coo.ToCSR()
+	var train *sparse.CSR
+	var test []sparse.Entry
+	if testFrac > 0 {
+		train, test = sparse.SplitTrainTest(full, testFrac, seed)
+	} else {
+		train = full
+	}
+	return &Data{prob: core.NewProblem(train, test)}, nil
+}
+
+// DataFromMatrixMarket reads a MatrixMarket coordinate file as the rating
+// matrix and holds out testFrac for evaluation.
+func DataFromMatrixMarket(r io.Reader, testFrac float64, seed uint64) (*Data, error) {
+	full, err := sparse.ReadMatrixMarket(r)
+	if err != nil {
+		return nil, err
+	}
+	var train *sparse.CSR
+	var test []sparse.Entry
+	if testFrac > 0 {
+		train, test = sparse.SplitTrainTest(full, testFrac, seed)
+	} else {
+		train = full
+	}
+	return &Data{prob: core.NewProblem(train, test)}, nil
+}
+
+// Engine selects the execution strategy.
+type Engine int
+
+// Available engines. All sample the identical chain for equal Config.
+const (
+	// Sequential is the single-threaded reference sampler.
+	Sequential Engine = iota
+	// WorkSteal is the paper's TBB-style engine: work-stealing item
+	// scheduling with nested parallelism for heavy items.
+	WorkSteal
+	// Static is the OpenMP-style engine: static contiguous chunks.
+	Static
+	// GraphLab is the synchronous vertex-engine baseline of Figure 3.
+	GraphLab
+	// Distributed runs an in-process virtual cluster over the message-
+	// passing layer (Config.Ranks nodes, Config.Threads per node). Use
+	// cmd/bpmf-dist for real multi-process TCP runs.
+	Distributed
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	switch e {
+	case Sequential:
+		return "sequential"
+	case WorkSteal:
+		return "worksteal"
+	case Static:
+		return "static"
+	case GraphLab:
+		return "graphlab"
+	case Distributed:
+		return "distributed"
+	default:
+		return "unknown"
+	}
+}
+
+// Config controls training. Zero values fall back to Defaults().
+type Config struct {
+	// K is the number of latent features.
+	K int
+	// Alpha is the observation precision.
+	Alpha float64
+	// Iters and Burnin control the Gibbs chain; samples after Burnin
+	// feed the posterior-mean predictor.
+	Iters, Burnin int
+	// Seed drives all keyed random streams (schedule-independent).
+	Seed uint64
+	// Engine selects the execution strategy.
+	Engine Engine
+	// Threads is the worker count for multi-core engines (and per-rank
+	// threads for Distributed). 0 means 1.
+	Threads int
+	// Ranks is the virtual node count for the Distributed engine.
+	Ranks int
+	// ClampMin/ClampMax clip predictions to a rating range (0,0 = off).
+	ClampMin, ClampMax float64
+	// BufferBytes is the distributed coalescing buffer (0 = 64 KiB).
+	BufferBytes int
+	// Reorder applies the communication-minimizing reordering before
+	// distributed partitioning.
+	Reorder bool
+}
+
+// Defaults returns the paper's default configuration: K = 32, alpha = 2,
+// 20 iterations with 10 burn-in, work-stealing engine.
+func Defaults() Config {
+	return Config{
+		K: 32, Alpha: 2, Iters: 20, Burnin: 10, Seed: 42,
+		Engine: WorkSteal, Threads: 1, Ranks: 1,
+	}
+}
+
+// toCore converts the public config to the internal one.
+func (c Config) toCore() core.Config {
+	cc := core.DefaultConfig()
+	if c.K > 0 {
+		cc.K = c.K
+	}
+	if c.Alpha > 0 {
+		cc.Alpha = c.Alpha
+	}
+	if c.Iters > 0 {
+		cc.Iters = c.Iters
+	}
+	if c.Burnin > 0 || c.Iters > 0 {
+		cc.Burnin = c.Burnin
+	}
+	cc.Seed = c.Seed
+	cc.ClampMin, cc.ClampMax = c.ClampMin, c.ClampMax
+	return cc
+}
+
+// Result holds a trained model and its evaluation trace.
+type Result struct {
+	res  *core.Result
+	data *Data
+}
+
+// RMSE returns the final posterior-mean held-out RMSE (NaN without a
+// test set).
+func (r *Result) RMSE() float64 { return r.res.FinalRMSE() }
+
+// RMSETrace returns the posterior-mean RMSE after each iteration.
+func (r *Result) RMSETrace() []float64 {
+	return append([]float64(nil), r.res.AvgRMSE...)
+}
+
+// SampleRMSETrace returns each iteration's single-sample RMSE.
+func (r *Result) SampleRMSETrace() []float64 {
+	return append([]float64(nil), r.res.SampleRMSE...)
+}
+
+// Predict returns the model's rating estimate for (user, item) from the
+// final factor sample.
+func (r *Result) Predict(user, item int) float64 {
+	return la.Dot(r.res.U.Row(user), r.res.V.Row(item))
+}
+
+// UserFactors returns a copy of the user's latent feature vector.
+func (r *Result) UserFactors(user int) []float64 {
+	return append([]float64(nil), r.res.U.Row(user)...)
+}
+
+// ItemFactors returns a copy of the item's latent feature vector.
+func (r *Result) ItemFactors(item int) []float64 {
+	return append([]float64(nil), r.res.V.Row(item)...)
+}
+
+// UpdatesPerSec reports the paper's throughput metric.
+func (r *Result) UpdatesPerSec() float64 { return r.res.UpdatesPerSec() }
+
+// PredictionInterval is a held-out prediction with its posterior
+// uncertainty — the confidence intervals the paper's introduction lists
+// among BPMF's advantages over point-estimate factorization.
+type PredictionInterval struct {
+	User, Item int
+	Actual     float64
+	// Mean is the posterior-mean prediction; Std the predictive standard
+	// deviation (posterior spread of u·v plus 1/Alpha observation noise).
+	Mean, Std float64
+}
+
+// Intervals returns posterior predictive intervals for every held-out
+// rating (nil if no test set was held out or burn-in never completed).
+func (r *Result) Intervals() []PredictionInterval {
+	out := make([]PredictionInterval, len(r.res.Intervals))
+	for i, iv := range r.res.Intervals {
+		out[i] = PredictionInterval{
+			User: int(iv.Row), Item: int(iv.Col),
+			Actual: iv.Actual, Mean: iv.Mean, Std: iv.Std,
+		}
+	}
+	return out
+}
+
+// KernelCounts reports how many item updates used each Figure 2 kernel:
+// rank-one, serial Cholesky, parallel Cholesky.
+func (r *Result) KernelCounts() [3]int64 { return r.res.KernelCounts }
+
+// Train runs BPMF on the data with the chosen engine.
+func Train(data *Data, cfg Config) (*Result, error) {
+	if data == nil || data.prob == nil {
+		return nil, fmt.Errorf("bpmf: nil data")
+	}
+	cc := cfg.toCore()
+	threads := cfg.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	var (
+		res *core.Result
+		err error
+	)
+	switch cfg.Engine {
+	case Sequential:
+		var s *core.Sampler
+		s, err = core.NewSampler(cc, data.prob)
+		if err == nil {
+			res = s.Run()
+		}
+	case WorkSteal:
+		res, err = mc.Run(mc.WorkSteal, cc, data.prob, threads)
+	case Static:
+		res, err = mc.Run(mc.Static, cc, data.prob, threads)
+	case GraphLab:
+		res, _, err = graphlab.Run(cc, data.prob, threads)
+	case Distributed:
+		ranks := cfg.Ranks
+		if ranks < 1 {
+			ranks = 1
+		}
+		res, _, err = dist.RunInProc(cc, data.prob, dist.Options{
+			Ranks:          ranks,
+			ThreadsPerRank: threads,
+			BufferSize:     cfg.BufferBytes,
+			Reorder:        cfg.Reorder,
+		})
+	default:
+		err = fmt.Errorf("bpmf: unknown engine %d", cfg.Engine)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result{res: res, data: data}, nil
+}

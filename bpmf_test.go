@@ -1,0 +1,214 @@
+package bpmf
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/sparse"
+)
+
+// syntheticRatings converts a generated dataset to the public Rating type.
+func syntheticRatings(t *testing.T, seed uint64) (int, int, []Rating) {
+	t.Helper()
+	ds := datagen.Generate(datagen.Small(seed))
+	var ratings []Rating
+	for i := 0; i < ds.R.M; i++ {
+		cols, vals := ds.R.Row(i)
+		for k, c := range cols {
+			ratings = append(ratings, Rating{User: i, Item: int(c), Value: vals[k]})
+		}
+	}
+	return ds.R.M, ds.R.N, ratings
+}
+
+func quickConfig(e Engine) Config {
+	cfg := Defaults()
+	cfg.K = 8
+	cfg.Iters = 6
+	cfg.Burnin = 3
+	cfg.Engine = e
+	cfg.Threads = 2
+	cfg.Ranks = 2
+	return cfg
+}
+
+func TestTrainAllEngines(t *testing.T) {
+	m, n, ratings := syntheticRatings(t, 41)
+	data, err := DataFromRatings(m, n, ratings, 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rmses []float64
+	for _, e := range []Engine{Sequential, WorkSteal, Static, GraphLab, Distributed} {
+		res, err := Train(data, quickConfig(e))
+		if err != nil {
+			t.Fatalf("%v: %v", e, err)
+		}
+		if math.IsNaN(res.RMSE()) || res.RMSE() <= 0 {
+			t.Fatalf("%v: bad RMSE %v", e, res.RMSE())
+		}
+		rmses = append(rmses, res.RMSE())
+	}
+	// §V-B: every version reaches the same accuracy. The in-process
+	// engines share the chain exactly; the distributed engine's moment
+	// grouping differs (partition boundaries), so allow a statistical
+	// tolerance there.
+	for i := 1; i < 4; i++ {
+		if rmses[i] != rmses[0] {
+			t.Fatalf("engine %d RMSE %v != sequential %v", i, rmses[i], rmses[0])
+		}
+	}
+	if math.Abs(rmses[4]-rmses[0]) > 0.1 {
+		t.Fatalf("distributed RMSE %v too far from sequential %v", rmses[4], rmses[0])
+	}
+}
+
+func TestPredictIsFinite(t *testing.T) {
+	m, n, ratings := syntheticRatings(t, 42)
+	data, err := DataFromRatings(m, n, ratings, 0.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Train(data, quickConfig(WorkSteal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]int{{0, 0}, {m - 1, n - 1}, {m / 2, n / 3}} {
+		p := res.Predict(pair[0], pair[1])
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			t.Fatalf("non-finite prediction at %v", pair)
+		}
+	}
+	if len(res.UserFactors(0)) != 8 || len(res.ItemFactors(0)) != 8 {
+		t.Fatal("factor vectors must have K entries")
+	}
+}
+
+func TestDistributedReorderedPredictionsConsistent(t *testing.T) {
+	// With reordering on, factors must be mapped back to original index
+	// space: predictions on training pairs should correlate with the
+	// observed values (sanity that rows weren't scrambled).
+	m, n, ratings := syntheticRatings(t, 43)
+	data, err := DataFromRatings(m, n, ratings, 0.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickConfig(Distributed)
+	cfg.Reorder = true
+	cfg.Iters = 10
+	cfg.Burnin = 5
+	res, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var se, n2 float64
+	for _, r := range ratings[:500] {
+		d := res.Predict(r.User, r.Item) - r.Value
+		se += d * d
+		n2++
+	}
+	trainRMSE := math.Sqrt(se / n2)
+	if trainRMSE > 0.8 {
+		t.Fatalf("training RMSE %v too high — factors likely scrambled", trainRMSE)
+	}
+}
+
+func TestDataValidation(t *testing.T) {
+	if _, err := DataFromRatings(0, 5, []Rating{{0, 0, 1}}, 0, 1); err == nil {
+		t.Fatal("expected dimension error")
+	}
+	if _, err := DataFromRatings(5, 5, nil, 0, 1); err == nil {
+		t.Fatal("expected empty-ratings error")
+	}
+	if _, err := DataFromRatings(2, 2, []Rating{{5, 0, 1}}, 0, 1); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if _, err := Train(nil, Defaults()); err == nil {
+		t.Fatal("expected nil-data error")
+	}
+}
+
+func TestDataAccessors(t *testing.T) {
+	data, err := DataFromRatings(4, 3, []Rating{
+		{0, 0, 1}, {1, 1, 2}, {2, 2, 3}, {3, 0, 4}, {0, 1, 5},
+	}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.NumUsers() != 4 || data.NumItems() != 3 {
+		t.Fatal("dims wrong")
+	}
+	if data.NumTrain() != 5 || data.NumTest() != 0 {
+		t.Fatal("counts wrong without split")
+	}
+}
+
+func TestDataFromMatrixMarket(t *testing.T) {
+	var buf bytes.Buffer
+	ds := datagen.Generate(datagen.Tiny(9))
+	if err := sparse.WriteMatrixMarket(&buf, ds.R); err != nil {
+		t.Fatal(err)
+	}
+	data, err := DataFromMatrixMarket(&buf, 0.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.NumUsers() != ds.R.M || data.NumTrain()+data.NumTest() != ds.R.NNZ() {
+		t.Fatal("MatrixMarket load mismatch")
+	}
+	if _, err := DataFromMatrixMarket(bytes.NewBufferString("junk"), 0, 1); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestEngineNames(t *testing.T) {
+	names := map[Engine]string{
+		Sequential: "sequential", WorkSteal: "worksteal", Static: "static",
+		GraphLab: "graphlab", Distributed: "distributed", Engine(99): "unknown",
+	}
+	for e, want := range names {
+		if e.String() != want {
+			t.Fatalf("Engine(%d).String() = %q", e, e.String())
+		}
+	}
+}
+
+func TestUnknownEngineErrors(t *testing.T) {
+	m, n, ratings := syntheticRatings(t, 44)
+	data, _ := DataFromRatings(m, n, ratings, 0, 1)
+	cfg := Defaults()
+	cfg.Engine = Engine(99)
+	if _, err := Train(data, cfg); err == nil {
+		t.Fatal("expected unknown-engine error")
+	}
+}
+
+func TestRMSETraceShape(t *testing.T) {
+	m, n, ratings := syntheticRatings(t, 45)
+	data, _ := DataFromRatings(m, n, ratings, 0.2, 7)
+	cfg := quickConfig(Sequential)
+	res, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RMSETrace()) != cfg.Iters || len(res.SampleRMSETrace()) != cfg.Iters {
+		t.Fatal("trace length mismatch")
+	}
+	// Traces are defensive copies.
+	res.RMSETrace()[0] = -1
+	if res.RMSETrace()[0] == -1 {
+		t.Fatal("RMSETrace must copy")
+	}
+	var counts int64
+	for _, c := range res.KernelCounts() {
+		counts += c
+	}
+	if counts <= 0 {
+		t.Fatal("kernel counts empty")
+	}
+	if res.UpdatesPerSec() <= 0 {
+		t.Fatal("throughput not positive")
+	}
+}

@@ -1,0 +1,168 @@
+// Command bpmf-dist runs distributed BPMF across real OS processes over
+// the TCP transport — the deployment mode the paper runs with MPI across
+// cluster nodes.
+//
+// Every process runs the same command with its own -rank; -peers lists
+// every rank's listen address in rank order. A convenience -launch mode
+// forks all ranks locally:
+//
+//	# one shot, 4 local worker processes:
+//	bpmf-dist -launch 4 -synthetic small -iters 10
+//
+//	# or across machines (run one per host):
+//	bpmf-dist -rank 0 -peers host0:9000,host1:9000 -synthetic small
+//	bpmf-dist -rank 1 -peers host0:9000,host1:9000 -synthetic small
+//
+// All ranks must use identical data/sampler flags: each rank regenerates
+// the dataset and partition plan deterministically from the shared seed,
+// so only factor updates travel over the network.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/dist"
+	"repro/internal/sparse"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bpmf-dist: ")
+
+	launch := flag.Int("launch", 0, "fork N local worker processes and wait")
+	rank := flag.Int("rank", -1, "this process's rank")
+	peers := flag.String("peers", "", "comma-separated rank addresses (host:port per rank)")
+	basePort := flag.Int("baseport", 9800, "first port for -launch mode")
+	synthetic := flag.String("synthetic", "small", "benchmark: chembl | ml-20m | small")
+	scale := flag.Float64("scale", 1.0, "synthetic scale factor")
+	k := flag.Int("k", 16, "latent features")
+	iters := flag.Int("iters", 10, "Gibbs iterations")
+	burnin := flag.Int("burnin", 5, "burn-in iterations")
+	seed := flag.Uint64("seed", 42, "random seed")
+	threads := flag.Int("threads", 1, "threads per rank")
+	bufBytes := flag.Int("buffer", dist.DefaultBufferSize, "coalescing buffer bytes")
+	reorder := flag.Bool("reorder", false, "communication-minimizing reordering")
+	testFrac := flag.Float64("test", 0.2, "held-out fraction")
+	flag.Parse()
+
+	if *launch > 0 {
+		if err := launchLocal(*launch, *basePort); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	addrs := strings.Split(*peers, ",")
+	if *rank < 0 || *peers == "" || *rank >= len(addrs) {
+		log.Fatal("worker mode needs -rank and -peers (or use -launch N)")
+	}
+
+	prob, err := buildProblem(*synthetic, *scale, *testFrac, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.K = *k
+	cfg.Iters = *iters
+	cfg.Burnin = *burnin
+	cfg.Seed = *seed
+	opt := dist.Options{
+		Ranks:          len(addrs),
+		ThreadsPerRank: *threads,
+		BufferSize:     *bufBytes,
+		Reorder:        *reorder,
+	}
+	plan, test := dist.BuildPlan(prob, opt)
+
+	c, err := comm.DialTCP(*rank, addrs, 30*time.Second)
+	if err != nil {
+		log.Fatalf("rank %d: %v", *rank, err)
+	}
+	defer c.Close()
+	node, err := dist.NewNode(c, cfg, plan, test, opt)
+	if err != nil {
+		log.Fatalf("rank %d: %v", *rank, err)
+	}
+	res, stats, err := node.Run()
+	if err != nil {
+		log.Fatalf("rank %d: %v", *rank, err)
+	}
+	if *rank == 0 {
+		for i, r := range res.AvgRMSE {
+			fmt.Printf("iter %3d  RMSE %.6f\n", i+1, r)
+		}
+		fmt.Printf("final RMSE %.6f  %.0f updates/s\n", res.FinalRMSE(), res.UpdatesPerSec())
+	}
+	fmt.Printf("rank %d: sent %d items in %d msgs (%d flushes), received %d ghosts, compute %v, wait %v\n",
+		*rank, stats.ItemsSent, stats.Comm.MsgsSent, stats.Flushes,
+		stats.GhostsRecv, stats.ComputeTime.Round(time.Millisecond),
+		stats.WaitTime.Round(time.Millisecond))
+}
+
+// launchLocal forks n worker copies of this binary on localhost ports.
+func launchLocal(n, basePort int) error {
+	addrs := make([]string, n)
+	for r := 0; r < n; r++ {
+		addrs[r] = fmt.Sprintf("127.0.0.1:%d", basePort+r)
+	}
+	peerList := strings.Join(addrs, ",")
+	// Forward every flag except the launch controls.
+	var common []string
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "launch" || f.Name == "baseport" {
+			return
+		}
+		common = append(common, "-"+f.Name+"="+f.Value.String())
+	})
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	procs := make([]*exec.Cmd, n)
+	for r := 0; r < n; r++ {
+		args := append([]string{"-rank", strconv.Itoa(r), "-peers", peerList}, common...)
+		cmd := exec.Command(exe, args...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("start rank %d: %w", r, err)
+		}
+		procs[r] = cmd
+	}
+	var firstErr error
+	for r, cmd := range procs {
+		if err := cmd.Wait(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("rank %d: %w", r, err)
+		}
+	}
+	return firstErr
+}
+
+func buildProblem(name string, scale, testFrac float64, seed uint64) (*core.Problem, error) {
+	var spec datagen.Spec
+	switch strings.ToLower(name) {
+	case "chembl":
+		spec = datagen.ChEMBL(seed)
+	case "ml-20m", "ml20m", "movielens":
+		spec = datagen.ML20M(seed)
+	case "small":
+		spec = datagen.Small(seed)
+	default:
+		return nil, fmt.Errorf("unknown benchmark %q", name)
+	}
+	if scale < 1 {
+		spec = datagen.Scaled(spec, scale)
+	}
+	ds := datagen.Generate(spec)
+	train, test := sparse.SplitTrainTest(ds.R, testFrac, seed)
+	return core.NewProblem(train, test), nil
+}

@@ -1,0 +1,106 @@
+// Command experiments regenerates every figure of the paper's evaluation
+// section (and the §V-B accuracy claim) as printed series. See
+// EXPERIMENTS.md for the recorded outputs and paper-vs-measured notes.
+//
+// Usage:
+//
+//	experiments -fig 2            # Figure 2: per-item update cost vs #ratings
+//	experiments -fig 3            # Figure 3: multi-core throughput vs threads
+//	experiments -fig 4            # Figure 4: distributed strong scaling
+//	experiments -fig 5            # Figure 5: compute/communicate/both breakdown
+//	experiments -rmse             # §V-B: all engines reach the same RMSE
+//	experiments -speedup          # §VI: the "15 days -> 30 minutes" estimate
+//	experiments -all              # everything
+//
+// Flags:
+//
+//	-scale f     dataset scale factor for the DES workloads (default 0.05;
+//	             1.0 reproduces the full ChEMBL / ml-20m shapes but needs
+//	             several GB and minutes of generation time)
+//	-calibrate   measure kernel costs on this machine instead of using the
+//	             fixed Westmere-like model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/des"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (2..5)")
+	rmse := flag.Bool("rmse", false, "run the §V-B accuracy-equivalence experiment")
+	speedup := flag.Bool("speedup", false, "run the §VI end-to-end speedup estimate")
+	abl := flag.Bool("ablations", false, "run the DESIGN.md §5 ablation tables")
+	all := flag.Bool("all", false, "run every experiment")
+	scale := flag.Float64("scale", 0.05, "dataset scale factor for simulator workloads")
+	calibrate := flag.Bool("calibrate", false, "calibrate the cost model on this machine")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	var cm des.CostModel
+	if *calibrate {
+		fmt.Println("# calibrating kernel cost model on this machine...")
+		cm = des.CalibrateCostModel(cfg.K)
+	} else {
+		cm = des.DefaultCostModel(cfg.K)
+	}
+	fmt.Printf("# cost model: perRating=%.3gs perItem=%.3gs rankOnePerRating=%.3gs rankOnePerItem=%.3gs\n",
+		cm.PerRating, cm.PerItem, cm.RankOnePerRating, cm.RankOnePerItem)
+
+	ran := false
+	if *all || *fig == 2 {
+		fig2(cfg, cm)
+		ran = true
+	}
+	if *all || *fig == 3 {
+		fig3(cfg, cm, *scale)
+		ran = true
+	}
+	if *all || *fig == 4 {
+		fig4(cfg, cm, *scale)
+		ran = true
+	}
+	if *all || *fig == 5 {
+		fig5(cfg, cm, *scale)
+		ran = true
+	}
+	if *all || *rmse {
+		rmseExperiment()
+		ran = true
+	}
+	if *all || *speedup {
+		speedupExperiment(cfg, cm, *scale)
+		ran = true
+	}
+	if *all || *abl {
+		ablations(cfg, cm, *scale)
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// chemblData generates the ChEMBL-shaped workload at the given scale.
+func chemblData(scale float64) *datagen.Dataset {
+	spec := datagen.ChEMBL(20)
+	if scale < 1 {
+		spec = datagen.Scaled(spec, scale)
+	}
+	return datagen.Generate(spec)
+}
+
+// ml20mData generates the MovieLens-shaped workload at the given scale.
+func ml20mData(scale float64) *datagen.Dataset {
+	spec := datagen.ML20M(20)
+	if scale < 1 {
+		spec = datagen.Scaled(spec, scale)
+	}
+	return datagen.Generate(spec)
+}

@@ -1,0 +1,69 @@
+// Drug discovery: the paper's motivating ChEMBL workload — compounds
+// (acting as "users") x protein targets (acting as "movies") with IC50
+// activity measurements. A ChEMBL-shaped synthetic dataset is factorized
+// with the work-stealing engine and the model is used the way a
+// compound-screening pipeline would: rank unmeasured compounds for a
+// target.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro"
+	"repro/internal/datagen"
+)
+
+func main() {
+	// ChEMBL shape at 2% scale so the example runs in seconds; pass the
+	// full spec for the real 483 500 x 5 775 matrix.
+	spec := datagen.Scaled(datagen.ChEMBL(7), 0.02)
+	ds := datagen.Generate(spec)
+	fmt.Printf("synthetic ChEMBL: %d compounds x %d targets, %d activities\n",
+		ds.R.M, ds.R.N, ds.R.NNZ())
+
+	var ratings []bpmf.Rating
+	for i := 0; i < ds.R.M; i++ {
+		cols, vals := ds.R.Row(i)
+		for k, c := range cols {
+			ratings = append(ratings, bpmf.Rating{User: i, Item: int(c), Value: vals[k]})
+		}
+	}
+	data, err := bpmf.DataFromRatings(ds.R.M, ds.R.N, ratings, 0.2, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := bpmf.Defaults()
+	cfg.K = 16
+	cfg.Iters = 15
+	cfg.Burnin = 8
+	cfg.Engine = bpmf.WorkSteal
+	cfg.Threads = 4
+	res, err := bpmf.Train(data, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("held-out RMSE: %.4f (planted noise floor %.2f)\n", res.RMSE(), spec.NoiseSD)
+
+	// Virtual screen: rank all compounds for target 0 by predicted
+	// activity and show the top candidates.
+	target := 0
+	type hit struct {
+		compound int
+		score    float64
+	}
+	hits := make([]hit, ds.R.M)
+	for c := 0; c < ds.R.M; c++ {
+		hits[c] = hit{c, res.Predict(c, target)}
+	}
+	sort.Slice(hits, func(a, b int) bool { return hits[a].score > hits[b].score })
+	fmt.Printf("top predicted binders for target %d:\n", target)
+	for _, h := range hits[:5] {
+		fmt.Printf("  compound %6d  predicted activity %.3f\n", h.compound, h.score)
+	}
+	kc := res.KernelCounts()
+	fmt.Printf("kernel mix: %d rank-one, %d serial Cholesky, %d parallel Cholesky updates\n",
+		kc[0], kc[1], kc[2])
+}

@@ -1,0 +1,45 @@
+// Quickstart: factorize a tiny hand-made rating matrix, inspect the
+// held-out RMSE and make a few predictions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A toy 6-user x 5-item rating matrix (think movies): users 0-2 like
+	// the first two items, users 3-5 like the last two.
+	ratings := []bpmf.Rating{
+		{User: 0, Item: 0, Value: 5}, {User: 0, Item: 1, Value: 4}, {User: 0, Item: 3, Value: 1},
+		{User: 1, Item: 0, Value: 4}, {User: 1, Item: 1, Value: 5}, {User: 1, Item: 2, Value: 2},
+		{User: 2, Item: 0, Value: 5}, {User: 2, Item: 1, Value: 5}, {User: 2, Item: 4, Value: 2},
+		{User: 3, Item: 3, Value: 5}, {User: 3, Item: 4, Value: 4}, {User: 3, Item: 0, Value: 1},
+		{User: 4, Item: 3, Value: 4}, {User: 4, Item: 4, Value: 5}, {User: 4, Item: 1, Value: 2},
+		{User: 5, Item: 3, Value: 5}, {User: 5, Item: 4, Value: 5}, {User: 5, Item: 2, Value: 1},
+	}
+	data, err := bpmf.DataFromRatings(6, 5, ratings, 0, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := bpmf.Defaults()
+	cfg.K = 4
+	cfg.Iters = 50
+	cfg.Burnin = 20
+	cfg.ClampMin, cfg.ClampMax = 1, 5
+	res, err := bpmf.Train(data, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Predicted ratings for unseen (user, item) pairs:")
+	fmt.Printf("  user 0 x item 4 (should be low):  %.2f\n", res.Predict(0, 4))
+	fmt.Printf("  user 2 x item 2 (should be low):  %.2f\n", res.Predict(2, 2))
+	fmt.Printf("  user 4 x item 0 (should be low):  %.2f\n", res.Predict(4, 0))
+	fmt.Printf("  user 1 x item 1 (seen, was 5):    %.2f\n", res.Predict(1, 1))
+	fmt.Printf("  user 5 x item 4 (seen, was 5):    %.2f\n", res.Predict(5, 4))
+	fmt.Printf("throughput: %.0f item updates/s\n", res.UpdatesPerSec())
+}

@@ -1,0 +1,180 @@
+package comm
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Barrier blocks until every rank has entered it (dissemination
+// algorithm: ⌈log₂ P⌉ rounds of pairwise signals).
+func (c *Comm) Barrier() {
+	tag := c.nextCollTag()
+	p := c.size
+	if p == 1 {
+		return
+	}
+	for k := 1; k < p; k <<= 1 {
+		dst := (c.rank + k) % p
+		src := (c.rank - k + p) % p
+		c.Send(dst, tag, nil)
+		c.Recv(src, tag)
+	}
+}
+
+// Bcast distributes root's data to all ranks and returns each rank's copy
+// (binomial tree).
+func (c *Comm) Bcast(root int, data []byte) []byte {
+	tag := c.nextCollTag()
+	p := c.size
+	if p == 1 {
+		return data
+	}
+	// Re-root the rank space so root behaves as virtual rank 0, then run
+	// the standard binomial tree: receive once from (vr − lowest set bit),
+	// forward to (vr + mask) for each smaller mask.
+	vr := (c.rank - root + p) % p
+	mask := 1
+	for mask < p {
+		if vr&mask != 0 {
+			m := c.Recv((vr-mask+root)%p, tag)
+			data = m.Data
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if vr+mask < p {
+			c.Send((vr+mask+root)%p, tag, data)
+		}
+		mask >>= 1
+	}
+	return data
+}
+
+// Allgather collects every rank's blob; the result slice is indexed by
+// rank. Implemented as a ring so each rank sends P-1 messages of its own
+// size.
+func (c *Comm) Allgather(mine []byte) [][]byte {
+	tag := c.nextCollTag()
+	p := c.size
+	out := make([][]byte, p)
+	out[c.rank] = mine
+	if p == 1 {
+		return out
+	}
+	right := (c.rank + 1) % p
+	left := (c.rank - 1 + p) % p
+	cur := mine
+	curOwner := c.rank
+	for step := 0; step < p-1; step++ {
+		// Send the block we most recently received, pull a new one from
+		// the left (classic allgather ring).
+		c.Send(right, tag, appendOwner(cur, curOwner))
+		m := c.Recv(left, tag)
+		cur, curOwner = splitOwner(m.Data)
+		out[curOwner] = cur
+	}
+	return out
+}
+
+func appendOwner(b []byte, owner int) []byte {
+	out := make([]byte, len(b)+4)
+	copy(out, b)
+	binary.LittleEndian.PutUint32(out[len(b):], uint32(owner))
+	return out
+}
+
+func splitOwner(b []byte) ([]byte, int) {
+	n := len(b) - 4
+	return b[:n], int(binary.LittleEndian.Uint32(b[n:]))
+}
+
+// AllreduceSumOrdered sums per-rank float64 vectors with a fixed
+// reduction order: every rank gathers all partials and adds them in rank
+// order, so the result is bit-identical on every rank and independent of
+// message timing. This is the deterministic reduction the distributed
+// hyperparameter sampling uses (DESIGN.md decision 6).
+func (c *Comm) AllreduceSumOrdered(mine []float64) []float64 {
+	blobs := c.Allgather(encodeFloat64s(mine))
+	out := make([]float64, len(mine))
+	for r := 0; r < c.size; r++ {
+		vals := decodeFloat64s(blobs[r])
+		if len(vals) != len(out) {
+			panic("comm: allreduce length mismatch across ranks")
+		}
+		for i, v := range vals {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+// AllreduceSumTree sums per-rank float64 vectors with recursive doubling:
+// ⌈log₂ P⌉ rounds, lower latency than the ordered version but the
+// summation tree (and hence the last bits) depends on P. Used where exact
+// cross-P reproducibility is not required; the ablation benchmark
+// compares both.
+func (c *Comm) AllreduceSumTree(mine []float64) []float64 {
+	tag := c.nextCollTag()
+	p := c.size
+	acc := append([]float64(nil), mine...)
+	if p == 1 {
+		return acc
+	}
+	// Recursive doubling for power-of-two counts; fold the remainder into
+	// the nearest lower power of two first.
+	pow := 1
+	for pow*2 <= p {
+		pow *= 2
+	}
+	rem := p - pow
+	// Extra ranks fold their data into partner (rank − pow) and receive
+	// the final result from it afterwards.
+	if c.rank >= pow {
+		c.Send(c.rank-pow, tag, encodeFloat64s(acc))
+		m := c.Recv(c.rank-pow, tag)
+		return decodeFloat64s(m.Data)
+	}
+	if c.rank < rem {
+		m := c.Recv(c.rank+pow, tag)
+		addInto(acc, decodeFloat64s(m.Data))
+	}
+	for k := 1; k < pow; k <<= 1 {
+		partner := c.rank ^ k
+		c.Send(partner, tag, encodeFloat64s(acc))
+		m := c.Recv(partner, tag)
+		addInto(acc, decodeFloat64s(m.Data))
+	}
+	if c.rank < rem {
+		c.Send(c.rank+pow, tag, encodeFloat64s(acc))
+	}
+	return acc
+}
+
+func addInto(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("comm: allreduce length mismatch across ranks")
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// encodeFloat64s serializes a float64 slice little-endian.
+func encodeFloat64s(v []float64) []byte {
+	b := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(x))
+	}
+	return b
+}
+
+// decodeFloat64s is the inverse of encodeFloat64s.
+func decodeFloat64s(b []byte) []float64 {
+	v := make([]float64, len(b)/8)
+	for i := range v {
+		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return v
+}

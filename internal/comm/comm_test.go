@@ -1,0 +1,444 @@
+package comm
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// runSPMD runs fn on every rank of a fresh in-process fabric and waits.
+func runSPMD(t *testing.T, size int, fn func(c *Comm)) {
+	t.Helper()
+	f := NewFabric(size)
+	defer f.Close()
+	var wg sync.WaitGroup
+	for _, c := range f.Comms() {
+		wg.Add(1)
+		go func(c *Comm) {
+			defer wg.Done()
+			fn(c)
+		}(c)
+	}
+	wg.Wait()
+}
+
+func TestSendRecvBasic(t *testing.T) {
+	runSPMD(t, 2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []byte("hello"))
+		} else {
+			m := c.Recv(0, 7)
+			if string(m.Data) != "hello" || m.Src != 0 || m.Tag != 7 {
+				t.Errorf("got %+v", m)
+			}
+		}
+	})
+}
+
+func TestRecvBeforeSend(t *testing.T) {
+	f := NewFabric(2)
+	defer f.Close()
+	comms := f.Comms()
+	done := make(chan Message, 1)
+	go func() { done <- comms[1].Recv(0, 3) }()
+	time.Sleep(10 * time.Millisecond) // let the receive get posted first
+	comms[0].Send(1, 3, []byte{42})
+	m := <-done
+	if m.Data[0] != 42 {
+		t.Fatalf("got %v", m.Data)
+	}
+}
+
+func TestTagMatching(t *testing.T) {
+	runSPMD(t, 2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 1, []byte("a"))
+			c.Send(1, 2, []byte("b"))
+		} else {
+			// Receive out of send order by tag.
+			m2 := c.Recv(0, 2)
+			m1 := c.Recv(0, 1)
+			if string(m2.Data) != "b" || string(m1.Data) != "a" {
+				t.Error("tag matching failed")
+			}
+		}
+	})
+}
+
+func TestAnySource(t *testing.T) {
+	runSPMD(t, 3, func(c *Comm) {
+		if c.Rank() != 0 {
+			c.Send(0, 5, []byte{byte(c.Rank())})
+		} else {
+			seen := map[int]bool{}
+			for i := 0; i < 2; i++ {
+				m := c.Recv(AnySource, 5)
+				seen[m.Src] = true
+			}
+			if !seen[1] || !seen[2] {
+				t.Errorf("missing sources: %v", seen)
+			}
+		}
+	})
+}
+
+func TestNonOvertakingSameTag(t *testing.T) {
+	runSPMD(t, 2, func(c *Comm) {
+		const n = 200
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				c.Send(1, 9, []byte{byte(i)})
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				m := c.Recv(0, 9)
+				if int(m.Data[0]) != i {
+					t.Errorf("message %d arrived out of order (got %d)", i, m.Data[0])
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestIrecvTestAndWait(t *testing.T) {
+	f := NewFabric(2)
+	defer f.Close()
+	comms := f.Comms()
+	req := comms[1].Irecv(0, 4)
+	if _, ok := req.Test(); ok {
+		t.Fatal("Test must report incomplete before send")
+	}
+	comms[0].Send(1, 4, []byte("x"))
+	m := req.Wait()
+	if string(m.Data) != "x" {
+		t.Fatalf("got %q", m.Data)
+	}
+	// Wait is idempotent.
+	if string(req.Wait().Data) != "x" {
+		t.Fatal("second Wait differs")
+	}
+}
+
+func TestProbe(t *testing.T) {
+	f := NewFabric(2)
+	defer f.Close()
+	comms := f.Comms()
+	if comms[1].Probe(0, 8) {
+		t.Fatal("Probe true before send")
+	}
+	comms[0].Send(1, 8, []byte("p"))
+	deadline := time.Now().Add(time.Second)
+	for !comms[1].Probe(0, 8) {
+		if time.Now().After(deadline) {
+			t.Fatal("Probe never saw the message")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	comms[1].Recv(0, 8)
+	if comms[1].Probe(0, 8) {
+		t.Fatal("Probe true after consume")
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	runSPMD(t, 2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 1, make([]byte, 100))
+		} else {
+			c.Recv(0, 1)
+			st := c.Stats()
+			if st.MsgsRecv != 1 || st.BytesRecv != 100 {
+				t.Errorf("stats %+v", st)
+			}
+		}
+	})
+}
+
+func TestInvalidDestinationPanics(t *testing.T) {
+	f := NewFabric(1)
+	defer f.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Send to invalid rank must panic")
+		}
+	}()
+	f.Comms()[0].Send(5, 0, nil)
+}
+
+func TestBarrier(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 7, 8} {
+		var phase sync.Map
+		runSPMD(t, p, func(c *Comm) {
+			phase.Store(c.Rank(), 1)
+			c.Barrier()
+			// After the barrier, every rank must have reached phase 1.
+			for r := 0; r < c.Size(); r++ {
+				if v, ok := phase.Load(r); !ok || v != 1 {
+					t.Errorf("p=%d rank %d: peer %d had not reached the barrier", p, c.Rank(), r)
+				}
+			}
+			c.Barrier() // second barrier must also work (tag sequencing)
+		})
+	}
+}
+
+func TestBcast(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8} {
+		for root := 0; root < p; root++ {
+			want := []byte(fmt.Sprintf("payload-from-%d", root))
+			runSPMD(t, p, func(c *Comm) {
+				var mine []byte
+				if c.Rank() == root {
+					mine = want
+				}
+				got := c.Bcast(root, mine)
+				if string(got) != string(want) {
+					t.Errorf("p=%d root=%d rank=%d: got %q", p, root, c.Rank(), got)
+				}
+			})
+		}
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 6} {
+		runSPMD(t, p, func(c *Comm) {
+			mine := []byte{byte(c.Rank()), byte(c.Rank() * 2)}
+			all := c.Allgather(mine)
+			for r := 0; r < p; r++ {
+				if len(all[r]) != 2 || all[r][0] != byte(r) || all[r][1] != byte(2*r) {
+					t.Errorf("p=%d rank=%d: slot %d = %v", p, c.Rank(), r, all[r])
+				}
+			}
+		})
+	}
+}
+
+func TestAllreduceSumOrdered(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8} {
+		// Expected: sum over ranks of [r, 2r, 100].
+		want := []float64{0, 0, 0}
+		for r := 0; r < p; r++ {
+			want[0] += float64(r)
+			want[1] += float64(2 * r)
+			want[2] += 100
+		}
+		var mu sync.Mutex
+		results := map[int][]float64{}
+		runSPMD(t, p, func(c *Comm) {
+			got := c.AllreduceSumOrdered([]float64{float64(c.Rank()), float64(2 * c.Rank()), 100})
+			mu.Lock()
+			results[c.Rank()] = got
+			mu.Unlock()
+		})
+		for r := 0; r < p; r++ {
+			if !reflect.DeepEqual(results[r], want) {
+				t.Fatalf("p=%d rank=%d: got %v want %v", p, r, results[r], want)
+			}
+		}
+		// Bit-identical across ranks.
+		for r := 1; r < p; r++ {
+			for i := range results[0] {
+				if results[r][i] != results[0][i] {
+					t.Fatalf("p=%d: ordered allreduce differs across ranks", p)
+				}
+			}
+		}
+	}
+}
+
+func TestAllreduceSumTree(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 5, 6, 7, 8} {
+		var mu sync.Mutex
+		results := map[int][]float64{}
+		runSPMD(t, p, func(c *Comm) {
+			got := c.AllreduceSumTree([]float64{1, float64(c.Rank())})
+			mu.Lock()
+			results[c.Rank()] = got
+			mu.Unlock()
+		})
+		wantSum := float64(p*(p-1)) / 2
+		for r := 0; r < p; r++ {
+			if results[r][0] != float64(p) {
+				t.Fatalf("p=%d rank=%d: count = %v, want %v", p, r, results[r][0], float64(p))
+			}
+			if results[r][1] != wantSum {
+				t.Fatalf("p=%d rank=%d: sum = %v, want %v", p, r, results[r][1], wantSum)
+			}
+		}
+	}
+}
+
+func TestOrderedAllreduceDeterministicAcrossTimings(t *testing.T) {
+	// Run the same reduction many times with random goroutine delays; the
+	// result must be bit-identical every time (ordered combining).
+	p := 4
+	vals := [][]float64{
+		{0.1, 1e-17}, {0.2, 1e17}, {-0.3, -1e17}, {0.4, 2.5e-17},
+	}
+	var ref []float64
+	for trial := 0; trial < 10; trial++ {
+		var mu sync.Mutex
+		var got []float64
+		runSPMD(t, p, func(c *Comm) {
+			time.Sleep(time.Duration(rand.Intn(3)) * time.Millisecond)
+			r := c.AllreduceSumOrdered(vals[c.Rank()])
+			if c.Rank() == 0 {
+				mu.Lock()
+				got = r
+				mu.Unlock()
+			}
+		})
+		if ref == nil {
+			ref = got
+			continue
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatal("ordered allreduce not timing-independent")
+			}
+		}
+	}
+}
+
+func TestCoalescer(t *testing.T) {
+	f := NewFabric(2)
+	defer f.Close()
+	comms := f.Comms()
+	co := NewCoalescer(comms[0], 1, 11, 10)
+	// Three 4-byte records with a 10-byte buffer: flush after 2 appends...
+	// precisely, the third Append flushes the first two records.
+	co.Append([]byte("aaaa"))
+	co.Append([]byte("bbbb"))
+	if co.Flushes() != 0 {
+		t.Fatal("flushed too early")
+	}
+	co.Append([]byte("cccc"))
+	if co.Flushes() != 1 {
+		t.Fatalf("expected 1 flush, got %d", co.Flushes())
+	}
+	co.Flush()
+	m1 := comms[1].Recv(0, 11)
+	m2 := comms[1].Recv(0, 11)
+	if string(m1.Data) != "aaaabbbb" || string(m2.Data) != "cccc" {
+		t.Fatalf("coalesced payloads %q, %q", m1.Data, m2.Data)
+	}
+	if co.Records() != 3 {
+		t.Fatalf("records = %d", co.Records())
+	}
+}
+
+func TestCoalescerUnbuffered(t *testing.T) {
+	f := NewFabric(2)
+	defer f.Close()
+	comms := f.Comms()
+	co := NewCoalescer(comms[0], 1, 12, 0) // ablation: flush every record
+	co.Append([]byte("x"))
+	co.Append([]byte("y"))
+	if co.Flushes() != 2 {
+		t.Fatalf("unbuffered mode flushed %d times, want 2", co.Flushes())
+	}
+	comms[1].Recv(0, 12)
+	comms[1].Recv(0, 12)
+}
+
+func TestCoalescerEmptyFlushNoop(t *testing.T) {
+	f := NewFabric(2)
+	defer f.Close()
+	co := NewCoalescer(f.Comms()[0], 1, 13, 64)
+	co.Flush()
+	if co.Flushes() != 0 {
+		t.Fatal("empty flush must not send")
+	}
+}
+
+func TestTCPTransport(t *testing.T) {
+	addrs := []string{"127.0.0.1:19701", "127.0.0.1:19702", "127.0.0.1:19703"}
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	comms := make([]*Comm, 3)
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c, err := DialTCP(r, addrs, 5*time.Second)
+			comms[r], errs[r] = c, err
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	defer func() {
+		for _, c := range comms {
+			c.Close()
+		}
+	}()
+
+	// Point-to-point in both directions plus a collective.
+	var wg2 sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg2.Add(1)
+		go func(c *Comm) {
+			defer wg2.Done()
+			next := (c.Rank() + 1) % 3
+			prev := (c.Rank() + 2) % 3
+			c.Send(next, 1, []byte{byte(c.Rank())})
+			m := c.Recv(prev, 1)
+			if int(m.Data[0]) != prev {
+				t.Errorf("rank %d: ring got %d", c.Rank(), m.Data[0])
+			}
+			sum := c.AllreduceSumOrdered([]float64{float64(c.Rank() + 1)})
+			if sum[0] != 6 {
+				t.Errorf("rank %d: allreduce = %v", c.Rank(), sum[0])
+			}
+		}(comms[r])
+	}
+	wg2.Wait()
+}
+
+func TestTCPLargeMessage(t *testing.T) {
+	addrs := []string{"127.0.0.1:19711", "127.0.0.1:19712"}
+	var wg sync.WaitGroup
+	comms := make([]*Comm, 2)
+	errs := make([]error, 2)
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			comms[r], errs[r] = DialTCP(r, addrs, 5*time.Second)
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer comms[0].Close()
+	defer comms[1].Close()
+
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i * 31)
+	}
+	done := make(chan struct{})
+	go func() {
+		m := comms[1].Recv(0, 2)
+		for i := range m.Data {
+			if m.Data[i] != byte(i*31) {
+				t.Errorf("corruption at %d", i)
+				break
+			}
+		}
+		close(done)
+	}()
+	comms[0].Send(1, 2, big)
+	<-done
+}

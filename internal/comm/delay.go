@@ -1,0 +1,124 @@
+package comm
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// DelayFabric wraps an in-process fabric with deterministic pseudo-random
+// per-message delivery delays while preserving per-pair FIFO order. It
+// exists for timing-robustness testing: the distributed engine must
+// produce bit-identical results under arbitrary message timing, because
+// its phase transitions count expected ghost items rather than assuming
+// arrival order or latency bounds.
+type DelayFabric struct {
+	inner *Fabric
+	comms []*Comm
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	queues []chan delayed
+}
+
+type delayed struct {
+	dst   int
+	tag   int
+	data  []byte
+	delay time.Duration
+}
+
+// delayTransport perturbs one rank's sends.
+type delayTransport struct {
+	f    *DelayFabric
+	rank int
+	mu   sync.Mutex
+	rng  *rng.Stream
+	max  time.Duration
+}
+
+// NewDelayFabric builds a virtual cluster whose messages are delayed by a
+// deterministic pseudo-random duration in [0, maxDelay) (keyed by seed and
+// sender), preserving per-sender FIFO order.
+func NewDelayFabric(size int, maxDelay time.Duration, seed uint64) *DelayFabric {
+	inner := NewFabric(size)
+	df := &DelayFabric{
+		inner:  inner,
+		comms:  make([]*Comm, size),
+		queues: make([]chan delayed, size),
+	}
+	for r := 0; r < size; r++ {
+		// Re-point each endpoint's transport at the delaying wrapper.
+		c := inner.Comms()[r]
+		dt := &delayTransport{
+			f:    df,
+			rank: r,
+			rng:  rng.NewKeyed(seed, 0xde1a4, uint64(r)),
+			max:  maxDelay,
+		}
+		df.queues[r] = make(chan delayed, 4096)
+		c.mu.Lock()
+		orig := c.tr
+		c.tr = dt
+		c.mu.Unlock()
+		df.comms[r] = c
+		df.wg.Add(1)
+		go df.pump(r, orig)
+	}
+	return df
+}
+
+// pump applies each sender's delays in FIFO order, then forwards through
+// the original transport (which preserves order per pair).
+func (df *DelayFabric) pump(rank int, orig Transport) {
+	defer df.wg.Done()
+	for d := range df.queues[rank] {
+		if d.delay > 0 {
+			time.Sleep(d.delay)
+		}
+		orig.Send(d.dst, d.tag, d.data) //nolint:errcheck // fabric send cannot fail before close
+	}
+}
+
+// Send implements Transport with a deterministic pseudo-random delay.
+func (dt *delayTransport) Send(dst, tag int, data []byte) error {
+	dt.mu.Lock()
+	var delay time.Duration
+	if dt.max > 0 {
+		delay = time.Duration(dt.rng.Float64() * float64(dt.max))
+	}
+	dt.mu.Unlock()
+	dt.f.mu.Lock()
+	closed := dt.f.closed
+	dt.f.mu.Unlock()
+	if closed {
+		return nil
+	}
+	dt.f.queues[dt.rank] <- delayed{dst: dst, tag: tag, data: data, delay: delay}
+	return nil
+}
+
+// Close implements Transport per endpoint (no-op; close the fabric).
+func (dt *delayTransport) Close() error { return nil }
+
+// Comms returns the per-rank communicators.
+func (df *DelayFabric) Comms() []*Comm { return df.comms }
+
+// Close tears down the delay pumps and the inner fabric. Call only after
+// all ranks have finished communicating.
+func (df *DelayFabric) Close() {
+	df.mu.Lock()
+	if df.closed {
+		df.mu.Unlock()
+		return
+	}
+	df.closed = true
+	df.mu.Unlock()
+	for _, q := range df.queues {
+		close(q)
+	}
+	df.wg.Wait()
+	df.inner.Close()
+}

@@ -1,0 +1,93 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Fabric is an in-process transport backing a virtual cluster: every rank
+// is an endpoint in the same process and messages travel through per-pair
+// FIFO queues serviced by one delivery goroutine per rank (preserving the
+// non-overtaking rule while keeping senders non-blocking, like an MPI
+// progress thread).
+type Fabric struct {
+	comms []*Comm
+	chans []chan Message
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// inprocTransport is one rank's view of the fabric.
+type inprocTransport struct {
+	f    *Fabric
+	rank int
+}
+
+// NewFabric creates an in-process virtual cluster with size ranks and
+// returns one communicator per rank.
+func NewFabric(size int) *Fabric {
+	if size < 1 {
+		panic("comm: fabric size must be >= 1")
+	}
+	f := &Fabric{
+		comms: make([]*Comm, size),
+		chans: make([]chan Message, size),
+	}
+	for r := 0; r < size; r++ {
+		f.comms[r] = newComm(r, size)
+		f.comms[r].tr = &inprocTransport{f: f, rank: r}
+		// Generous buffering so senders virtually never block; the
+		// distributed engine's coalescing keeps message counts low.
+		f.chans[r] = make(chan Message, 4096)
+	}
+	f.wg.Add(size)
+	for r := 0; r < size; r++ {
+		go f.pump(r)
+	}
+	return f
+}
+
+// pump delivers rank r's inbound queue in arrival order.
+func (f *Fabric) pump(r int) {
+	defer f.wg.Done()
+	for m := range f.chans[r] {
+		f.comms[r].deliver(m)
+	}
+}
+
+// Comms returns the per-rank communicators.
+func (f *Fabric) Comms() []*Comm { return f.comms }
+
+// Send implements Transport for one rank.
+func (t *inprocTransport) Send(dst, tag int, data []byte) error {
+	t.f.mu.Lock()
+	if t.f.closed {
+		t.f.mu.Unlock()
+		return fmt.Errorf("fabric closed")
+	}
+	t.f.mu.Unlock()
+	t.f.chans[dst] <- Message{Src: t.rank, Tag: tag, Data: data}
+	return nil
+}
+
+// Close is a no-op per endpoint; use Fabric.Close to tear down the
+// cluster.
+func (t *inprocTransport) Close() error { return nil }
+
+// Close shuts down all delivery goroutines. Call only after all ranks
+// have finished communicating.
+func (f *Fabric) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	f.mu.Unlock()
+	for _, ch := range f.chans {
+		close(ch)
+	}
+	f.wg.Wait()
+}

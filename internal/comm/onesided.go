@@ -1,0 +1,143 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// OneSided implements the PGAS-style one-sided communication model of the
+// paper's future work (GASPI / GPI-2, reference [14]): ranks register
+// float64 memory segments (the factor matrices); a remote rank Puts
+// values directly at an offset in a destination segment together with a
+// notification id, and the target waits on notification *counts* instead
+// of matching messages. Compared with two-sided messaging this removes
+// the receive-side matching queue and per-message buffer management:
+// arriving payloads are written straight into the registered factor-row
+// memory by the window's dispatcher.
+//
+// Built on the same Transport as the two-sided layer (tag space is
+// shared; one-sided traffic uses the dedicated oneSidedTag).
+type OneSided struct {
+	c *Comm
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	segments map[int][]float64
+	notified map[int]int64 // notification id -> cumulative count
+	done     chan struct{}
+}
+
+// oneSidedTag is the reserved tag for one-sided traffic (top of the user
+// range, below the collective space).
+const oneSidedTag = collectiveTagBase - 1
+
+// putHeaderSize is [4B segment][8B element offset][4B notification id].
+const putHeaderSize = 16
+
+// closeSegment is the sentinel segment id used to stop the dispatcher.
+const closeSegment = -1
+
+// NewOneSided attaches a one-sided window to the communicator and starts
+// its dispatcher. Attach at most one OneSided per Comm, before any Put
+// traffic flows.
+func NewOneSided(c *Comm) *OneSided {
+	o := &OneSided{
+		c:        c,
+		segments: map[int][]float64{},
+		notified: map[int]int64{},
+		done:     make(chan struct{}),
+	}
+	o.cond = sync.NewCond(&o.mu)
+	go o.dispatch()
+	return o
+}
+
+// Register exposes buf as segment id for remote Puts. Registering an
+// existing id replaces the segment.
+func (o *OneSided) Register(id int, buf []float64) {
+	if id < 0 {
+		panic("comm: negative one-sided segment ids are reserved")
+	}
+	o.mu.Lock()
+	o.segments[id] = buf
+	o.mu.Unlock()
+}
+
+// Put writes data into segment segID at element offset off on rank dst
+// and increments dst's counter for notifyID (GASPI write+notify).
+// Completion is asynchronous; per-pair ordering is preserved by the
+// transport.
+func (o *OneSided) Put(dst, segID int, off int64, data []float64, notifyID int) {
+	msg := make([]byte, putHeaderSize+8*len(data))
+	binary.LittleEndian.PutUint32(msg[0:], uint32(segID))
+	binary.LittleEndian.PutUint64(msg[4:], uint64(off))
+	binary.LittleEndian.PutUint32(msg[12:], uint32(notifyID))
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(msg[putHeaderSize+8*i:], math.Float64bits(v))
+	}
+	o.c.Send(dst, oneSidedTag, msg)
+}
+
+// dispatch applies incoming Puts directly to registered memory.
+func (o *OneSided) dispatch() {
+	for {
+		m := o.c.Recv(AnySource, oneSidedTag)
+		segID := int(int32(binary.LittleEndian.Uint32(m.Data[0:])))
+		if segID == closeSegment {
+			close(o.done)
+			return
+		}
+		off := int64(binary.LittleEndian.Uint64(m.Data[4:]))
+		notifyID := int(binary.LittleEndian.Uint32(m.Data[12:]))
+		payload := m.Data[putHeaderSize:]
+		n := int64(len(payload) / 8)
+		o.mu.Lock()
+		seg, ok := o.segments[segID]
+		if !ok {
+			o.mu.Unlock()
+			panic(fmt.Sprintf("comm: one-sided Put into unregistered segment %d", segID))
+		}
+		if off < 0 || off+n > int64(len(seg)) {
+			o.mu.Unlock()
+			panic(fmt.Sprintf("comm: one-sided Put out of bounds: off %d n %d seg %d",
+				off, n, len(seg)))
+		}
+		for i := int64(0); i < n; i++ {
+			seg[off+i] = math.Float64frombits(
+				binary.LittleEndian.Uint64(payload[8*i:]))
+		}
+		o.notified[notifyID]++
+		o.cond.Broadcast()
+		o.mu.Unlock()
+	}
+}
+
+// WaitNotify blocks until notifyID's cumulative counter reaches at least
+// count and returns its value. Use distinct ids per phase (the engine
+// keys them by iteration and side).
+func (o *OneSided) WaitNotify(notifyID int, count int64) int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for o.notified[notifyID] < count {
+		o.cond.Wait()
+	}
+	return o.notified[notifyID]
+}
+
+// NotifyCount returns notifyID's current counter without blocking.
+func (o *OneSided) NotifyCount(notifyID int) int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.notified[notifyID]
+}
+
+// Close stops the dispatcher (via a self-addressed sentinel Put) and
+// waits for it to exit. The underlying Comm stays usable.
+func (o *OneSided) Close() {
+	msg := make([]byte, putHeaderSize)
+	binary.LittleEndian.PutUint32(msg[0:], uint32(uint32(0xffffffff))) // segID -1
+	o.c.Send(o.c.Rank(), oneSidedTag, msg)
+	<-o.done
+}

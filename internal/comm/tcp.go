@@ -1,0 +1,245 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCP wire format: one frame per message,
+//
+//	[4B little-endian payload length][4B src rank][4B tag][payload]
+//
+// Every pair of ranks is connected once; the lower rank dials, the higher
+// rank accepts, and a 4-byte hello identifies the dialer. One writer
+// goroutine per peer drains a FIFO queue (preserving the non-overtaking
+// rule), one reader goroutine per peer delivers inbound frames.
+
+// tcpTransport is the mesh transport for one rank.
+type tcpTransport struct {
+	c     *Comm
+	rank  int
+	size  int
+	conns []net.Conn
+	sendQ []chan []byte
+
+	wgWriters sync.WaitGroup
+	wgReaders sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// DialTCP builds a fully connected TCP mesh across the given rank
+// addresses and returns this rank's communicator. addrs[i] is rank i's
+// listen address ("host:port"); the function listens on addrs[rank],
+// dials every higher... lower rank dials higher rank. It blocks until the
+// mesh is complete or timeout elapses.
+func DialTCP(rank int, addrs []string, timeout time.Duration) (*Comm, error) {
+	size := len(addrs)
+	if rank < 0 || rank >= size {
+		return nil, fmt.Errorf("comm: rank %d out of range for %d addresses", rank, size)
+	}
+	c := newComm(rank, size)
+	t := &tcpTransport{
+		c:     c,
+		rank:  rank,
+		size:  size,
+		conns: make([]net.Conn, size),
+		sendQ: make([]chan []byte, size),
+	}
+	c.tr = t
+
+	ln, err := net.Listen("tcp", addrs[rank])
+	if err != nil {
+		return nil, fmt.Errorf("comm: rank %d listen %s: %w", rank, addrs[rank], err)
+	}
+	defer ln.Close()
+	deadline := time.Now().Add(timeout)
+
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+
+	// Accept connections from lower ranks.
+	expectAccepts := rank
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < expectAccepts; i++ {
+			if d, ok := ln.(*net.TCPListener); ok {
+				d.SetDeadline(deadline)
+			}
+			conn, err := ln.Accept()
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("accept: %w", err)
+				}
+				mu.Unlock()
+				return
+			}
+			var hello [4]byte
+			if _, err := io.ReadFull(conn, hello[:]); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("hello: %w", err)
+				}
+				mu.Unlock()
+				conn.Close()
+				return
+			}
+			peer := int(binary.LittleEndian.Uint32(hello[:]))
+			mu.Lock()
+			if peer < 0 || peer >= size || t.conns[peer] != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("bad hello from peer %d", peer)
+				}
+				mu.Unlock()
+				conn.Close()
+				return
+			}
+			t.conns[peer] = conn
+			mu.Unlock()
+		}
+	}()
+
+	// Dial higher ranks.
+	for peer := rank + 1; peer < size; peer++ {
+		peer := peer
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var conn net.Conn
+			var err error
+			for time.Now().Before(deadline) {
+				conn, err = net.DialTimeout("tcp", addrs[peer], time.Second)
+				if err == nil {
+					break
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("dial rank %d (%s): %w", peer, addrs[peer], err)
+				}
+				mu.Unlock()
+				return
+			}
+			var hello [4]byte
+			binary.LittleEndian.PutUint32(hello[:], uint32(rank))
+			if _, err := conn.Write(hello[:]); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				conn.Close()
+				return
+			}
+			mu.Lock()
+			t.conns[peer] = conn
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		t.Close()
+		return nil, firstErr
+	}
+
+	// Start writer and reader goroutines per peer.
+	for peer := 0; peer < size; peer++ {
+		if peer == rank {
+			continue
+		}
+		t.sendQ[peer] = make(chan []byte, 1024)
+		t.wgWriters.Add(1)
+		t.wgReaders.Add(1)
+		go t.writer(peer)
+		go t.reader(peer)
+	}
+	return c, nil
+}
+
+// Send implements Transport.
+func (t *tcpTransport) Send(dst, tag int, data []byte) error {
+	if dst == t.rank {
+		// Self-sends bypass the wire.
+		t.c.deliver(Message{Src: t.rank, Tag: tag, Data: data})
+		return nil
+	}
+	frame := make([]byte, 12+len(data))
+	binary.LittleEndian.PutUint32(frame[0:], uint32(len(data)))
+	binary.LittleEndian.PutUint32(frame[4:], uint32(t.rank))
+	binary.LittleEndian.PutUint32(frame[8:], uint32(tag))
+	copy(frame[12:], data)
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return fmt.Errorf("transport closed")
+	}
+	q := t.sendQ[dst]
+	t.mu.Unlock()
+	q <- frame
+	return nil
+}
+
+func (t *tcpTransport) writer(peer int) {
+	defer t.wgWriters.Done()
+	conn := t.conns[peer]
+	for frame := range t.sendQ[peer] {
+		if _, err := conn.Write(frame); err != nil {
+			return // connection torn down
+		}
+	}
+}
+
+func (t *tcpTransport) reader(peer int) {
+	defer t.wgReaders.Done()
+	conn := t.conns[peer]
+	var hdr [12]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:])
+		src := int(binary.LittleEndian.Uint32(hdr[4:]))
+		tag := int(binary.LittleEndian.Uint32(hdr[8:]))
+		data := make([]byte, n)
+		if _, err := io.ReadFull(conn, data); err != nil {
+			return
+		}
+		t.c.deliver(Message{Src: src, Tag: tag, Data: data})
+	}
+}
+
+// Close tears the mesh down: queued frames are flushed to the wire before
+// the connections close (a rank finishing early must not kill messages its
+// peers still need), then readers are torn down.
+func (t *tcpTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	for _, q := range t.sendQ {
+		if q != nil {
+			close(q)
+		}
+	}
+	t.wgWriters.Wait() // drain outbound queues onto the wire
+	for _, conn := range t.conns {
+		if conn != nil {
+			conn.Close()
+		}
+	}
+	t.wgReaders.Wait()
+	return nil
+}

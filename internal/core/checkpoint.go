@@ -1,0 +1,204 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/la"
+)
+
+// Checkpoint is a serializable snapshot of a Gibbs chain after some
+// iteration. Because every random draw is keyed by (seed, iteration,
+// side, item), resuming from a checkpoint continues the *exact* chain:
+// a run checkpointed at iteration t and resumed reproduces an
+// uninterrupted run bit-for-bit — with any engine, since all engines
+// sample the same chain. (A production property the paper's 15-day
+// industrial runs would need.)
+type Checkpoint struct {
+	K        int
+	NextIter int // first iteration to execute on resume
+	Seed     uint64
+	U, V     *la.Matrix
+
+	// Predictor state (posterior-mean accumulators).
+	PredSum   []float64
+	PredSumSq []float64
+	NSamples  int
+
+	// Result trace so far.
+	SampleRMSE, AvgRMSE []float64
+	KernelCounts        [3]int64
+	ItemUpdates         int64
+}
+
+const ckptMagic = "BPMFCKPT2\n"
+
+// Checkpoint snapshots the sampler after the iterations it has executed.
+func (s *Sampler) Checkpoint() *Checkpoint {
+	return &Checkpoint{
+		K:            s.Cfg.K,
+		NextIter:     len(s.res.AvgRMSE),
+		Seed:         s.Cfg.Seed,
+		U:            s.U.Clone(),
+		V:            s.V.Clone(),
+		PredSum:      append([]float64(nil), s.pred.sum...),
+		PredSumSq:    append([]float64(nil), s.pred.sumSq...),
+		NSamples:     s.pred.nSamples,
+		SampleRMSE:   append([]float64(nil), s.res.SampleRMSE...),
+		AvgRMSE:      append([]float64(nil), s.res.AvgRMSE...),
+		KernelCounts: s.res.KernelCounts,
+		ItemUpdates:  s.res.ItemUpdates,
+	}
+}
+
+// ResumeSampler reconstructs a sampler mid-chain from a checkpoint. cfg
+// must match the checkpointed run (K and Seed are verified; the rest is
+// the caller's contract, as with any restart script).
+func ResumeSampler(cfg Config, prob *Problem, c *Checkpoint) (*Sampler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.K != c.K {
+		return nil, fmt.Errorf("core: checkpoint K=%d, config K=%d", c.K, cfg.K)
+	}
+	if cfg.Seed != c.Seed {
+		return nil, fmt.Errorf("core: checkpoint seed=%d, config seed=%d", c.Seed, cfg.Seed)
+	}
+	m, n := prob.Dims()
+	if c.U.Rows != m || c.V.Rows != n {
+		return nil, fmt.Errorf("core: checkpoint shape %dx%d does not match problem %dx%d",
+			c.U.Rows, c.V.Rows, m, n)
+	}
+	if len(c.PredSum) != len(prob.Test) {
+		return nil, fmt.Errorf("core: checkpoint has %d test accumulators, problem has %d",
+			len(c.PredSum), len(prob.Test))
+	}
+	s := &Sampler{
+		Cfg:   cfg,
+		Prob:  prob,
+		Prior: DefaultNWPrior(cfg.K),
+		U:     c.U.Clone(),
+		V:     c.V.Clone(),
+		HU:    NewHyper(cfg.K),
+		HV:    NewHyper(cfg.K),
+		pred:  NewPredictor(prob.Test, cfg.ClampMin, cfg.ClampMax),
+		ws:    NewWorkspace(cfg.K),
+	}
+	s.pred.Alpha = cfg.Alpha
+	copy(s.pred.sum, c.PredSum)
+	copy(s.pred.sumSq, c.PredSumSq)
+	s.pred.nSamples = c.NSamples
+	s.res.SampleRMSE = append([]float64(nil), c.SampleRMSE...)
+	s.res.AvgRMSE = append([]float64(nil), c.AvgRMSE...)
+	s.res.KernelCounts = c.KernelCounts
+	s.res.ItemUpdates = c.ItemUpdates
+	return s, nil
+}
+
+// RunFrom executes the remaining iterations of a resumed chain (from
+// NextIter through Cfg.Iters-1).
+func (s *Sampler) RunFrom(firstIter int) *Result {
+	for it := firstIter; it < s.Cfg.Iters; it++ {
+		s.Step(it)
+	}
+	s.res.U, s.res.V = s.U, s.V
+	s.res.Iters = s.Cfg.Iters
+	s.res.Intervals = s.pred.Intervals()
+	return &s.res
+}
+
+// Write serializes the checkpoint (own little-endian binary format; no
+// external dependencies).
+func (c *Checkpoint) Write(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(ckptMagic); err != nil {
+		return err
+	}
+	writeU64 := func(v uint64) { binary.Write(bw, binary.LittleEndian, v) } //nolint:errcheck
+	writeU64(uint64(c.K))
+	writeU64(uint64(c.NextIter))
+	writeU64(c.Seed)
+	writeU64(uint64(c.U.Rows))
+	writeU64(uint64(c.V.Rows))
+	writeU64(uint64(len(c.PredSum)))
+	writeU64(uint64(c.NSamples))
+	writeU64(uint64(len(c.SampleRMSE)))
+	writeU64(uint64(c.ItemUpdates))
+	for _, kc := range c.KernelCounts {
+		writeU64(uint64(kc))
+	}
+	writeFloats := func(v []float64) {
+		for _, x := range v {
+			writeU64(math.Float64bits(x))
+		}
+	}
+	writeFloats(c.U.Data)
+	writeFloats(c.V.Data)
+	writeFloats(c.PredSum)
+	writeFloats(c.PredSumSq)
+	writeFloats(c.SampleRMSE)
+	writeFloats(c.AvgRMSE)
+	return bw.Flush()
+}
+
+// ReadCheckpoint deserializes a checkpoint written by Write.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, len(ckptMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("core: reading checkpoint magic: %w", err)
+	}
+	if string(magic) != ckptMagic {
+		return nil, fmt.Errorf("core: not a BPMF checkpoint (magic %q)", magic)
+	}
+	var err error
+	readU64 := func() uint64 {
+		var v uint64
+		if err == nil {
+			err = binary.Read(br, binary.LittleEndian, &v)
+		}
+		return v
+	}
+	c := &Checkpoint{}
+	c.K = int(readU64())
+	c.NextIter = int(readU64())
+	c.Seed = readU64()
+	uRows := int(readU64())
+	vRows := int(readU64())
+	nTest := int(readU64())
+	c.NSamples = int(readU64())
+	nTrace := int(readU64())
+	c.ItemUpdates = int64(readU64())
+	for i := range c.KernelCounts {
+		c.KernelCounts[i] = int64(readU64())
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: reading checkpoint header: %w", err)
+	}
+	const maxDim = 1 << 31
+	if c.K <= 0 || c.K > 1<<16 || uRows < 0 || uRows > maxDim || vRows < 0 || vRows > maxDim ||
+		nTest < 0 || nTest > maxDim || nTrace < 0 || nTrace > 1<<24 {
+		return nil, fmt.Errorf("core: implausible checkpoint header (K=%d U=%d V=%d test=%d)",
+			c.K, uRows, vRows, nTest)
+	}
+	readFloats := func(n int) []float64 {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = math.Float64frombits(readU64())
+		}
+		return v
+	}
+	c.U = &la.Matrix{Rows: uRows, Cols: c.K, Data: readFloats(uRows * c.K)}
+	c.V = &la.Matrix{Rows: vRows, Cols: c.K, Data: readFloats(vRows * c.K)}
+	c.PredSum = readFloats(nTest)
+	c.PredSumSq = readFloats(nTest)
+	c.SampleRMSE = readFloats(nTrace)
+	c.AvgRMSE = readFloats(nTrace)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading checkpoint body: %w", err)
+	}
+	return c, nil
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/la"
+	"repro/internal/sparse"
+)
+
+func ckptProblem(t *testing.T) *Problem {
+	t.Helper()
+	ds := datagen.Generate(datagen.Small(71))
+	train, test := sparse.SplitTrainTest(ds.R, 0.2, 71)
+	return NewProblem(train, test)
+}
+
+func ckptConfig() Config {
+	cfg := DefaultConfig()
+	cfg.K = 6
+	cfg.Iters = 8
+	cfg.Burnin = 3
+	cfg.RankOneMax = 4
+	cfg.KernelThreshold = 20
+	return cfg
+}
+
+func TestCheckpointResumeBitwise(t *testing.T) {
+	prob := ckptProblem(t)
+	cfg := ckptConfig()
+
+	// Straight run.
+	s1, err := NewSampler(cfg, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s1.Run()
+
+	// Run 4 iterations, checkpoint, resume for the rest.
+	s2, err := NewSampler(cfg, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for it := 0; it < 4; it++ {
+		s2.Step(it)
+	}
+	ckpt := s2.Checkpoint()
+	if ckpt.NextIter != 4 {
+		t.Fatalf("NextIter = %d", ckpt.NextIter)
+	}
+	s3, err := ResumeSampler(cfg, prob, ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s3.RunFrom(ckpt.NextIter)
+
+	if la.MaxAbsDiff(got.U, want.U) != 0 || la.MaxAbsDiff(got.V, want.V) != 0 {
+		t.Fatal("resumed chain differs from uninterrupted run")
+	}
+	for i := range want.AvgRMSE {
+		if got.AvgRMSE[i] != want.AvgRMSE[i] {
+			t.Fatalf("RMSE trace differs at iter %d", i)
+		}
+	}
+	if got.KernelCounts != want.KernelCounts || got.ItemUpdates != want.ItemUpdates {
+		t.Fatal("counters differ after resume")
+	}
+}
+
+func TestCheckpointSerializationRoundTrip(t *testing.T) {
+	prob := ckptProblem(t)
+	cfg := ckptConfig()
+	s, err := NewSampler(cfg, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for it := 0; it < 5; it++ {
+		s.Step(it)
+	}
+	ckpt := s.Checkpoint()
+	var buf bytes.Buffer
+	if err := ckpt.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NextIter != ckpt.NextIter || back.Seed != ckpt.Seed || back.NSamples != ckpt.NSamples {
+		t.Fatal("header mismatch after round trip")
+	}
+	if la.MaxAbsDiff(back.U, ckpt.U) != 0 || la.MaxAbsDiff(back.V, ckpt.V) != 0 {
+		t.Fatal("factors corrupted by serialization")
+	}
+	for i := range ckpt.PredSum {
+		if back.PredSum[i] != ckpt.PredSum[i] || back.PredSumSq[i] != ckpt.PredSumSq[i] {
+			t.Fatal("predictor state corrupted")
+		}
+	}
+	// Resume from the deserialized checkpoint must still be exact.
+	s2, err := ResumeSampler(cfg, prob, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s2.RunFrom(back.NextIter)
+	ref, err := NewSampler(cfg, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Run()
+	if la.MaxAbsDiff(got.U, want.U) != 0 {
+		t.Fatal("resume from serialized checkpoint diverged")
+	}
+}
+
+func TestCheckpointValidation(t *testing.T) {
+	prob := ckptProblem(t)
+	cfg := ckptConfig()
+	s, _ := NewSampler(cfg, prob)
+	s.Step(0)
+	ckpt := s.Checkpoint()
+
+	bad := cfg
+	bad.K = 8
+	if _, err := ResumeSampler(bad, prob, ckpt); err == nil {
+		t.Fatal("expected K mismatch error")
+	}
+	bad = cfg
+	bad.Seed = 1
+	if _, err := ResumeSampler(bad, prob, ckpt); err == nil {
+		t.Fatal("expected seed mismatch error")
+	}
+	other := NewProblem(datagen.Generate(datagen.Tiny(1)).R, nil)
+	if _, err := ResumeSampler(cfg, other, ckpt); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+}
+
+func TestReadCheckpointRejectsGarbage(t *testing.T) {
+	if _, err := ReadCheckpoint(bytes.NewBufferString("not a checkpoint at all")); err == nil {
+		t.Fatal("expected magic error")
+	}
+	if _, err := ReadCheckpoint(bytes.NewBufferString(ckptMagic)); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/la"
+	"repro/internal/rng"
+)
+
+// NWPrior is the fixed, uninformative Normal–Wishart hyperprior the paper
+// places on each side's Gaussian prior: Λ ~ W(W0, ν0), μ | Λ ~
+// N(μ0, (β0 Λ)⁻¹). Defaults follow Salakhutdinov & Mnih: μ0 = 0, β0 = 2,
+// ν0 = K, W0 = I.
+type NWPrior struct {
+	Mu0   la.Vector
+	Beta0 float64
+	Nu0   float64
+	W0Inv *la.Matrix // inverse of the scale matrix (identity by default)
+}
+
+// DefaultNWPrior returns the standard BPMF hyperprior for K latent
+// features.
+func DefaultNWPrior(k int) NWPrior {
+	return NWPrior{
+		Mu0:   la.NewVector(k),
+		Beta0: 2,
+		Nu0:   float64(k),
+		W0Inv: la.Eye(k),
+	}
+}
+
+// Hyper is one side's sampled prior: mean μ, precision Λ and the lower
+// Cholesky factor of Λ (precomputed once per iteration; the rank-one
+// item-update kernel starts from it).
+type Hyper struct {
+	Mu         la.Vector
+	Lambda     *la.Matrix
+	LambdaChol *la.Matrix
+	// LambdaMu caches Λ·μ, the constant part of every item's posterior
+	// mean equation on this side for this iteration.
+	LambdaMu la.Vector
+}
+
+// NewHyper allocates a Hyper for K latent features, initialized to the
+// standard-normal prior (Λ = I, μ = 0).
+func NewHyper(k int) *Hyper {
+	h := &Hyper{
+		Mu:         la.NewVector(k),
+		Lambda:     la.Eye(k),
+		LambdaChol: la.Eye(k),
+		LambdaMu:   la.NewVector(k),
+	}
+	return h
+}
+
+// Moments are the sufficient statistics of one side's factor rows used by
+// the Normal–Wishart posterior: count, Σx and Σx·xᵀ (full square stored,
+// lower triangle authoritative).
+type Moments struct {
+	N     float64
+	Sum   la.Vector
+	SumSq *la.Matrix
+}
+
+// NewMoments allocates zeroed moments for K latent features.
+func NewMoments(k int) *Moments {
+	return &Moments{Sum: la.NewVector(k), SumSq: la.NewMatrix(k, k)}
+}
+
+// Zero resets m to the empty statistics.
+func (m *Moments) Zero() {
+	m.N = 0
+	m.Sum.Zero()
+	m.SumSq.Zero()
+}
+
+// AccumulateRows adds rows [lo, hi) of x to the moments, iterating rows in
+// ascending order (the canonical order for reproducible reductions).
+func (m *Moments) AccumulateRows(x *la.Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := x.Row(i)
+		m.N++
+		la.Axpy(1, row, m.Sum)
+		la.SyrLower(1, row, m.SumSq)
+	}
+}
+
+// Add combines other into m (m += other). Combining group partials in
+// ascending group order reproduces a fixed summation tree.
+func (m *Moments) Add(other *Moments) {
+	m.N += other.N
+	la.Axpy(1, other.Sum, m.Sum)
+	m.SumSq.Add(other.SumSq)
+}
+
+// GroupBoundaries returns the moment-group boundary list for n rows: the
+// configured list if non-nil (validated), else the single group [0, n].
+func GroupBoundaries(groups []int, n int) []int {
+	if groups == nil {
+		return []int{0, n}
+	}
+	if len(groups) < 2 || groups[0] != 0 || groups[len(groups)-1] != n {
+		panic("core: moment group boundaries must start at 0 and end at n")
+	}
+	for i := 1; i < len(groups); i++ {
+		if groups[i] < groups[i-1] {
+			panic("core: moment group boundaries must be non-decreasing")
+		}
+	}
+	return groups
+}
+
+// MomentsGrouped computes the moments of rows [0, n) of x using the given
+// boundary list: per-group partials accumulated row-ascending, combined in
+// ascending group order. runAll, if non-nil, must invoke run(g) exactly
+// once for every g in [0, nGroups) — in any order, on any goroutines — and
+// return only after all invocations complete; engines pass a parallel-for
+// here. nil runs the groups sequentially. Because the combine order is
+// fixed, the result is bit-identical either way.
+func MomentsGrouped(x *la.Matrix, groups []int, k int,
+	runAll func(nGroups int, run func(g int))) *Moments {
+	nb := len(groups) - 1
+	partials := make([]*Moments, nb)
+	run := func(g int) {
+		p := NewMoments(k)
+		p.AccumulateRows(x, groups[g], groups[g+1])
+		partials[g] = p
+	}
+	if runAll == nil {
+		for g := 0; g < nb; g++ {
+			run(g)
+		}
+	} else {
+		runAll(nb, run)
+	}
+	total := NewMoments(k)
+	for _, p := range partials {
+		total.Add(p)
+	}
+	return total
+}
+
+// HyperStream returns the keyed stream for side's hyperparameter draw at
+// the given iteration. All engines (and all ranks of the distributed
+// engine) derive the identical stream, so after a deterministic moment
+// reduction every rank draws the same hyperparameters with no broadcast.
+func HyperStream(seed uint64, iter int, side Side) *rng.Stream {
+	return rng.NewKeyed(seed, keyHyper, uint64(iter), uint64(side))
+}
+
+// ItemStream returns the keyed stream for one item's posterior draw.
+func ItemStream(seed uint64, iter int, side Side, item int) *rng.Stream {
+	return rng.NewKeyed(seed, keyItem, uint64(iter), uint64(side), uint64(item))
+}
+
+// InitStream returns the keyed stream for one item's factor initialization.
+func InitStream(seed uint64, side Side, item int) *rng.Stream {
+	return rng.NewKeyed(seed, keyInit, uint64(side), uint64(item))
+}
+
+// SampleHyper draws (μ, Λ) from the Normal–Wishart posterior given the
+// side's moments, writing the result (and derived Cholesky factor and Λ·μ
+// cache) into h. The stream consumption order is fixed: Wishart first,
+// then the mean. Standard conjugate update (Salakhutdinov & Mnih, eq. 14):
+//
+//	β* = β0 + N, ν* = ν0 + N
+//	μ* = (β0 μ0 + N x̄) / β*
+//	W*⁻¹ = W0⁻¹ + N S̄ + (β0 N / β*) (x̄ − μ0)(x̄ − μ0)ᵀ
+//	Λ ~ W(W*, ν*), μ ~ N(μ*, (β* Λ)⁻¹)
+func SampleHyper(prior NWPrior, m *Moments, stream *rng.Stream, h *Hyper) {
+	k := len(prior.Mu0)
+	n := m.N
+
+	xbar := la.NewVector(k)
+	if n > 0 {
+		copy(xbar, m.Sum)
+		la.Scal(1/n, xbar)
+	}
+
+	// W*⁻¹ = W0⁻¹ + (SumSq − N x̄ x̄ᵀ) + (β0 N / β*) (x̄−μ0)(x̄−μ0)ᵀ.
+	// Note N·S̄ = SumSq − N x̄ x̄ᵀ.
+	wInv := prior.W0Inv.Clone()
+	if n > 0 {
+		wInv.Add(m.SumSq) // SumSq only has the lower triangle filled
+		la.SyrLower(-n, xbar, wInv)
+		diff := la.NewVector(k)
+		for i := range diff {
+			diff[i] = xbar[i] - prior.Mu0[i]
+		}
+		beta := prior.Beta0 + n
+		la.SyrLower(prior.Beta0*n/beta, diff, wInv)
+	}
+	la.SymmetrizeLower(wInv)
+
+	// W* = (W*⁻¹)⁻¹ via Cholesky.
+	wInvChol := la.NewMatrix(k, k)
+	if err := la.Cholesky(wInv, wInvChol); err != nil {
+		panic("core: Normal-Wishart posterior scale not SPD: " + err.Error())
+	}
+	wStar := la.NewMatrix(k, k)
+	la.InvFromChol(wInvChol, wStar)
+	wStarChol := la.NewMatrix(k, k)
+	if err := la.Cholesky(wStar, wStarChol); err != nil {
+		panic("core: inverted scale not SPD: " + err.Error())
+	}
+
+	// Λ ~ W(W*, ν*).
+	nuStar := prior.Nu0 + n
+	stream.Wishart(wStarChol, nuStar, h.Lambda)
+	if err := la.Cholesky(h.Lambda, h.LambdaChol); err != nil {
+		panic("core: sampled precision not SPD: " + err.Error())
+	}
+
+	// μ ~ N(μ*, (β* Λ)⁻¹): chol(β*Λ) = sqrt(β*)·chol(Λ).
+	betaStar := prior.Beta0 + n
+	muStar := la.NewVector(k)
+	for i := range muStar {
+		muStar[i] = (prior.Beta0*prior.Mu0[i] + n*xbar[i]) / betaStar
+	}
+	scaled := h.LambdaChol.Clone()
+	scaled.ScaleInPlace(math.Sqrt(betaStar))
+	scratch := la.NewVector(k)
+	stream.MVNFromPrecChol(muStar, scaled, h.Mu, scratch)
+
+	la.SymvLower(h.Lambda, h.Mu, h.LambdaMu)
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/la"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+// Kernel identifies one of the three item-update methods of Figure 2.
+type Kernel int
+
+// The three item-update kernels.
+const (
+	// KernelRankOne maintains the posterior precision's Cholesky factor
+	// directly by |R(item)| rank-one updates starting from the factor of
+	// the hyperparameter precision. No K³ factorization; cheapest for
+	// items with very few ratings.
+	KernelRankOne Kernel = iota
+	// KernelCholesky accumulates the full K x K posterior precision with
+	// symmetric rank-one updates, then factorizes it with one sequential
+	// Cholesky decomposition.
+	KernelCholesky
+	// KernelParallelCholesky chunks the precision accumulation over the
+	// item's ratings into fixed-size grains executed as parallel tasks,
+	// combines the partial sums in chunk order, and factorizes with the
+	// blocked parallel Cholesky. Used for items with >= Config.
+	// KernelThreshold ratings (paper: 1000): it splits one heavy item
+	// into many small tasks that can use every core.
+	KernelParallelCholesky
+	numKernels
+)
+
+// String returns the kernel's name as used in Figure 2's legend.
+func (k Kernel) String() string {
+	switch k {
+	case KernelRankOne:
+		return "rankupdate"
+	case KernelCholesky:
+		return "serial_chol"
+	case KernelParallelCholesky:
+		return "parallel_chol"
+	default:
+		return "unknown"
+	}
+}
+
+// SelectKernel returns the kernel the hybrid scheme uses for an item with
+// the given number of ratings. It is a pure function of (nnz, cfg), so all
+// engines make identical choices.
+func (c Config) SelectKernel(nnz int) Kernel {
+	switch {
+	case nnz <= c.RankOneMax:
+		return KernelRankOne
+	case nnz < c.KernelThreshold:
+		return KernelCholesky
+	default:
+		return KernelParallelCholesky
+	}
+}
+
+// Workspace holds the per-worker scratch space of the item update so the
+// hot loop performs no allocation. One Workspace must not be used by two
+// goroutines at once.
+type Workspace struct {
+	K       int
+	prec    *la.Matrix
+	precL   *la.Matrix
+	rhs     la.Vector
+	mu      la.Vector
+	scratch la.Vector
+	xtmp    la.Vector
+}
+
+// NewWorkspace allocates a workspace for K latent features.
+func NewWorkspace(k int) *Workspace {
+	return &Workspace{
+		K:       k,
+		prec:    la.NewMatrix(k, k),
+		precL:   la.NewMatrix(k, k),
+		rhs:     la.NewVector(k),
+		mu:      la.NewVector(k),
+		scratch: la.NewVector(k),
+		xtmp:    la.NewVector(k),
+	}
+}
+
+// UpdateItem performs one Gibbs draw for a single item (one row of U or V):
+//
+//	Λ* = Λ_hyper + α Σ_{j ∈ R(item)} x_j x_jᵀ
+//	μ* = Λ*⁻¹ (Λ_hyper μ_hyper + α Σ_j r_j x_j)
+//	out ~ N(μ*, Λ*⁻¹)
+//
+// where x_j are the partner-side factor rows referenced by cols and r_j
+// the corresponding rating values (vals). kernel selects the Figure 2
+// method. pool/pw are required only by KernelParallelCholesky (pass nil
+// otherwise, or to force its chunk arithmetic onto the calling goroutine).
+// The draw consumes exactly K normal deviates from stream regardless of
+// kernel, keeping stream consumption schedule-independent.
+func UpdateItem(
+	ws *Workspace,
+	kernel Kernel,
+	cfg *Config,
+	cols []int32, vals []float64,
+	other *la.Matrix,
+	hyper *Hyper,
+	stream *rng.Stream,
+	pool *sched.Pool, pw *sched.Worker,
+	out la.Vector,
+) {
+	k := ws.K
+	alpha := cfg.Alpha
+
+	switch kernel {
+	case KernelRankOne:
+		// Start from the hyperparameter precision's factor and rank-one
+		// update it once per rating with sqrt(α)·x.
+		ws.precL.CopyFrom(hyper.LambdaChol)
+		copy(ws.rhs, hyper.LambdaMu)
+		sa := math.Sqrt(alpha)
+		for p, c := range cols {
+			x := other.Row(int(c))
+			for i := 0; i < k; i++ {
+				ws.xtmp[i] = sa * x[i]
+			}
+			la.CholUpdate(ws.precL, ws.xtmp)
+			la.Axpy(alpha*vals[p], x, ws.rhs)
+		}
+
+	case KernelCholesky:
+		ws.prec.CopyFrom(hyper.Lambda)
+		copy(ws.rhs, hyper.LambdaMu)
+		for p, c := range cols {
+			x := other.Row(int(c))
+			la.SyrLower(alpha, x, ws.prec)
+			la.Axpy(alpha*vals[p], x, ws.rhs)
+		}
+		if err := la.Cholesky(ws.prec, ws.precL); err != nil {
+			panic("core: item posterior precision not SPD: " + err.Error())
+		}
+
+	case KernelParallelCholesky:
+		accumulateParallel(ws, cfg, cols, vals, other, hyper, pool, pw)
+		// CholeskyParallel executes the same blocked task DAG inline when
+		// pool is nil, so the sample is bit-identical whether or not the
+		// caller supports nested parallelism.
+		if err := la.CholeskyParallel(pool, pw, ws.prec, ws.precL); err != nil {
+			panic("core: item posterior precision not SPD: " + err.Error())
+		}
+
+	default:
+		panic("core: unknown kernel")
+	}
+
+	// μ* = Λ*⁻¹ rhs via the factor, then draw.
+	la.SolveSPD(ws.precL, ws.rhs, ws.mu, ws.scratch)
+	stream.MVNFromPrecChol(ws.mu, ws.precL, out, ws.scratch)
+}
+
+// accumulateParallel computes Λ* and the rhs with a chunked reduction.
+// The chunk decomposition depends only on (nnz, cfg.ParallelGrain); the
+// partials are combined in ascending chunk order, so the result is
+// bit-identical for any worker count, including sequential execution.
+func accumulateParallel(
+	ws *Workspace, cfg *Config,
+	cols []int32, vals []float64,
+	other *la.Matrix, hyper *Hyper,
+	pool *sched.Pool, pw *sched.Worker,
+) {
+	k := ws.K
+	nnz := len(cols)
+	grain := cfg.ParallelGrain
+	nchunks := (nnz + grain - 1) / grain
+	if nchunks == 0 {
+		nchunks = 1
+	}
+	partPrec := make([]*la.Matrix, nchunks)
+	partRhs := make([]la.Vector, nchunks)
+
+	runChunk := func(ci int) {
+		lo := ci * grain
+		hi := lo + grain
+		if hi > nnz {
+			hi = nnz
+		}
+		pp := la.NewMatrix(k, k)
+		pr := la.NewVector(k)
+		for p := lo; p < hi; p++ {
+			x := other.Row(int(cols[p]))
+			la.SyrLower(cfg.Alpha, x, pp)
+			la.Axpy(cfg.Alpha*vals[p], x, pr)
+		}
+		partPrec[ci] = pp
+		partRhs[ci] = pr
+	}
+
+	if pool != nil && nchunks > 1 {
+		g := pool.NewGroup()
+		for ci := 0; ci < nchunks; ci++ {
+			ci := ci
+			g.Spawn(pw, func(_ *sched.Worker) { runChunk(ci) })
+		}
+		g.Sync(pw)
+	} else {
+		for ci := 0; ci < nchunks; ci++ {
+			runChunk(ci)
+		}
+	}
+
+	ws.prec.CopyFrom(hyper.Lambda)
+	copy(ws.rhs, hyper.LambdaMu)
+	for ci := 0; ci < nchunks; ci++ {
+		ws.prec.Add(partPrec[ci])
+		la.Axpy(1, partRhs[ci], ws.rhs)
+	}
+}

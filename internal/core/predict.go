@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/la"
+	"repro/internal/sparse"
+)
+
+// Predictor maintains the posterior-mean predictions over a held-out test
+// set: before burn-in it reports the RMSE of the current sample; from the
+// first post-burn-in sample on, it averages predictions across samples
+// (the standard BPMF evaluation protocol, and the RMSE the paper's §V-B
+// refers to).
+type Predictor struct {
+	Test     []sparse.Entry
+	sum      []float64 // running sum of per-sample predictions
+	sumSq    []float64 // running sum of squared per-sample predictions
+	nSamples int
+	clampMin float64
+	clampMax float64
+	// Alpha, when positive, is the observation precision; the predictive
+	// standard deviation then includes the 1/Alpha observation noise in
+	// addition to the posterior spread of u·v (the confidence intervals
+	// the paper's introduction credits BPMF with).
+	Alpha float64
+}
+
+// NewPredictor creates a predictor over the given held-out entries.
+func NewPredictor(test []sparse.Entry, clampMin, clampMax float64) *Predictor {
+	return &Predictor{
+		Test:     test,
+		sum:      make([]float64, len(test)),
+		sumSq:    make([]float64, len(test)),
+		clampMin: clampMin,
+		clampMax: clampMax,
+	}
+}
+
+// Interval is one held-out prediction with its posterior uncertainty.
+type Interval struct {
+	Row, Col int32
+	Actual   float64
+	// Mean is the posterior-mean prediction; Std its predictive standard
+	// deviation (sample spread of the chain plus observation noise).
+	Mean, Std float64
+}
+
+// Intervals returns the posterior predictive summary of every test entry
+// (nil until at least one post-burn-in sample was collected).
+func (p *Predictor) Intervals() []Interval {
+	if p.nSamples == 0 {
+		return nil
+	}
+	out := make([]Interval, len(p.Test))
+	n := float64(p.nSamples)
+	for t, e := range p.Test {
+		mean := p.sum[t] / n
+		variance := p.sumSq[t]/n - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		if p.Alpha > 0 {
+			variance += 1 / p.Alpha
+		}
+		out[t] = Interval{
+			Row: e.Row, Col: e.Col, Actual: e.Val,
+			Mean: mean, Std: math.Sqrt(variance),
+		}
+	}
+	return out
+}
+
+// clamp applies the configured rating-range clip.
+func (p *Predictor) clamp(v float64) float64 {
+	if p.clampMax > p.clampMin {
+		v = math.Min(p.clampMax, math.Max(p.clampMin, v))
+	}
+	return v
+}
+
+// PartialUpdate scores the current sample (U, V) over this predictor's
+// test entries and returns raw squared-error sums instead of RMSE:
+// (Σ sample error², Σ posterior-mean error², #entries). The distributed
+// engine calls this per rank and combines partials with a deterministic
+// allreduce. If collect is true the sample is folded into the running
+// posterior mean first. When no sample has been collected yet, seAvg
+// repeats seSample.
+func (p *Predictor) PartialUpdate(u, v *la.Matrix, collect bool) (seSample, seAvg, n float64) {
+	if collect {
+		p.nSamples++
+	}
+	inv := 0.0
+	if p.nSamples > 0 {
+		inv = 1 / float64(p.nSamples)
+	}
+	for t, e := range p.Test {
+		pred := p.clamp(la.Dot(u.Row(int(e.Row)), v.Row(int(e.Col))))
+		d := pred - e.Val
+		seSample += d * d
+		if collect {
+			p.sum[t] += pred
+			p.sumSq[t] += pred * pred
+		}
+		if p.nSamples > 0 {
+			da := p.sum[t]*inv - e.Val
+			seAvg += da * da
+		}
+	}
+	if p.nSamples == 0 {
+		seAvg = seSample
+	}
+	return seSample, seAvg, float64(len(p.Test))
+}
+
+// Update scores the current sample (U, V): it returns the RMSE of this
+// sample alone and, if collect is true, folds the sample into the running
+// posterior mean and returns its RMSE too; otherwise avgRMSE repeats
+// sampleRMSE.
+func (p *Predictor) Update(u, v *la.Matrix, collect bool) (sampleRMSE, avgRMSE float64) {
+	if len(p.Test) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	seSample, seAvg, n := p.PartialUpdate(u, v, collect)
+	return math.Sqrt(seSample / n), math.Sqrt(seAvg / n)
+}
+
+// RMSE computes the root-mean-square error of predicting the entries of
+// test with factors (u, v), without any averaging state.
+func RMSE(u, v *la.Matrix, test []sparse.Entry, clampMin, clampMax float64) float64 {
+	if len(test) == 0 {
+		return math.NaN()
+	}
+	var se float64
+	for _, e := range test {
+		pred := la.Dot(u.Row(int(e.Row)), v.Row(int(e.Col)))
+		if clampMax > clampMin {
+			pred = math.Min(clampMax, math.Max(clampMin, pred))
+		}
+		d := pred - e.Val
+		se += d * d
+	}
+	return math.Sqrt(se / float64(len(test)))
+}

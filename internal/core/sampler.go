@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/la"
+	"repro/internal/sparse"
+)
+
+// Result collects the output of a BPMF run, shared by every engine.
+type Result struct {
+	// SampleRMSE[i] is the held-out RMSE of iteration i's sample alone.
+	SampleRMSE []float64
+	// AvgRMSE[i] is the held-out RMSE of the posterior-mean predictor
+	// after iteration i (equals SampleRMSE before burn-in completes).
+	AvgRMSE []float64
+	// U, V are the final factor samples.
+	U, V *la.Matrix
+	// KernelCounts[k] is the number of item updates performed with
+	// Kernel(k) across the whole run.
+	KernelCounts [3]int64
+	// Iters is the number of iterations performed.
+	Iters int
+	// ItemUpdates is the total number of item updates (rows of U and V
+	// sampled), the unit of the paper's performance metric.
+	ItemUpdates int64
+	// Elapsed is the wall-clock duration of the run, filled by engines.
+	Elapsed time.Duration
+	// Intervals are the posterior predictive summaries of the held-out
+	// entries (mean, std, actual), available once post-burn-in samples
+	// were collected.
+	Intervals []Interval
+}
+
+// UpdatesPerSec returns the paper's throughput metric: item updates per
+// second of wall-clock time.
+func (r *Result) UpdatesPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.ItemUpdates) / r.Elapsed.Seconds()
+}
+
+// FinalRMSE returns the posterior-mean RMSE after the last iteration.
+func (r *Result) FinalRMSE() float64 {
+	if len(r.AvgRMSE) == 0 {
+		return 0
+	}
+	return r.AvgRMSE[len(r.AvgRMSE)-1]
+}
+
+// Problem bundles the data a BPMF engine factorizes: the rating matrix in
+// row (user) and column (movie) orientation plus the held-out test set.
+type Problem struct {
+	R    *sparse.CSR // users x movies
+	Rt   *sparse.CSR // movies x users (transpose of R)
+	Test []sparse.Entry
+}
+
+// NewProblem builds a Problem from a rating matrix and test set,
+// computing the transpose.
+func NewProblem(r *sparse.CSR, test []sparse.Entry) *Problem {
+	return &Problem{R: r, Rt: r.Transpose(), Test: test}
+}
+
+// Dims returns (#users, #movies).
+func (p *Problem) Dims() (int, int) { return p.R.M, p.R.N }
+
+// InitFactors returns the deterministic keyed-stream initialization of one
+// side's factor matrix: row i ~ 0.3 · N(0, I) from InitStream(seed, side,
+// i). Every engine starts from this same state.
+func InitFactors(seed uint64, side Side, n, k int) *la.Matrix {
+	m := la.NewMatrix(n, k)
+	for i := 0; i < n; i++ {
+		s := InitStream(seed, side, i)
+		row := m.Row(i)
+		s.FillNorm(row)
+		la.Scal(0.3, row)
+	}
+	return m
+}
+
+// Sampler is the sequential reference implementation of Algorithm 1. The
+// multi-core, GraphLab-style and distributed engines are all tested
+// against its output.
+type Sampler struct {
+	Cfg   Config
+	Prob  *Problem
+	Prior NWPrior
+
+	U, V   *la.Matrix
+	HU, HV *Hyper
+
+	pred *Predictor
+	ws   *Workspace
+	res  Result
+}
+
+// NewSampler constructs a sequential sampler with deterministic initial
+// factors.
+func NewSampler(cfg Config, prob *Problem) (*Sampler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m, n := prob.Dims()
+	s := &Sampler{
+		Cfg:   cfg,
+		Prob:  prob,
+		Prior: DefaultNWPrior(cfg.K),
+		U:     InitFactors(cfg.Seed, SideU, m, cfg.K),
+		V:     InitFactors(cfg.Seed, SideV, n, cfg.K),
+		HU:    NewHyper(cfg.K),
+		HV:    NewHyper(cfg.K),
+		pred:  NewPredictor(prob.Test, cfg.ClampMin, cfg.ClampMax),
+		ws:    NewWorkspace(cfg.K),
+	}
+	s.pred.Alpha = cfg.Alpha
+	return s, nil
+}
+
+// Step performs one full Gibbs iteration (movies first, then users, as in
+// Algorithm 1), then scores the test set.
+func (s *Sampler) Step(iter int) {
+	cfg := &s.Cfg
+
+	// Movies: hyperparameters from V, then every movie row.
+	groupsV := GroupBoundaries(cfg.MomentGroupsV, s.V.Rows)
+	mv := MomentsGrouped(s.V, groupsV, cfg.K, nil)
+	SampleHyper(s.Prior, mv, HyperStream(cfg.Seed, iter, SideV), s.HV)
+	for j := 0; j < s.Prob.Rt.M; j++ {
+		cols, vals := s.Prob.Rt.Row(j)
+		kern := cfg.SelectKernel(len(cols))
+		s.res.KernelCounts[kern]++
+		UpdateItem(s.ws, kern, cfg, cols, vals, s.U, s.HV,
+			ItemStream(cfg.Seed, iter, SideV, j), nil, nil, s.V.Row(j))
+	}
+
+	// Users: hyperparameters from U, then every user row.
+	groupsU := GroupBoundaries(cfg.MomentGroupsU, s.U.Rows)
+	mu := MomentsGrouped(s.U, groupsU, cfg.K, nil)
+	SampleHyper(s.Prior, mu, HyperStream(cfg.Seed, iter, SideU), s.HU)
+	for i := 0; i < s.Prob.R.M; i++ {
+		cols, vals := s.Prob.R.Row(i)
+		kern := cfg.SelectKernel(len(cols))
+		s.res.KernelCounts[kern]++
+		UpdateItem(s.ws, kern, cfg, cols, vals, s.V, s.HU,
+			ItemStream(cfg.Seed, iter, SideU, i), nil, nil, s.U.Row(i))
+	}
+
+	s.res.ItemUpdates += int64(s.Prob.R.M + s.Prob.R.N)
+	sr, ar := s.pred.Update(s.U, s.V, iter >= cfg.Burnin)
+	s.res.SampleRMSE = append(s.res.SampleRMSE, sr)
+	s.res.AvgRMSE = append(s.res.AvgRMSE, ar)
+}
+
+// Run executes all configured iterations and returns the result.
+func (s *Sampler) Run() *Result {
+	start := time.Now()
+	for it := 0; it < s.Cfg.Iters; it++ {
+		s.Step(it)
+	}
+	s.res.Elapsed = time.Since(start)
+	s.res.U, s.res.V = s.U, s.V
+	s.res.Iters = s.Cfg.Iters
+	s.res.Intervals = s.pred.Intervals()
+	return &s.res
+}
+
+// String summarizes a result for logs.
+func (r *Result) String() string {
+	return fmt.Sprintf("iters=%d updates=%d finalRMSE=%.4f kernels[r1=%d chol=%d pchol=%d]",
+		r.Iters, r.ItemUpdates, r.FinalRMSE(),
+		r.KernelCounts[0], r.KernelCounts[1], r.KernelCounts[2])
+}

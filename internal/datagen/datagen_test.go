@@ -1,0 +1,161 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sparse"
+)
+
+func TestGenerateShape(t *testing.T) {
+	ds := Generate(Small(3))
+	if ds.R.M != 600 || ds.R.N != 180 {
+		t.Fatalf("dims %dx%d", ds.R.M, ds.R.N)
+	}
+	if ds.R.NNZ() != 12000 {
+		t.Fatalf("nnz %d, want 12000", ds.R.NNZ())
+	}
+	if len(ds.UTrue) != 600 || len(ds.VTrue) != 180 || len(ds.UTrue[0]) != 8 {
+		t.Fatal("planted factor shapes wrong")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Tiny(7))
+	b := Generate(Tiny(7))
+	if !sparse.Equal(a.R, b.R) {
+		t.Fatal("generation not deterministic")
+	}
+	c := Generate(Tiny(8))
+	if sparse.Equal(a.R, c.R) {
+		t.Fatal("different seeds gave identical data")
+	}
+}
+
+func TestGenerateNoDuplicates(t *testing.T) {
+	ds := Generate(Small(5))
+	for i := 0; i < ds.R.M; i++ {
+		cols, _ := ds.R.Row(i)
+		for k := 1; k < len(cols); k++ {
+			if cols[k] == cols[k-1] {
+				t.Fatalf("duplicate entry in row %d", i)
+			}
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	// The column-degree distribution must be heavy-tailed: the busiest
+	// column far above the mean (this skew drives Figures 2-3).
+	ds := Generate(Small(11))
+	st := sparse.Stats(ds.R.Transpose().RowDegrees())
+	if float64(st.Max) < 4*st.Mean {
+		t.Fatalf("max degree %d not >> mean %.1f; Zipf skew missing", st.Max, st.Mean)
+	}
+}
+
+func TestPlantedSignalRecoverable(t *testing.T) {
+	// Ratings must correlate with the planted factors: RMSE of the
+	// ground-truth predictor ~ NoiseSD, far below the response's own
+	// standard deviation.
+	spec := Small(13)
+	ds := Generate(spec)
+	var se, sumsq, sum float64
+	n := 0
+	for i := 0; i < ds.R.M; i++ {
+		cols, vals := ds.R.Row(i)
+		for k, c := range cols {
+			pred := dot(ds.UTrue[i], ds.VTrue[c])
+			d := pred - vals[k]
+			se += d * d
+			sum += vals[k]
+			sumsq += vals[k] * vals[k]
+			n++
+		}
+	}
+	rmseTruth := math.Sqrt(se / float64(n))
+	sd := math.Sqrt(sumsq/float64(n) - (sum/float64(n))*(sum/float64(n)))
+	if rmseTruth > spec.NoiseSD*1.2 {
+		t.Fatalf("ground-truth RMSE %v far above noise floor %v", rmseTruth, spec.NoiseSD)
+	}
+	if rmseTruth > 0.7*sd {
+		t.Fatalf("signal too weak: truth RMSE %v vs response SD %v", rmseTruth, sd)
+	}
+}
+
+func TestClipping(t *testing.T) {
+	ds := Generate(ML20MScaledForTest())
+	for i := 0; i < ds.R.M; i++ {
+		_, vals := ds.R.Row(i)
+		for _, v := range vals {
+			if v < 0.5 || v > 5 {
+				t.Fatalf("rating %v outside [0.5, 5]", v)
+			}
+		}
+	}
+}
+
+// ML20MScaledForTest returns a small ml-20m-shaped spec with clipping.
+func ML20MScaledForTest() Spec {
+	s := Scaled(ML20M(3), 0.002)
+	return s
+}
+
+func TestScaled(t *testing.T) {
+	base := ChEMBL(1)
+	s := Scaled(base, 0.1)
+	if s.Rows != base.Rows/10 || s.Cols != base.Cols/10 {
+		t.Fatalf("scaled dims %dx%d", s.Rows, s.Cols)
+	}
+	if s.Name == base.Name {
+		t.Fatal("scaled spec must be renamed")
+	}
+	// Scaling never drops below the floor.
+	tinyScale := Scaled(base, 1e-9)
+	if tinyScale.Rows < 8 || tinyScale.NNZ < 64 {
+		t.Fatal("scale floor violated")
+	}
+}
+
+func TestDensityCap(t *testing.T) {
+	// Requesting more entries than 15% of cells must terminate and yield
+	// a valid matrix (the saturation bailout).
+	spec := Spec{
+		Name: "overdense", Rows: 30, Cols: 20, NNZ: 100000,
+		TrueRank: 2, NoiseSD: 0.1, ZipfS: 1.0, Seed: 3,
+	}
+	ds := Generate(spec)
+	if ds.R.NNZ() == 0 || ds.R.NNZ() > 30*20 {
+		t.Fatalf("capped generation produced %d entries", ds.R.NNZ())
+	}
+}
+
+func TestPresetShapesMatchPaper(t *testing.T) {
+	c := ChEMBL(1)
+	if c.Rows != 483500 || c.Cols != 5775 || c.NNZ != 1023952 {
+		t.Fatalf("ChEMBL preset %+v does not match the paper's dataset", c)
+	}
+	m := ML20M(1)
+	if m.Rows != 138493 || m.Cols != 27278 || m.NNZ != 20000263 {
+		t.Fatalf("ml-20m preset %+v does not match the paper's dataset", m)
+	}
+}
+
+func TestEntriesInBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		ds := Generate(Tiny(seed))
+		for i := 0; i < ds.R.M; i++ {
+			cols, _ := ds.R.Row(i)
+			for _, c := range cols {
+				if c < 0 || int(c) >= ds.R.N {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

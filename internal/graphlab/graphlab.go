@@ -1,0 +1,259 @@
+// Package graphlab implements the baseline the paper compares against in
+// Figure 3: a GraphLab-style synchronous vertex-program engine running
+// BPMF over the bipartite rating graph.
+//
+// The engine reproduces the structural properties that make the real
+// GraphLab trail the hand-tuned TBB code on this workload:
+//
+//   - programmer-productivity abstraction: vertex programs are invoked
+//     through an interface, gather accumulators are allocated per vertex
+//     activation, and neighbor factors are copied into the accumulator
+//     (no workspace reuse across activations);
+//   - synchronous supersteps: one barrier per side per Gibbs iteration,
+//     so a straggler vertex (a movie with 10⁵ ratings) stalls every
+//     thread;
+//   - static vertex partitioning with no work stealing and no nested
+//     parallelism inside one vertex program.
+//
+// The arithmetic inside Apply delegates to the same core.UpdateItem hybrid
+// kernels (executed inline, without nested tasks), so the chain it samples
+// is bit-identical to the sequential reference — the paper's "all versions
+// reach the same level of prediction accuracy" holds exactly.
+package graphlab
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/la"
+	"repro/internal/sched"
+	"repro/internal/sparse"
+)
+
+// Graph is the bipartite rating graph: user vertices [0, M) and movie
+// vertices [M, M+N), with one edge per observed rating.
+type Graph struct {
+	NumUsers, NumMovies int
+	R                   *sparse.CSR // user -> movie edges
+	Rt                  *sparse.CSR // movie -> user edges
+}
+
+// NewGraph builds the bipartite graph of a problem.
+func NewGraph(prob *core.Problem) *Graph {
+	return &Graph{
+		NumUsers:  prob.R.M,
+		NumMovies: prob.R.N,
+		R:         prob.R,
+		Rt:        prob.Rt,
+	}
+}
+
+// NumVertices returns the total vertex count.
+func (g *Graph) NumVertices() int { return g.NumUsers + g.NumMovies }
+
+// Edges returns the neighbor list of one side's local vertex.
+func (g *Graph) Edges(side core.Side, local int) ([]int32, []float64) {
+	if side == core.SideU {
+		return g.R.Row(local)
+	}
+	return g.Rt.Row(local)
+}
+
+// Program is the vertex-program abstraction (gather–apply; BPMF needs no
+// scatter because the engine signals the full opposite side each
+// superstep). Implementations receive one freshly allocated accumulator
+// per vertex activation, GraphLab-style.
+type Program interface {
+	// InitAcc allocates the gather accumulator for one vertex activation.
+	InitAcc(nEdges int) any
+	// Gather folds one edge (the neighbor's current factor row and the
+	// edge's rating) into the accumulator. Called once per edge, in
+	// canonical storage order.
+	Gather(acc any, neighbor la.Vector, rating float64)
+	// Apply consumes the accumulator and writes the vertex's new factor.
+	Apply(side core.Side, local int, acc any, out la.Vector)
+}
+
+// Stats counts engine activity, used by the discrete-event model
+// calibration.
+type Stats struct {
+	Supersteps        int
+	VertexActivations int64
+	EdgeGathers       int64
+	Barriers          int
+}
+
+// Engine is a synchronous (bulk-synchronous-parallel) vertex engine with
+// static partitioning, the closest analogue of GraphLab's sync engine
+// configuration used for matrix factorization benchmarks.
+type Engine struct {
+	G       *Graph
+	Threads int
+	Stats   Stats
+}
+
+// NewEngine creates a synchronous engine over g with the given thread
+// count.
+func NewEngine(g *Graph, threads int) *Engine {
+	if threads < 1 {
+		threads = 1
+	}
+	return &Engine{G: g, Threads: threads}
+}
+
+// Superstep activates every vertex of one side, running gather over all
+// edges and then apply, with a barrier at the end (implicit in StaticFor).
+// factors is the side's own factor matrix (written); other the partner
+// side's (read).
+func (e *Engine) Superstep(side core.Side, prog Program, factors, other *la.Matrix) {
+	n := factors.Rows
+	var activations, gathers int64
+	type counter struct{ a, g int64 }
+	perThread := make([]counter, e.Threads)
+	sched.StaticFor(e.Threads, 0, n, func(t, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			cols, vals := e.G.Edges(side, v)
+			acc := prog.InitAcc(len(cols)) // per-activation allocation
+			for k, c := range cols {
+				prog.Gather(acc, other.Row(int(c)), vals[k])
+			}
+			prog.Apply(side, v, acc, factors.Row(v))
+			perThread[t].a++
+			perThread[t].g += int64(len(cols))
+		}
+	})
+	for _, c := range perThread {
+		activations += c.a
+		gathers += c.g
+	}
+	e.Stats.Supersteps++
+	e.Stats.Barriers++
+	e.Stats.VertexActivations += activations
+	e.Stats.EdgeGathers += gathers
+}
+
+// bpmfAcc is the BPMF program's gather accumulator: the neighbor factors
+// and ratings copied out of the graph, GraphLab-style (the high-level
+// abstraction prevents the in-place CSR iteration the hand-tuned kernels
+// use — this copy is part of the productivity tax Figure 3 measures).
+type bpmfAcc struct {
+	cols []int32
+	vals []float64
+	rows []la.Vector
+}
+
+// Run executes BPMF on prob with the GraphLab-style engine and returns
+// the result plus engine statistics.
+func Run(cfg core.Config, prob *core.Problem, threads int) (*core.Result, *Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	g := NewGraph(prob)
+	e := NewEngine(g, threads)
+	m, n := prob.Dims()
+	u := core.InitFactors(cfg.Seed, core.SideU, m, cfg.K)
+	v := core.InitFactors(cfg.Seed, core.SideV, n, cfg.K)
+	hu, hv := core.NewHyper(cfg.K), core.NewHyper(cfg.K)
+	prior := core.DefaultNWPrior(cfg.K)
+	pred := core.NewPredictor(prob.Test, cfg.ClampMin, cfg.ClampMax)
+	pred.Alpha = cfg.Alpha
+	res := &core.Result{}
+
+	sfor := func(nGroups int, run func(gr int)) {
+		sched.StaticFor(threads, 0, nGroups, func(_, lo, hi int) {
+			for gr := lo; gr < hi; gr++ {
+				run(gr)
+			}
+		})
+	}
+
+	start := time.Now()
+	for it := 0; it < cfg.Iters; it++ {
+		// Movies superstep.
+		groupsV := core.GroupBoundaries(cfg.MomentGroupsV, v.Rows)
+		mv := core.MomentsGrouped(v, groupsV, cfg.K, sfor)
+		core.SampleHyper(prior, mv, core.HyperStream(cfg.Seed, it, core.SideV), hv)
+		pv := &program{cfg: &cfg, iter: it, side: core.SideV, hyper: hv, res: res}
+		e.Superstep(core.SideV, pv, v, u)
+		for k := range res.KernelCounts {
+			res.KernelCounts[k] += pv.counts[k].Load()
+		}
+
+		// Users superstep.
+		groupsU := core.GroupBoundaries(cfg.MomentGroupsU, u.Rows)
+		mu := core.MomentsGrouped(u, groupsU, cfg.K, sfor)
+		core.SampleHyper(prior, mu, core.HyperStream(cfg.Seed, it, core.SideU), hu)
+		pu := &program{cfg: &cfg, iter: it, side: core.SideU, hyper: hu, res: res}
+		e.Superstep(core.SideU, pu, u, v)
+		for k := range res.KernelCounts {
+			res.KernelCounts[k] += pu.counts[k].Load()
+		}
+
+		sr, ar := pred.Update(u, v, it >= cfg.Burnin)
+		res.SampleRMSE = append(res.SampleRMSE, sr)
+		res.AvgRMSE = append(res.AvgRMSE, ar)
+	}
+	res.Elapsed = time.Since(start)
+	res.Iters = cfg.Iters
+	res.ItemUpdates = int64(cfg.Iters) * int64(m+n)
+	res.U, res.V = u, v
+	res.Intervals = pred.Intervals()
+	return res, &e.Stats, nil
+}
+
+// program is the concrete BPMF vertex program.
+type program struct {
+	cfg    *core.Config
+	iter   int
+	side   core.Side
+	hyper  *core.Hyper
+	res    *core.Result
+	counts [3]atomic.Int64
+}
+
+// InitAcc allocates the per-activation accumulator.
+func (p *program) InitAcc(nEdges int) any {
+	return &bpmfAcc{
+		cols: make([]int32, 0, nEdges),
+		vals: make([]float64, 0, nEdges),
+		rows: make([]la.Vector, 0, nEdges),
+	}
+}
+
+// Gather copies the neighbor's factor reference and the rating.
+func (p *program) Gather(acc any, neighbor la.Vector, rating float64) {
+	a := acc.(*bpmfAcc)
+	a.cols = append(a.cols, int32(len(a.rows)))
+	a.vals = append(a.vals, rating)
+	a.rows = append(a.rows, neighbor)
+}
+
+// Apply performs the Gibbs draw with the hybrid kernel (inline, no nested
+// parallelism), writing the new factor row.
+func (p *program) Apply(side core.Side, local int, acc any, out la.Vector) {
+	a := acc.(*bpmfAcc)
+	// Rebuild a dense "other" view so core.UpdateItem accumulates in the
+	// same canonical order as the flat engines.
+	view := &rowView{rows: a.rows, k: p.cfg.K}
+	ws := core.NewWorkspace(p.cfg.K) // per-activation allocation, GraphLab-style
+	kern := p.cfg.SelectKernel(len(a.cols))
+	p.counts[kern].Add(1)
+	core.UpdateItem(ws, kern, p.cfg, a.cols, a.vals, view.matrix(), p.hyper,
+		core.ItemStream(p.cfg.Seed, p.iter, side, local), nil, nil, out)
+}
+
+// rowView materializes gathered rows into a contiguous matrix (another
+// copy the high-level abstraction forces).
+type rowView struct {
+	rows []la.Vector
+	k    int
+}
+
+func (rv *rowView) matrix() *la.Matrix {
+	m := la.NewMatrix(len(rv.rows), rv.k)
+	for i, r := range rv.rows {
+		copy(m.Row(i), r)
+	}
+	return m
+}

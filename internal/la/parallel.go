@@ -1,0 +1,146 @@
+package la
+
+import (
+	"math"
+
+	"repro/internal/sched"
+)
+
+// CholeskyBlockSize is the panel width used by the blocked (parallel)
+// Cholesky factorization.
+const CholeskyBlockSize = 32
+
+// CholeskyParallel computes the lower Cholesky factor of A into dst using a
+// right-looking blocked algorithm whose panel solves and trailing-matrix
+// updates run as tasks on the work-stealing pool. The arithmetic performed
+// for each block is a pure function of the block indices, so the result is
+// bit-identical across runs and worker counts — including pool == nil,
+// which executes the identical task DAG inline on the calling goroutine.
+// (A matrix no larger than one block is factorized serially in either
+// case.) The blocked result may differ in the last bits from the unblocked
+// serial factorization because trailing updates group inner products
+// differently; what is guaranteed is schedule independence.
+//
+// This is the "parallel Cholesky decomposition" of the paper's Figure 2.
+func CholeskyParallel(pool *sched.Pool, w *sched.Worker, a *Matrix, dst *Matrix) error {
+	n := a.Rows
+	if a.Cols != n || dst.Rows != n || dst.Cols != n {
+		panic("la: CholeskyParallel dimension mismatch")
+	}
+	if dst != a {
+		dst.CopyFrom(a)
+	}
+	bs := CholeskyBlockSize
+	if n <= bs {
+		return Cholesky(dst, dst)
+	}
+	l := dst
+
+	// runAll executes a deterministic set of independent block tasks,
+	// in parallel when a pool is available, inline otherwise.
+	runAll := func(tasks []func()) {
+		if pool == nil || len(tasks) == 1 {
+			for _, t := range tasks {
+				t()
+			}
+			return
+		}
+		g := pool.NewGroup()
+		for _, t := range tasks {
+			t := t
+			g.Spawn(w, func(_ *sched.Worker) { t() })
+		}
+		g.Sync(w)
+	}
+
+	for k := 0; k < n; k += bs {
+		kb := min(bs, n-k)
+		// 1. Factor the diagonal block serially.
+		if err := cholInPlaceSub(l, k, kb); err != nil {
+			return err
+		}
+		// 2. Triangular solve of the panel below: rows [k+kb, n) of block
+		//    column k, parallel over row blocks.
+		var solves []func()
+		for i := k + kb; i < n; i += bs {
+			i, ib := i, min(bs, n-i)
+			solves = append(solves, func() { trsmBlock(l, i, ib, k, kb) })
+		}
+		runAll(solves)
+		// 3. Trailing update: for each block (i, j) with k+kb <= j <= i,
+		//    A[i,j] -= L[i,k-block] * L[j,k-block]ᵀ, parallel over blocks.
+		var updates []func()
+		for i := k + kb; i < n; i += bs {
+			ib := min(bs, n-i)
+			for j := k + kb; j <= i; j += bs {
+				i, j, ib, jb := i, j, ib, min(bs, n-j)
+				updates = append(updates, func() { syrkBlock(l, i, ib, j, jb, k, kb) })
+			}
+		}
+		runAll(updates)
+	}
+	// Zero the strictly upper triangle.
+	for i := 0; i < n; i++ {
+		row := l.Row(i)
+		for j := i + 1; j < n; j++ {
+			row[j] = 0
+		}
+	}
+	return nil
+}
+
+// cholInPlaceSub factors the kb x kb diagonal block at (k, k) in place.
+func cholInPlaceSub(l *Matrix, k, kb int) error {
+	for j := k; j < k+kb; j++ {
+		d := l.At(j, j)
+		for t := k; t < j; t++ {
+			d -= l.At(j, t) * l.At(j, t)
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return &ErrNotSPD{Pivot: j, Value: d}
+		}
+		d = math.Sqrt(d)
+		l.Set(j, j, d)
+		inv := 1 / d
+		for i := j + 1; i < k+kb; i++ {
+			s := l.At(i, j)
+			for t := k; t < j; t++ {
+				s -= l.At(i, t) * l.At(j, t)
+			}
+			l.Set(i, j, s*inv)
+		}
+	}
+	return nil
+}
+
+// trsmBlock solves X * L22ᵀ = A(i:i+ib, k:k+kb) where L22 is the factored
+// kb x kb diagonal block at (k, k); the solution overwrites the panel block.
+func trsmBlock(l *Matrix, i, ib, k, kb int) {
+	for r := i; r < i+ib; r++ {
+		for j := k; j < k+kb; j++ {
+			s := l.At(r, j)
+			for t := k; t < j; t++ {
+				s -= l.At(r, t) * l.At(j, t)
+			}
+			l.Set(r, j, s/l.At(j, j))
+		}
+	}
+}
+
+// syrkBlock computes A(i:i+ib, j:j+jb) -= L(i:i+ib, k:k+kb) * L(j:j+jb, k:k+kb)ᵀ,
+// touching only elements on or below the global diagonal.
+func syrkBlock(l *Matrix, i, ib, j, jb, k, kb int) {
+	for r := i; r < i+ib; r++ {
+		cmax := j + jb
+		if cmax > r+1 {
+			cmax = r + 1 // stay on/below the diagonal
+		}
+		for c := j; c < cmax; c++ {
+			s := l.At(r, c)
+			for t := k; t < k+kb; t++ {
+				s -= l.At(r, t) * l.At(c, t)
+			}
+			l.Set(r, c, s)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+// Package mc implements the paper's Section III: multi-core BPMF. Two
+// engines run the same Gibbs iteration over all items:
+//
+//   - WorkSteal — the "TBB" version: items are scheduled on a work-stealing
+//     pool with a small grain, heavy items (>= Config.KernelThreshold
+//     ratings) additionally split into nested subtasks via the parallel
+//     Cholesky kernel. Work stealing rebalances the skewed per-item costs.
+//   - Static — the "OpenMP" version: items are split into one contiguous
+//     equal-count chunk per thread (OpenMP schedule(static)); no nested
+//     parallelism, no rebalancing.
+//
+// Both engines draw every sample from the same keyed streams and perform
+// per-item and moment arithmetic in the same canonical order as the
+// sequential core.Sampler, so their chains are bit-identical to it (and to
+// each other) for any thread count.
+package mc
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/la"
+	"repro/internal/sched"
+)
+
+// wsFreeList is a free list of item-update workspaces. A worker that
+// helps execute other items while blocked inside a nested Sync must not
+// reuse a workspace that is mid-update, so workspaces are checked out per
+// item rather than per worker.
+type wsFreeList struct {
+	mu   sync.Mutex
+	free []*core.Workspace
+	k    int
+}
+
+func newWSFreeList(k int) *wsFreeList { return &wsFreeList{k: k} }
+
+func (p *wsFreeList) get() *core.Workspace {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		ws := p.free[n-1]
+		p.free = p.free[:n-1]
+		return ws
+	}
+	return core.NewWorkspace(p.k)
+}
+
+func (p *wsFreeList) put(ws *core.Workspace) {
+	p.mu.Lock()
+	p.free = append(p.free, ws)
+	p.mu.Unlock()
+}
+
+// Engine identifies a multi-core scheduling strategy.
+type Engine int
+
+// The two multi-core engines of Figure 3 (GraphLab lives in package
+// graphlab).
+const (
+	WorkSteal Engine = iota // TBB-style work stealing with nested parallelism
+	Static                  // OpenMP-style static contiguous chunks
+)
+
+// String names the engine as in Figure 3's legend.
+func (e Engine) String() string {
+	switch e {
+	case WorkSteal:
+		return "TBB"
+	case Static:
+		return "OpenMP"
+	default:
+		return "unknown"
+	}
+}
+
+// Run executes BPMF on prob with the given engine and thread count and
+// returns the result. The sampled chain is bit-identical to
+// core.Sampler's for the same Config.
+func Run(engine Engine, cfg core.Config, prob *core.Problem, threads int) (*core.Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	m, n := prob.Dims()
+	r := &runner{
+		cfg:    cfg,
+		prob:   prob,
+		prior:  core.DefaultNWPrior(cfg.K),
+		u:      core.InitFactors(cfg.Seed, core.SideU, m, cfg.K),
+		v:      core.InitFactors(cfg.Seed, core.SideV, n, cfg.K),
+		hu:     core.NewHyper(cfg.K),
+		hv:     core.NewHyper(cfg.K),
+		pred:   core.NewPredictor(prob.Test, cfg.ClampMin, cfg.ClampMax),
+		wsPool: newWSFreeList(cfg.K),
+	}
+	r.pred.Alpha = cfg.Alpha
+	res := &core.Result{}
+	start := time.Now()
+	switch engine {
+	case WorkSteal:
+		pool := sched.NewPool(threads)
+		defer pool.Close()
+		for it := 0; it < cfg.Iters; it++ {
+			r.stepWorkSteal(pool, it, res)
+		}
+	case Static:
+		for it := 0; it < cfg.Iters; it++ {
+			r.stepStatic(threads, it, res)
+		}
+	default:
+		panic("mc: unknown engine")
+	}
+	res.Elapsed = time.Since(start)
+	res.Iters = cfg.Iters
+	res.ItemUpdates = int64(cfg.Iters) * int64(m+n)
+	res.U, res.V = r.u, r.v
+	res.Intervals = r.pred.Intervals()
+	for k := range res.KernelCounts {
+		res.KernelCounts[k] = r.kernelCounts[k].Load()
+	}
+	return res, nil
+}
+
+type runner struct {
+	cfg    core.Config
+	prob   *core.Problem
+	prior  core.NWPrior
+	u, v   *la.Matrix
+	hu, hv *core.Hyper
+	pred   *core.Predictor
+	wsPool *wsFreeList
+
+	kernelCounts [3]atomic.Int64
+}
+
+// itemGrain is the work-stealing grain for the item loop: small enough to
+// rebalance skew, large enough to amortize task overhead on cheap items.
+const itemGrain = 8
+
+// updateRange samples items [lo, hi) of one side. other is the partner
+// factor matrix; rt indexes the side's ratings (rows = items of this
+// side). pool/pw enable the nested parallel kernel (nil for the static
+// engine, which has no nested parallelism — the sample stays bit-identical
+// because the kernel's task DAG is schedule-independent).
+func (r *runner) updateRange(side core.Side, iter, lo, hi int, pool *sched.Pool, pw *sched.Worker) {
+	cfg := &r.cfg
+	var rt = r.prob.R
+	var self, other *la.Matrix
+	var hyper *core.Hyper
+	if side == core.SideV {
+		rt = r.prob.Rt
+		self, other, hyper = r.v, r.u, r.hv
+	} else {
+		self, other, hyper = r.u, r.v, r.hu
+	}
+	for item := lo; item < hi; item++ {
+		cols, vals := rt.Row(item)
+		kern := cfg.SelectKernel(len(cols))
+		r.kernelCounts[kern].Add(1)
+		ws := r.wsPool.get()
+		core.UpdateItem(ws, kern, cfg, cols, vals, other, hyper,
+			core.ItemStream(cfg.Seed, iter, side, item), pool, pw, self.Row(item))
+		r.wsPool.put(ws)
+	}
+}
+
+// sampleHypers draws both sides' hyperparameters for this iteration using
+// the provided parallel-for over moment groups.
+func (r *runner) sampleHypers(iter int, parallelFor func(n int, run func(g int))) {
+	cfg := &r.cfg
+	groupsV := core.GroupBoundaries(cfg.MomentGroupsV, r.v.Rows)
+	mv := core.MomentsGrouped(r.v, groupsV, cfg.K, parallelFor)
+	core.SampleHyper(r.prior, mv, core.HyperStream(cfg.Seed, iter, core.SideV), r.hv)
+}
+
+func (r *runner) sampleHyperU(iter int, parallelFor func(n int, run func(g int))) {
+	cfg := &r.cfg
+	groupsU := core.GroupBoundaries(cfg.MomentGroupsU, r.u.Rows)
+	mu := core.MomentsGrouped(r.u, groupsU, cfg.K, parallelFor)
+	core.SampleHyper(r.prior, mu, core.HyperStream(cfg.Seed, iter, core.SideU), r.hu)
+}
+
+func (r *runner) score(iter int, res *core.Result) {
+	sr, ar := r.pred.Update(r.u, r.v, iter >= r.cfg.Burnin)
+	res.SampleRMSE = append(res.SampleRMSE, sr)
+	res.AvgRMSE = append(res.AvgRMSE, ar)
+}
+
+// stepWorkSteal runs one Gibbs iteration on the work-stealing pool.
+func (r *runner) stepWorkSteal(pool *sched.Pool, iter int, res *core.Result) {
+	pfor := func(n int, run func(g int)) {
+		pool.ParallelFor(0, n, 1, func(_ *sched.Worker, lo, hi int) {
+			for g := lo; g < hi; g++ {
+				run(g)
+			}
+		})
+	}
+	// Movies first (Algorithm 1).
+	r.sampleHypers(iter, pfor)
+	pool.ParallelFor(0, r.prob.Rt.M, itemGrain, func(w *sched.Worker, lo, hi int) {
+		r.updateRange(core.SideV, iter, lo, hi, pool, w)
+	})
+	r.sampleHyperU(iter, pfor)
+	pool.ParallelFor(0, r.prob.R.M, itemGrain, func(w *sched.Worker, lo, hi int) {
+		r.updateRange(core.SideU, iter, lo, hi, pool, w)
+	})
+	r.score(iter, res)
+}
+
+// stepStatic runs one Gibbs iteration with OpenMP-style static chunks and
+// no nested parallelism.
+func (r *runner) stepStatic(threads, iter int, res *core.Result) {
+	sfor := func(n int, run func(g int)) {
+		sched.StaticFor(threads, 0, n, func(_, lo, hi int) {
+			for g := lo; g < hi; g++ {
+				run(g)
+			}
+		})
+	}
+	r.sampleHypers(iter, sfor)
+	sched.StaticFor(threads, 0, r.prob.Rt.M, func(_, lo, hi int) {
+		r.updateRange(core.SideV, iter, lo, hi, nil, nil)
+	})
+	r.sampleHyperU(iter, sfor)
+	sched.StaticFor(threads, 0, r.prob.R.M, func(_, lo, hi int) {
+		r.updateRange(core.SideU, iter, lo, hi, nil, nil)
+	})
+	r.score(iter, res)
+}

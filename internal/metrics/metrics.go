@@ -1,0 +1,197 @@
+// Package metrics provides the timing instrumentation behind the paper's
+// evaluation: phase stopwatches for throughput (items updated per second,
+// Figures 3–4) and interval-set arithmetic for the compute / communicate /
+// "both" (overlapped) breakdown of Figure 5.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Interval is a half-open time interval [Start, End) in arbitrary units
+// (the discrete-event simulator uses seconds of virtual time).
+type Interval struct {
+	Start, End float64
+}
+
+// IntervalSet is a set of non-overlapping, sorted intervals. The zero
+// value is an empty set.
+type IntervalSet struct {
+	ivs []Interval
+}
+
+// Add inserts [start, end), merging with existing intervals as needed.
+func (s *IntervalSet) Add(start, end float64) {
+	if end <= start {
+		return
+	}
+	s.ivs = append(s.ivs, Interval{start, end})
+	s.normalize()
+}
+
+// AddAll inserts every interval of other.
+func (s *IntervalSet) AddAll(other *IntervalSet) {
+	s.ivs = append(s.ivs, other.ivs...)
+	s.normalize()
+}
+
+func (s *IntervalSet) normalize() {
+	if len(s.ivs) < 2 {
+		return
+	}
+	sort.Slice(s.ivs, func(i, j int) bool { return s.ivs[i].Start < s.ivs[j].Start })
+	out := s.ivs[:1]
+	for _, iv := range s.ivs[1:] {
+		last := &out[len(out)-1]
+		if iv.Start <= last.End {
+			if iv.End > last.End {
+				last.End = iv.End
+			}
+		} else {
+			out = append(out, iv)
+		}
+	}
+	s.ivs = out
+}
+
+// Total returns the summed length of all intervals.
+func (s *IntervalSet) Total() float64 {
+	var t float64
+	for _, iv := range s.ivs {
+		t += iv.End - iv.Start
+	}
+	return t
+}
+
+// Len returns the number of disjoint intervals.
+func (s *IntervalSet) Len() int { return len(s.ivs) }
+
+// Intervals returns a copy of the interval list.
+func (s *IntervalSet) Intervals() []Interval {
+	return append([]Interval(nil), s.ivs...)
+}
+
+// Intersect returns the set intersection of a and b.
+func Intersect(a, b *IntervalSet) *IntervalSet {
+	out := &IntervalSet{}
+	i, j := 0, 0
+	for i < len(a.ivs) && j < len(b.ivs) {
+		lo := maxf(a.ivs[i].Start, b.ivs[j].Start)
+		hi := minf(a.ivs[i].End, b.ivs[j].End)
+		if lo < hi {
+			out.ivs = append(out.ivs, Interval{lo, hi})
+		}
+		if a.ivs[i].End < b.ivs[j].End {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}
+
+// Breakdown is the Figure 5 decomposition of one node's iteration time.
+type Breakdown struct {
+	// ComputeOnly is time spent computing with no communication in
+	// flight; CommunicateOnly the reverse; Both is overlapped time; Idle
+	// is the remainder of the wall-clock window.
+	ComputeOnly, CommunicateOnly, Both, Idle float64
+}
+
+// OverlapBreakdown decomposes a wall-clock window of the given length into
+// the four Figure 5 categories from a node's compute-busy and
+// communication-busy interval sets.
+func OverlapBreakdown(compute, comm *IntervalSet, window float64) Breakdown {
+	both := Intersect(compute, comm).Total()
+	union := &IntervalSet{}
+	union.AddAll(compute)
+	union.AddAll(comm)
+	b := Breakdown{
+		ComputeOnly:     compute.Total() - both,
+		CommunicateOnly: comm.Total() - both,
+		Both:            both,
+	}
+	b.Idle = window - union.Total()
+	if b.Idle < 0 {
+		b.Idle = 0
+	}
+	return b
+}
+
+// Fractions normalizes the breakdown to fractions of the window (the unit
+// of Figure 5's y-axis).
+func (b Breakdown) Fractions() Breakdown {
+	t := b.ComputeOnly + b.CommunicateOnly + b.Both + b.Idle
+	if t == 0 {
+		return b
+	}
+	return Breakdown{
+		ComputeOnly:     b.ComputeOnly / t,
+		CommunicateOnly: b.CommunicateOnly / t,
+		Both:            b.Both / t,
+		Idle:            b.Idle / t,
+	}
+}
+
+// Stopwatch accumulates wall-clock time per named phase.
+type Stopwatch struct {
+	phases map[string]time.Duration
+	order  []string
+}
+
+// NewStopwatch returns an empty stopwatch.
+func NewStopwatch() *Stopwatch {
+	return &Stopwatch{phases: map[string]time.Duration{}}
+}
+
+// Time runs fn and charges its duration to phase.
+func (sw *Stopwatch) Time(phase string, fn func()) {
+	start := time.Now()
+	fn()
+	sw.Charge(phase, time.Since(start))
+}
+
+// Charge adds d to phase.
+func (sw *Stopwatch) Charge(phase string, d time.Duration) {
+	if _, ok := sw.phases[phase]; !ok {
+		sw.order = append(sw.order, phase)
+	}
+	sw.phases[phase] += d
+}
+
+// Get returns the accumulated duration of phase.
+func (sw *Stopwatch) Get(phase string) time.Duration { return sw.phases[phase] }
+
+// Total returns the sum over all phases.
+func (sw *Stopwatch) Total() time.Duration {
+	var t time.Duration
+	for _, d := range sw.phases {
+		t += d
+	}
+	return t
+}
+
+// String renders the stopwatch in insertion order.
+func (sw *Stopwatch) String() string {
+	s := ""
+	for _, p := range sw.order {
+		s += fmt.Sprintf("%s=%v ", p, sw.phases[p].Round(time.Microsecond))
+	}
+	return s
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,188 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestIntervalSetAddMerge(t *testing.T) {
+	var s IntervalSet
+	s.Add(0, 1)
+	s.Add(2, 3)
+	if s.Len() != 2 || s.Total() != 2 {
+		t.Fatalf("disjoint: len=%d total=%v", s.Len(), s.Total())
+	}
+	s.Add(0.5, 2.5) // bridges both
+	if s.Len() != 1 || s.Total() != 3 {
+		t.Fatalf("merged: len=%d total=%v", s.Len(), s.Total())
+	}
+}
+
+func TestIntervalSetIgnoresEmpty(t *testing.T) {
+	var s IntervalSet
+	s.Add(1, 1)
+	s.Add(2, 1)
+	if s.Len() != 0 || s.Total() != 0 {
+		t.Fatal("empty/inverted intervals must be ignored")
+	}
+}
+
+func TestIntervalSetTouchingMerges(t *testing.T) {
+	var s IntervalSet
+	s.Add(0, 1)
+	s.Add(1, 2)
+	if s.Len() != 1 || s.Total() != 2 {
+		t.Fatalf("touching intervals should merge: len=%d", s.Len())
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	var a, b IntervalSet
+	a.Add(0, 10)
+	b.Add(5, 15)
+	x := Intersect(&a, &b)
+	if x.Total() != 5 {
+		t.Fatalf("intersection total %v, want 5", x.Total())
+	}
+	var c IntervalSet
+	c.Add(20, 30)
+	if Intersect(&a, &c).Total() != 0 {
+		t.Fatal("disjoint intersection must be empty")
+	}
+}
+
+func TestIntersectMultiple(t *testing.T) {
+	var a, b IntervalSet
+	a.Add(0, 2)
+	a.Add(4, 6)
+	a.Add(8, 10)
+	b.Add(1, 9)
+	x := Intersect(&a, &b)
+	// [1,2) + [4,6) + [8,9) = 4
+	if x.Total() != 4 {
+		t.Fatalf("intersection total %v, want 4", x.Total())
+	}
+}
+
+func TestIntersectCommutative(t *testing.T) {
+	f := func(raw [8]float64) bool {
+		var a, b IntervalSet
+		for i := 0; i < 4; i += 2 {
+			lo, hi := clean(raw[i]), clean(raw[i+1])
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			a.Add(lo, hi)
+		}
+		for i := 4; i < 8; i += 2 {
+			lo, hi := clean(raw[i]), clean(raw[i+1])
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			b.Add(lo, hi)
+		}
+		return math.Abs(Intersect(&a, &b).Total()-Intersect(&b, &a).Total()) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// clean maps arbitrary floats into a sane interval coordinate.
+func clean(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(math.Abs(x), 100)
+}
+
+func TestOverlapBreakdown(t *testing.T) {
+	var compute, comm IntervalSet
+	compute.Add(0, 6) // computing 0..6
+	comm.Add(4, 9)    // communicating 4..9
+	b := OverlapBreakdown(&compute, &comm, 10)
+	if b.Both != 2 {
+		t.Fatalf("both = %v, want 2", b.Both)
+	}
+	if b.ComputeOnly != 4 || b.CommunicateOnly != 3 {
+		t.Fatalf("compute-only %v / comm-only %v, want 4 / 3", b.ComputeOnly, b.CommunicateOnly)
+	}
+	if b.Idle != 1 {
+		t.Fatalf("idle = %v, want 1", b.Idle)
+	}
+}
+
+func TestBreakdownFractions(t *testing.T) {
+	b := Breakdown{ComputeOnly: 4, CommunicateOnly: 3, Both: 2, Idle: 1}
+	f := b.Fractions()
+	sum := f.ComputeOnly + f.CommunicateOnly + f.Both + f.Idle
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("fractions sum to %v", sum)
+	}
+	if f.ComputeOnly != 0.4 {
+		t.Fatalf("compute fraction %v, want 0.4", f.ComputeOnly)
+	}
+	zero := Breakdown{}
+	if zero.Fractions() != zero {
+		t.Fatal("zero breakdown must normalize to itself")
+	}
+}
+
+func TestOverlapNeverExceedsWindow(t *testing.T) {
+	f := func(raw [10]float64) bool {
+		var compute, comm IntervalSet
+		for i := 0; i < 4; i += 2 {
+			lo, hi := clean(raw[i]), clean(raw[i+1])
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			compute.Add(lo, hi)
+		}
+		for i := 4; i < 8; i += 2 {
+			lo, hi := clean(raw[i]), clean(raw[i+1])
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			comm.Add(lo, hi)
+		}
+		b := OverlapBreakdown(&compute, &comm, 100)
+		if b.Both < 0 || b.ComputeOnly < -1e-12 || b.CommunicateOnly < -1e-12 || b.Idle < 0 {
+			return false
+		}
+		return b.Both <= compute.Total()+1e-12 && b.Both <= comm.Total()+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	sw := NewStopwatch()
+	sw.Time("phase-a", func() { time.Sleep(2 * time.Millisecond) })
+	sw.Charge("phase-b", 5*time.Millisecond)
+	sw.Charge("phase-a", 1*time.Millisecond)
+	if sw.Get("phase-a") < 3*time.Millisecond {
+		t.Fatalf("phase-a = %v", sw.Get("phase-a"))
+	}
+	if sw.Get("phase-b") != 5*time.Millisecond {
+		t.Fatalf("phase-b = %v", sw.Get("phase-b"))
+	}
+	if sw.Total() < 8*time.Millisecond {
+		t.Fatalf("total = %v", sw.Total())
+	}
+	if sw.String() == "" {
+		t.Fatal("empty stopwatch string")
+	}
+}
+
+func TestIntervalsCopy(t *testing.T) {
+	var s IntervalSet
+	s.Add(1, 2)
+	ivs := s.Intervals()
+	ivs[0].End = 99
+	if s.Total() != 1 {
+		t.Fatal("Intervals must return a copy")
+	}
+}

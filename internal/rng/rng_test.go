@@ -1,0 +1,194 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKeyedStreamsReproducible(t *testing.T) {
+	a := NewKeyed(42, 1, 2, 3)
+	b := NewKeyed(42, 1, 2, 3)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("identical keys must give identical streams")
+		}
+	}
+}
+
+func TestKeyedStreamsDistinct(t *testing.T) {
+	// Streams with different keys must diverge immediately (probabilistic,
+	// but a collision would indicate broken mixing).
+	base := NewKeyed(42, 7, 8, 9)
+	variants := []*Stream{
+		NewKeyed(42, 7, 8, 10),
+		NewKeyed(42, 7, 9, 9),
+		NewKeyed(42, 8, 8, 9),
+		NewKeyed(43, 7, 8, 9),
+		NewKeyed(42, 7, 8), // different key length
+	}
+	b0 := base.Uint64()
+	for i, v := range variants {
+		if v.Uint64() == b0 {
+			t.Fatalf("variant %d collides with base stream", i)
+		}
+	}
+}
+
+func TestMixOrderSensitive(t *testing.T) {
+	if Mix(1, 2, 3) == Mix(1, 3, 2) {
+		t.Fatal("Mix must be order sensitive")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := New(seed)
+		for i := 0; i < 50; i++ {
+			v := s.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(7)
+	counts := make([]int, 5)
+	for i := 0; i < 5000; i++ {
+		v := s.Intn(5)
+		if v < 0 || v >= 5 {
+			t.Fatalf("Intn(5) = %d", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Fatalf("Intn(5) distribution skewed: count[%d] = %d", v, c)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) must panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+// moments estimates mean and variance of n draws.
+func moments(n int, draw func() float64) (mean, variance float64) {
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := draw()
+		sum += v
+		sumsq += v * v
+	}
+	mean = sum / float64(n)
+	variance = sumsq/float64(n) - mean*mean
+	return
+}
+
+func TestNormMoments(t *testing.T) {
+	s := New(123)
+	mean, variance := moments(200000, s.Norm)
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Fatalf("normal variance = %v", variance)
+	}
+}
+
+func TestNormTails(t *testing.T) {
+	// ~0.27% of draws should exceed |3|; none should be NaN/Inf.
+	s := New(55)
+	n, far := 100000, 0
+	for i := 0; i < n; i++ {
+		v := s.Norm()
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("non-finite normal draw")
+		}
+		if math.Abs(v) > 3 {
+			far++
+		}
+	}
+	frac := float64(far) / float64(n)
+	if frac < 0.001 || frac > 0.006 {
+		t.Fatalf("P(|Z|>3) = %v, want ~0.0027", frac)
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	for _, shape := range []float64{0.5, 1, 2.5, 10, 64} {
+		s := New(uint64(shape * 1000))
+		mean, variance := moments(200000, func() float64 { return s.Gamma(shape) })
+		if math.Abs(mean-shape) > 0.05*shape+0.02 {
+			t.Fatalf("shape %v: gamma mean = %v", shape, mean)
+		}
+		if math.Abs(variance-shape) > 0.12*shape+0.05 {
+			t.Fatalf("shape %v: gamma variance = %v, want %v", shape, variance, shape)
+		}
+	}
+}
+
+func TestGammaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Gamma(0) must panic")
+		}
+	}()
+	New(1).Gamma(0)
+}
+
+func TestChiSqMoments(t *testing.T) {
+	for _, k := range []float64{1, 4, 32} {
+		s := New(uint64(k) + 999)
+		mean, variance := moments(200000, func() float64 { return s.ChiSq(k) })
+		if math.Abs(mean-k) > 0.05*k+0.05 {
+			t.Fatalf("k=%v: chi-square mean = %v", k, mean)
+		}
+		if math.Abs(variance-2*k) > 0.15*2*k+0.2 {
+			t.Fatalf("k=%v: chi-square variance = %v, want %v", k, variance, 2*k)
+		}
+	}
+}
+
+func TestFillNorm(t *testing.T) {
+	s := New(9)
+	buf := make([]float64, 1000)
+	s.FillNorm(buf)
+	var sum float64
+	for _, v := range buf {
+		sum += v
+	}
+	if math.Abs(sum/1000) > 0.15 {
+		t.Fatalf("FillNorm mean = %v", sum/1000)
+	}
+}
+
+func TestStreamStateIndependence(t *testing.T) {
+	// Drawing from one stream must not affect another.
+	a := NewKeyed(1, 10)
+	b := NewKeyed(1, 11)
+	want := make([]uint64, 20)
+	bRef := NewKeyed(1, 11)
+	for i := range want {
+		want[i] = bRef.Uint64()
+	}
+	for i := 0; i < 50; i++ {
+		a.Uint64()
+	}
+	for i := range want {
+		if b.Uint64() != want[i] {
+			t.Fatal("streams are not independent")
+		}
+	}
+}

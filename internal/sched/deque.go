@@ -1,0 +1,125 @@
+// Package sched implements the two task schedulers the paper compares on a
+// single node: a TBB-style work-stealing runtime (Chase–Lev deques, random
+// victim selection, nested spawn/sync) and an OpenMP-style static-chunk
+// scheduler. The work-stealing pool is what gives the paper's "TBB" curve
+// in Figure 3 its load-balance advantage on skewed rating distributions.
+package sched
+
+import (
+	"sync/atomic"
+)
+
+// Task is a unit of work executed by a pool worker. The *Worker argument
+// identifies the executing worker so the task can spawn nested subtasks
+// onto that worker's own deque.
+type Task func(w *Worker)
+
+// taskBuf is a growable circular buffer used by the Chase–Lev deque.
+type taskBuf struct {
+	mask  int64
+	tasks []Task
+}
+
+func newTaskBuf(logSize uint) *taskBuf {
+	n := int64(1) << logSize
+	return &taskBuf{mask: n - 1, tasks: make([]Task, n)}
+}
+
+func (b *taskBuf) get(i int64) Task    { return b.tasks[i&b.mask] }
+func (b *taskBuf) put(i int64, t Task) { b.tasks[i&b.mask] = t }
+func (b *taskBuf) grow(bot, top int64) *taskBuf {
+	nb := newTaskBuf(log2(int64(len(b.tasks))) + 1)
+	for i := top; i < bot; i++ {
+		nb.put(i, b.get(i))
+	}
+	return nb
+}
+
+func log2(n int64) uint {
+	var l uint
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}
+
+// deque is a Chase–Lev work-stealing deque. The owner pushes and pops at
+// the bottom; thieves steal from the top. Lock-free, based on
+// "Dynamic Circular Work-Stealing Deque" (Chase & Lev, SPAA 2005) with the
+// memory-ordering fixes from Lê et al. (PPoPP 2013), adapted to Go's
+// sequentially-consistent atomics.
+type deque struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	buf    atomic.Pointer[taskBuf]
+}
+
+func newDeque() *deque {
+	d := &deque{}
+	d.buf.Store(newTaskBuf(8))
+	return d
+}
+
+// push adds a task at the bottom. Only the owner may call it.
+func (d *deque) push(t Task) {
+	b := d.bottom.Load()
+	tp := d.top.Load()
+	buf := d.buf.Load()
+	if b-tp >= int64(len(buf.tasks)) {
+		buf = buf.grow(b, tp)
+		d.buf.Store(buf)
+	}
+	buf.put(b, t)
+	d.bottom.Store(b + 1)
+}
+
+// pop removes a task from the bottom. Only the owner may call it.
+// Returns nil if the deque is empty.
+func (d *deque) pop() Task {
+	b := d.bottom.Load() - 1
+	buf := d.buf.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if b < t {
+		// Empty: restore bottom.
+		d.bottom.Store(t)
+		return nil
+	}
+	task := buf.get(b)
+	if b > t {
+		return task
+	}
+	// Last element: race against stealers via CAS on top.
+	if !d.top.CompareAndSwap(t, t+1) {
+		task = nil // a thief got it
+	}
+	d.bottom.Store(t + 1)
+	return task
+}
+
+// steal removes a task from the top. Any worker may call it.
+// Returns nil if the deque is empty or the steal lost a race.
+func (d *deque) steal() Task {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return nil
+	}
+	buf := d.buf.Load()
+	task := buf.get(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		return nil
+	}
+	return task
+}
+
+// size returns an estimate of the number of queued tasks.
+func (d *deque) size() int64 {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	if b < t {
+		return 0
+	}
+	return b - t
+}

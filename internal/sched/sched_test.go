@@ -1,0 +1,281 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestDequeSingleThreadLIFO(t *testing.T) {
+	d := newDeque()
+	order := []int{}
+	for i := 0; i < 5; i++ {
+		i := i
+		d.push(func(*Worker) { order = append(order, i) })
+	}
+	for {
+		task := d.pop()
+		if task == nil {
+			break
+		}
+		task(nil)
+	}
+	// Owner pops from the bottom: LIFO.
+	want := []int{4, 3, 2, 1, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestDequeStealFIFO(t *testing.T) {
+	d := newDeque()
+	order := []int{}
+	for i := 0; i < 5; i++ {
+		i := i
+		d.push(func(*Worker) { order = append(order, i) })
+	}
+	for {
+		task := d.steal()
+		if task == nil {
+			break
+		}
+		task(nil)
+	}
+	// Thieves take from the top: FIFO.
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("steal order %v", order)
+		}
+	}
+}
+
+func TestDequeGrowth(t *testing.T) {
+	d := newDeque()
+	n := 5000 // larger than the initial buffer
+	var count int
+	for i := 0; i < n; i++ {
+		d.push(func(*Worker) { count++ })
+	}
+	if d.size() != int64(n) {
+		t.Fatalf("size = %d, want %d", d.size(), n)
+	}
+	for {
+		task := d.pop()
+		if task == nil {
+			break
+		}
+		task(nil)
+	}
+	if count != n {
+		t.Fatalf("executed %d of %d after growth", count, n)
+	}
+}
+
+func TestPoolRunsAllTasks(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	var count atomic.Int64
+	g := pool.NewGroup()
+	for i := 0; i < 1000; i++ {
+		g.Spawn(nil, func(*Worker) { count.Add(1) })
+	}
+	g.Sync(nil)
+	if count.Load() != 1000 {
+		t.Fatalf("ran %d of 1000 tasks", count.Load())
+	}
+}
+
+func TestParallelForCoversRangeExactlyOnce(t *testing.T) {
+	pool := NewPool(8)
+	defer pool.Close()
+	for _, n := range []int{0, 1, 7, 100, 10000} {
+		hits := make([]atomic.Int32, n)
+		pool.ParallelFor(0, n, 3, func(_ *Worker, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				hits[i].Add(1)
+			}
+		})
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, hits[i].Load())
+			}
+		}
+	}
+}
+
+func TestParallelForGrainRespected(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	var maxChunk atomic.Int64
+	pool.ParallelFor(0, 1000, 10, func(_ *Worker, lo, hi int) {
+		sz := int64(hi - lo)
+		for {
+			cur := maxChunk.Load()
+			if sz <= cur || maxChunk.CompareAndSwap(cur, sz) {
+				break
+			}
+		}
+	})
+	if maxChunk.Load() > 10 {
+		t.Fatalf("chunk of size %d exceeds grain 10", maxChunk.Load())
+	}
+}
+
+func TestNestedSpawn(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	var count atomic.Int64
+	pool.Run(func(w *Worker) {
+		g := pool.NewGroup()
+		for i := 0; i < 10; i++ {
+			g.Spawn(w, func(w2 *Worker) {
+				inner := pool.NewGroup()
+				for j := 0; j < 10; j++ {
+					inner.Spawn(w2, func(*Worker) { count.Add(1) })
+				}
+				inner.Sync(w2)
+			})
+		}
+		g.Sync(w)
+	})
+	if count.Load() != 100 {
+		t.Fatalf("nested spawn ran %d of 100", count.Load())
+	}
+}
+
+func TestDeeplyNestedDoesNotDeadlock(t *testing.T) {
+	// More nesting levels than workers: Sync must help execute tasks.
+	pool := NewPool(2)
+	defer pool.Close()
+	var depthReached atomic.Int64
+	var recurse func(w *Worker, depth int)
+	recurse = func(w *Worker, depth int) {
+		if depth == 0 {
+			depthReached.Add(1)
+			return
+		}
+		g := pool.NewGroup()
+		g.Spawn(w, func(w2 *Worker) { recurse(w2, depth-1) })
+		g.Sync(w)
+	}
+	pool.Run(func(w *Worker) { recurse(w, 20) })
+	if depthReached.Load() != 1 {
+		t.Fatal("nested recursion did not complete")
+	}
+}
+
+func TestGroupPanicPropagates(t *testing.T) {
+	pool := NewPool(2)
+	defer pool.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sync must re-panic a task panic")
+		}
+	}()
+	g := pool.NewGroup()
+	g.Spawn(nil, func(*Worker) { panic("boom") })
+	g.Sync(nil)
+}
+
+func TestPoolCloseIdempotent(t *testing.T) {
+	pool := NewPool(2)
+	pool.Close()
+	pool.Close() // must not panic or hang
+}
+
+func TestStealsHappenUnderImbalance(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	// One external task spawns all work onto a single worker's deque; the
+	// other workers must steal to help.
+	var count atomic.Int64
+	pool.Run(func(w *Worker) {
+		g := pool.NewGroup()
+		for i := 0; i < 2000; i++ {
+			g.Spawn(w, func(*Worker) {
+				// Small spin so thieves have time to engage.
+				s := 0
+				for j := 0; j < 2000; j++ {
+					s += j
+				}
+				_ = s
+				count.Add(1)
+			})
+		}
+		g.Sync(w)
+	})
+	if count.Load() != 2000 {
+		t.Fatalf("ran %d of 2000", count.Load())
+	}
+	// On a single-core host stealing may be rare, but the counter must be
+	// consistent; just require no negative/overflow values.
+	if pool.Steals.Load() < 0 {
+		t.Fatal("negative steal count")
+	}
+}
+
+func TestStaticForCoversRange(t *testing.T) {
+	for _, nt := range []int{1, 2, 3, 8} {
+		for _, n := range []int{0, 1, 5, 100} {
+			hits := make([]atomic.Int32, n)
+			StaticFor(nt, 0, n, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					hits[i].Add(1)
+				}
+			})
+			for i := range hits {
+				if hits[i].Load() != 1 {
+					t.Fatalf("nt=%d n=%d: index %d visited %d times", nt, n, i, hits[i].Load())
+				}
+			}
+		}
+	}
+}
+
+func TestStaticForContiguousChunks(t *testing.T) {
+	// Each thread must receive one contiguous chunk; chunk sizes differ by
+	// at most 1 (OpenMP static semantics).
+	bounds := StaticChunks(4, 0, 10)
+	if len(bounds) != 5 || bounds[0] != 0 || bounds[4] != 10 {
+		t.Fatalf("bounds %v", bounds)
+	}
+	sizes := []int{}
+	for i := 0; i < 4; i++ {
+		sizes = append(sizes, bounds[i+1]-bounds[i])
+	}
+	for _, s := range sizes {
+		if s < 2 || s > 3 {
+			t.Fatalf("chunk sizes %v not balanced", sizes)
+		}
+	}
+}
+
+func TestStaticChunksProperties(t *testing.T) {
+	f := func(nt, n uint8) bool {
+		threads := int(nt%16) + 1
+		size := int(n)
+		b := StaticChunks(threads, 0, size)
+		if b[0] != 0 || b[len(b)-1] != size {
+			return false
+		}
+		for i := 1; i < len(b); i++ {
+			if b[i] < b[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaticForZeroAndNegativeThreads(t *testing.T) {
+	var ran atomic.Int32
+	StaticFor(0, 0, 5, func(_, lo, hi int) { ran.Add(int32(hi - lo)) })
+	if ran.Load() != 5 {
+		t.Fatalf("nthreads<1 fallback ran %d of 5", ran.Load())
+	}
+}

@@ -1,0 +1,277 @@
+package sparse
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func smallCSR() *CSR {
+	c := NewCOO(3, 4, 5)
+	c.Add(0, 1, 1.5)
+	c.Add(0, 3, 2.5)
+	c.Add(2, 0, -1)
+	c.Add(1, 2, 4)
+	c.Add(2, 3, 7)
+	return c.ToCSR()
+}
+
+func TestCOOToCSR(t *testing.T) {
+	a := smallCSR()
+	if a.M != 3 || a.N != 4 || a.NNZ() != 5 {
+		t.Fatalf("dims %dx%d nnz %d", a.M, a.N, a.NNZ())
+	}
+	cols, vals := a.Row(0)
+	if len(cols) != 2 || cols[0] != 1 || cols[1] != 3 || vals[0] != 1.5 || vals[1] != 2.5 {
+		t.Fatalf("row 0 = %v %v", cols, vals)
+	}
+	if a.RowNNZ(1) != 1 || a.RowNNZ(2) != 2 {
+		t.Fatal("row nnz wrong")
+	}
+}
+
+func TestCSRColumnsSorted(t *testing.T) {
+	c := NewCOO(1, 10, 4)
+	c.Add(0, 7, 1)
+	c.Add(0, 2, 2)
+	c.Add(0, 9, 3)
+	c.Add(0, 0, 4)
+	a := c.ToCSR()
+	cols, _ := a.Row(0)
+	for k := 1; k < len(cols); k++ {
+		if cols[k] <= cols[k-1] {
+			t.Fatalf("columns not strictly ascending: %v", cols)
+		}
+	}
+}
+
+func TestCOODuplicatesSummed(t *testing.T) {
+	c := NewCOO(2, 2, 3)
+	c.Add(0, 0, 1)
+	c.Add(0, 0, 2.5)
+	c.Add(1, 1, 3)
+	a := c.ToCSR()
+	if a.NNZ() != 2 {
+		t.Fatalf("expected dedup to 2 entries, got %d", a.NNZ())
+	}
+	_, vals := a.Row(0)
+	if vals[0] != 3.5 {
+		t.Fatalf("duplicate not summed: %v", vals[0])
+	}
+}
+
+func TestCOOBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-bounds Add must panic")
+		}
+	}()
+	NewCOO(2, 2, 1).Add(2, 0, 1)
+}
+
+func TestTranspose(t *testing.T) {
+	a := smallCSR()
+	at := a.Transpose()
+	if at.M != a.N || at.N != a.M || at.NNZ() != a.NNZ() {
+		t.Fatal("transpose dims wrong")
+	}
+	// Every entry must appear transposed.
+	for i := 0; i < a.M; i++ {
+		cols, vals := a.Row(i)
+		for k, c := range cols {
+			tcols, tvals := at.Row(int(c))
+			found := false
+			for k2, tc := range tcols {
+				if int(tc) == i && tvals[k2] == vals[k] {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("entry (%d,%d) missing from transpose", i, c)
+			}
+		}
+	}
+}
+
+func TestTransposeTwiceIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, n := 1+r.Intn(20), 1+r.Intn(20)
+		c := NewCOO(m, n, 30)
+		for k := 0; k < 30; k++ {
+			c.Add(r.Intn(m), r.Intn(n), r.NormFloat64())
+		}
+		a := c.ToCSR()
+		return Equal(a, a.Transpose().Transpose())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeRowsSorted(t *testing.T) {
+	a := smallCSR().Transpose()
+	for i := 0; i < a.M; i++ {
+		cols, _ := a.Row(i)
+		for k := 1; k < len(cols); k++ {
+			if cols[k] <= cols[k-1] {
+				t.Fatalf("transpose row %d columns not ascending: %v", i, cols)
+			}
+		}
+	}
+}
+
+func TestPermuteIdentity(t *testing.T) {
+	a := smallCSR()
+	id3 := []int32{0, 1, 2}
+	id4 := []int32{0, 1, 2, 3}
+	if !Equal(a, a.Permute(id3, id4)) {
+		t.Fatal("identity permutation changed the matrix")
+	}
+	if !Equal(a, a.Permute(nil, nil)) {
+		t.Fatal("nil permutation changed the matrix")
+	}
+}
+
+func TestPermuteRows(t *testing.T) {
+	a := smallCSR()
+	// rowPerm[i] = old row at new position i: reverse rows.
+	p := a.Permute([]int32{2, 1, 0}, nil)
+	cols, vals := p.Row(0)
+	wcols, wvals := a.Row(2)
+	if len(cols) != len(wcols) {
+		t.Fatal("reversed row 0 wrong length")
+	}
+	for k := range cols {
+		if cols[k] != wcols[k] || vals[k] != wvals[k] {
+			t.Fatal("row permutation mismatch")
+		}
+	}
+}
+
+func TestPermuteInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid permutation must panic")
+		}
+	}()
+	smallCSR().Permute([]int32{0, 0, 1}, nil)
+}
+
+func TestPermuteRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, n := 2+r.Intn(15), 2+r.Intn(15)
+		c := NewCOO(m, n, 40)
+		for k := 0; k < 40; k++ {
+			c.Add(r.Intn(m), r.Intn(n), float64(1+r.Intn(5)))
+		}
+		a := c.ToCSR()
+		rp := randPerm32(r, m)
+		cp := randPerm32(r, n)
+		// Applying a permutation then its inverse restores the matrix.
+		b := a.Permute(rp, cp)
+		back := b.Permute(inverse32(rp), inverse32(cp))
+		return Equal(a, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randPerm32(r *rand.Rand, n int) []int32 {
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+func inverse32(p []int32) []int32 {
+	inv := make([]int32, len(p))
+	for i, v := range p {
+		inv[v] = int32(i)
+	}
+	return inv
+}
+
+func TestRowDegreesAndStats(t *testing.T) {
+	a := smallCSR()
+	d := a.RowDegrees()
+	if d[0] != 2 || d[1] != 1 || d[2] != 2 {
+		t.Fatalf("degrees %v", d)
+	}
+	s := Stats(d)
+	if s.Min != 1 || s.Max != 2 || s.Mean < 1.6 || s.Mean > 1.7 {
+		t.Fatalf("stats %+v", s)
+	}
+	if Stats(nil) != (DegreeStats{}) {
+		t.Fatal("empty stats must be zero")
+	}
+}
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	a := smallCSR()
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(a, b) {
+		t.Fatal("MatrixMarket round trip changed the matrix")
+	}
+}
+
+func TestMatrixMarketRejectsGarbage(t *testing.T) {
+	if _, err := ReadMatrixMarket(bytes.NewBufferString("not a matrix")); err == nil {
+		t.Fatal("expected header error")
+	}
+	if _, err := ReadMatrixMarket(bytes.NewBufferString("%%MatrixMarket matrix coordinate real general\n2 2 5\n1 1 1\n")); err == nil {
+		t.Fatal("expected entry-count error")
+	}
+}
+
+func TestSplitTrainTest(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	m, n := 60, 40
+	c := NewCOO(m, n, 2000)
+	for k := 0; k < 2000; k++ {
+		c.Add(r.Intn(m), r.Intn(n), r.Float64())
+	}
+	a := c.ToCSR()
+	train, test := SplitTrainTest(a, 0.2, 77)
+	if train.NNZ()+len(test) != a.NNZ() {
+		t.Fatalf("split loses entries: %d + %d != %d", train.NNZ(), len(test), a.NNZ())
+	}
+	frac := float64(len(test)) / float64(a.NNZ())
+	if frac < 0.1 || frac > 0.3 {
+		t.Fatalf("test fraction %v far from 0.2", frac)
+	}
+	// No row or column of the original matrix may be empty in training.
+	rows := train.RowDegrees()
+	colSeen := make([]bool, n)
+	for _, ci := range train.Col {
+		colSeen[ci] = true
+	}
+	for i, d := range rows {
+		if a.RowNNZ(i) > 0 && d == 0 {
+			t.Fatalf("row %d lost all training entries", i)
+		}
+	}
+	at := a.Transpose()
+	for j := 0; j < n; j++ {
+		if at.RowNNZ(j) > 0 && !colSeen[j] {
+			t.Fatalf("col %d lost all training entries", j)
+		}
+	}
+	// Deterministic in the seed.
+	train2, test2 := SplitTrainTest(a, 0.2, 77)
+	if !Equal(train, train2) || len(test) != len(test2) {
+		t.Fatal("split not deterministic")
+	}
+}

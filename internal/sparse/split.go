@@ -1,0 +1,32 @@
+package sparse
+
+import "repro/internal/rng"
+
+// SplitTrainTest partitions the entries of a into a training CSR and a
+// held-out test set. Each entry lands in the test set independently with
+// probability testFrac, except that the first stored rating of every row
+// and of every column is always kept in training, so no user or movie
+// becomes completely unobserved (cold items would make the Gibbs posterior
+// revert to the prior and obscure RMSE comparisons).
+func SplitTrainTest(a *CSR, testFrac float64, seed uint64) (*CSR, []Entry) {
+	r := rng.NewKeyed(seed, 0x5eed511732)
+	rowSeen := make([]bool, a.M)
+	colSeen := make([]bool, a.N)
+	train := NewCOO(a.M, a.N, a.NNZ())
+	var test []Entry
+	for i := 0; i < a.M; i++ {
+		cols, vals := a.Row(i)
+		for k, c := range cols {
+			e := Entry{Row: int32(i), Col: c, Val: vals[k]}
+			mustTrain := !rowSeen[i] || !colSeen[c]
+			if !mustTrain && r.Float64() < testFrac {
+				test = append(test, e)
+				continue
+			}
+			rowSeen[i] = true
+			colSeen[c] = true
+			train.Add(int(e.Row), int(e.Col), e.Val)
+		}
+	}
+	return train.ToCSR(), test
+}

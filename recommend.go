@@ -1,0 +1,138 @@
+package bpmf
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"repro/internal/la"
+)
+
+// Scored is one recommendation: an item and its predicted rating.
+type Scored struct {
+	Item  int
+	Score float64
+}
+
+// Recommend returns the user's top-n unseen items by predicted rating
+// (items the user rated in the training data are excluded — the standard
+// recommender-system protocol the paper's introduction describes).
+func (r *Result) Recommend(user, n int) []Scored {
+	if n <= 0 {
+		return nil
+	}
+	seen := map[int32]bool{}
+	if r.data != nil {
+		cols, _ := r.data.prob.R.Row(user)
+		for _, c := range cols {
+			seen[c] = true
+		}
+	}
+	u := r.res.U.Row(user)
+	h := &scoredHeap{}
+	heap.Init(h)
+	for item := 0; item < r.res.V.Rows; item++ {
+		if seen[int32(item)] {
+			continue
+		}
+		s := la.Dot(u, r.res.V.Row(item))
+		if h.Len() < n {
+			heap.Push(h, Scored{Item: item, Score: s})
+		} else if s > (*h)[0].Score {
+			(*h)[0] = Scored{Item: item, Score: s}
+			heap.Fix(h, 0)
+		}
+	}
+	out := make([]Scored, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(Scored)
+	}
+	return out
+}
+
+// scoredHeap is a min-heap by score (the root is the weakest of the
+// current top-n).
+type scoredHeap []Scored
+
+func (h scoredHeap) Len() int           { return len(h) }
+func (h scoredHeap) Less(i, j int) bool { return h[i].Score < h[j].Score }
+func (h scoredHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *scoredHeap) Push(x any)        { *h = append(*h, x.(Scored)) }
+func (h *scoredHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// RankingReport holds averaged top-k ranking quality over the held-out
+// test set.
+type RankingReport struct {
+	// Users is the number of users with at least one relevant held-out
+	// item that entered the average.
+	Users int
+	// PrecisionAtK / RecallAtK / NDCGAtK are means over those users.
+	PrecisionAtK, RecallAtK, NDCGAtK float64
+}
+
+// EvaluateRanking scores the model as a top-k recommender against the
+// held-out ratings: an item is *relevant* for a user if its held-out
+// rating is >= relevanceThreshold. Returns averaged precision@k,
+// recall@k and NDCG@k over users with at least one relevant held-out
+// item.
+func (r *Result) EvaluateRanking(k int, relevanceThreshold float64) RankingReport {
+	if r.data == nil || k <= 0 {
+		return RankingReport{}
+	}
+	// Collect each user's relevant held-out items.
+	relevant := map[int]map[int]bool{}
+	for _, e := range r.data.prob.Test {
+		if e.Val >= relevanceThreshold {
+			u := int(e.Row)
+			if relevant[u] == nil {
+				relevant[u] = map[int]bool{}
+			}
+			relevant[u][int(e.Col)] = true
+		}
+	}
+	users := make([]int, 0, len(relevant))
+	for u := range relevant {
+		users = append(users, u)
+	}
+	sort.Ints(users)
+
+	var rep RankingReport
+	for _, u := range users {
+		rel := relevant[u]
+		top := r.Recommend(u, k)
+		hits := 0
+		dcg := 0.0
+		for rank, s := range top {
+			if rel[s.Item] {
+				hits++
+				dcg += 1 / math.Log2(float64(rank)+2)
+			}
+		}
+		idealHits := len(rel)
+		if idealHits > k {
+			idealHits = k
+		}
+		idcg := 0.0
+		for rank := 0; rank < idealHits; rank++ {
+			idcg += 1 / math.Log2(float64(rank)+2)
+		}
+		rep.Users++
+		rep.PrecisionAtK += float64(hits) / float64(k)
+		rep.RecallAtK += float64(hits) / float64(len(rel))
+		if idcg > 0 {
+			rep.NDCGAtK += dcg / idcg
+		}
+	}
+	if rep.Users > 0 {
+		rep.PrecisionAtK /= float64(rep.Users)
+		rep.RecallAtK /= float64(rep.Users)
+		rep.NDCGAtK /= float64(rep.Users)
+	}
+	return rep
+}
