@@ -1,12 +1,16 @@
 // Benchmark harness: one benchmark per paper figure plus ablation benches
-// for the design decisions called out in DESIGN.md §5. Real kernel and
-// engine arithmetic is measured with testing.B; cluster-scale series are
-// produced by the calibrated discrete-event simulator and attached as
+// for the design decisions of the paper's Sections III–IV (see PERF.md
+// for the harness guide and the recorded kernel trajectory). Real kernel
+// and engine arithmetic is measured with testing.B; cluster-scale series
+// are produced by the calibrated discrete-event simulator and attached as
 // custom metrics (vitems/s = virtual items per second of simulated time).
 //
 // Regenerate everything with:
 //
-//	go test -bench=. -benchmem .
+//	go test -run='^$' -bench=. -benchmem .
+//
+// and record the Figure 2 kernel series into BENCH_kernels.json with
+// cmd/bench2json (PERF.md).
 package bpmf_test
 
 import (
@@ -191,7 +195,7 @@ func BenchmarkDistributedInProc(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
-// Ablation 1 (DESIGN.md §5.2): hybrid kernel threshold sweep.
+// Ablation 1 (paper §III-B): hybrid kernel threshold sweep.
 // ---------------------------------------------------------------------------
 
 func BenchmarkAblationKernelThreshold(b *testing.B) {
@@ -217,7 +221,7 @@ func BenchmarkAblationKernelThreshold(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
-// Ablation 2 (DESIGN.md §5.3): coalescing buffer size (paper IV-C).
+// Ablation 2: coalescing buffer size (paper IV-C).
 // ---------------------------------------------------------------------------
 
 func BenchmarkAblationBufferSize(b *testing.B) {
@@ -242,7 +246,7 @@ func BenchmarkAblationBufferSize(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
-// Ablation 3 (DESIGN.md §5.4): workload-model partitioning vs equal count.
+// Ablation 3 (paper IV-B): workload-model partitioning vs equal count.
 // ---------------------------------------------------------------------------
 
 func BenchmarkAblationPartitioning(b *testing.B) {
@@ -271,7 +275,7 @@ func BenchmarkAblationPartitioning(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
-// Ablation 4 (DESIGN.md §5.6): ordered vs tree allreduce (real runs).
+// Ablation 4 (deterministic reductions): ordered vs tree allreduce (real runs).
 // ---------------------------------------------------------------------------
 
 func BenchmarkAblationAllreduce(b *testing.B) {

@@ -1,0 +1,159 @@
+// Command bench2json converts `go test -bench` output into the repo's
+// benchmark-trajectory file (BENCH_kernels.json by default): a JSON array
+// of labelled snapshots, one appended per run, so successive PRs record
+// how the kernel hot paths move.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=BenchmarkFig2UpdateKernels -benchmem . |
+//	    go run ./cmd/bench2json -label my-change -out BENCH_kernels.json
+//
+// An existing snapshot with the same label is replaced in place (so a PR
+// can re-run its measurement without duplicating entries); otherwise the
+// snapshot is appended. See PERF.md for the workflow.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark name with the Benchmark prefix and the
+	// trailing -GOMAXPROCS suffix stripped, e.g.
+	// "Fig2UpdateKernels/serial_chol/nnz=1000".
+	Name string `json:"name"`
+	// Iters is testing.B's iteration count for the measurement.
+	Iters int64 `json:"iters"`
+	// NsPerOp is the headline ns/op figure.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds every other reported unit (B/op, allocs/op and custom
+	// b.ReportMetric units such as ratings or vitems/s).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is one labelled benchmark run.
+type Snapshot struct {
+	Label      string      `json:"label"`
+	Date       string      `json:"date"`
+	Go         string      `json:"go,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bench2json: ")
+	label := flag.String("label", "", "snapshot label (required), e.g. pr1-blocked-kernels")
+	out := flag.String("out", "BENCH_kernels.json", "trajectory file to update")
+	in := flag.String("in", "-", "bench output to parse (- = stdin)")
+	flag.Parse()
+	if *label == "" {
+		log.Fatal("-label is required")
+	}
+
+	var src io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	snap, err := Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(snap.Benchmarks) == 0 {
+		log.Fatal("no benchmark lines found in input")
+	}
+	snap.Label = *label
+	snap.Date = time.Now().UTC().Format("2006-01-02")
+	snap.Go = runtime.Version()
+
+	var traj []Snapshot
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &traj); err != nil {
+			log.Fatalf("existing %s is not a trajectory file: %v", *out, err)
+		}
+	}
+	replaced := false
+	for i := range traj {
+		if traj[i].Label == snap.Label {
+			traj[i] = *snap
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		traj = append(traj, *snap)
+	}
+	data, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recorded %d benchmarks under label %q in %s\n",
+		len(snap.Benchmarks), snap.Label, *out)
+}
+
+// Parse reads `go test -bench` output and collects its benchmark lines.
+func Parse(r io.Reader) (*Snapshot, error) {
+	snap := &Snapshot{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if b, ok := parseLine(sc.Text()); ok {
+			snap.Benchmarks = append(snap.Benchmarks, b)
+		}
+	}
+	return snap, sc.Err()
+}
+
+// parseLine parses one "BenchmarkX-N  iters  v unit  v unit ..." line.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		// Strip the -GOMAXPROCS suffix if it is purely numeric.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iters: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			b.NsPerOp = v
+		} else {
+			b.Metrics[unit] = v
+		}
+	}
+	if len(b.Metrics) == 0 {
+		b.Metrics = nil
+	}
+	return b, true
+}

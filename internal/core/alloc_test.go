@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/la"
+	"repro/internal/rng"
+)
+
+// The hot path's allocation budget is part of the performance contract
+// (PERF.md): a steady-state item update must not touch the heap for the
+// serial kernels, and the parallel kernel's inline (nil-pool) execution
+// must lease all chunk accumulators from its arena.
+
+// allocProblem builds one item's update inputs.
+func allocProblem(nnz, k int) (cols []int32, vals []float64, other *la.Matrix) {
+	r := rng.New(77)
+	other = la.NewMatrix(nnz+4, k)
+	r.FillNorm(other.Data)
+	cols = make([]int32, nnz)
+	vals = make([]float64, nnz)
+	for i := range cols {
+		cols[i] = int32(i)
+		vals[i] = r.Norm()
+	}
+	return
+}
+
+func assertZeroAllocs(t *testing.T, name string, kern Kernel, nnz int) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.K = 16
+	hyper := NewHyper(cfg.K)
+	cols, vals, other := allocProblem(nnz, cfg.K)
+	ws := NewWorkspace(cfg.K)
+	out := la.NewVector(cfg.K)
+	stream := ItemStream(cfg.Seed, 0, SideU, 1)
+	run := func() {
+		UpdateItem(ws, kern, &cfg, cols, vals, other, hyper, stream, nil, nil, out)
+	}
+	run() // warm the workspace arena and chunk-list capacity
+	if allocs := testing.AllocsPerRun(100, run); allocs != 0 {
+		t.Fatalf("%s nnz=%d: %v allocs/op in steady state, want 0", name, nnz, allocs)
+	}
+}
+
+func TestUpdateItemRankOneZeroAllocs(t *testing.T) {
+	assertZeroAllocs(t, "rankupdate", KernelRankOne, 10)
+}
+
+func TestUpdateItemCholeskyZeroAllocs(t *testing.T) {
+	assertZeroAllocs(t, "serial_chol", KernelCholesky, 100)
+}
+
+func TestUpdateItemParallelInlineZeroAllocs(t *testing.T) {
+	// The parallel kernel executed inline (nil pool) must also be
+	// allocation-free once its chunk arena is warm; nnz spans several
+	// chunks plus a tail.
+	cfg := DefaultConfig()
+	assertZeroAllocs(t, "parallel_chol", KernelParallelCholesky, 2*cfg.ParallelGrain+3)
+}
+
+func TestSampleHyperWSZeroAllocs(t *testing.T) {
+	k := 16
+	r := rng.New(5)
+	x := la.NewMatrix(200, k)
+	r.FillNorm(x.Data)
+	m := NewMoments(k)
+	m.AccumulateRows(x, 0, 200)
+	prior := DefaultNWPrior(k)
+	h := NewHyper(k)
+	hws := NewHyperWorkspace(k)
+	stream := HyperStream(9, 0, SideU)
+	run := func() { SampleHyperWS(prior, m, stream, h, hws) }
+	run()
+	if allocs := testing.AllocsPerRun(50, run); allocs != 0 {
+		t.Fatalf("SampleHyperWS: %v allocs/op in steady state, want 0", allocs)
+	}
+}
+
+// TestWorkspaceSharedArenaReuse checks that workspaces sharing one arena
+// lease from a common steady-state pool (the engines' configuration).
+func TestWorkspaceSharedArenaReuse(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.K = 8
+	acc := NewAccArena(cfg.K)
+	wsA := NewWorkspaceShared(cfg.K, acc)
+	wsB := NewWorkspaceShared(cfg.K, acc)
+	hyper := NewHyper(cfg.K)
+	cols, vals, other := allocProblem(cfg.ParallelGrain+1, cfg.K)
+	out := la.NewVector(cfg.K)
+	stream := ItemStream(1, 0, SideU, 0)
+	// Warm via wsA, then wsB must run allocation-free off the same arena.
+	UpdateItem(wsA, KernelParallelCholesky, &cfg, cols, vals, other, hyper, stream, nil, nil, out)
+	UpdateItem(wsB, KernelParallelCholesky, &cfg, cols, vals, other, hyper, stream, nil, nil, out)
+	allocs := testing.AllocsPerRun(20, func() {
+		UpdateItem(wsB, KernelParallelCholesky, &cfg, cols, vals, other, hyper, stream, nil, nil, out)
+	})
+	if allocs != 0 {
+		t.Fatalf("shared-arena workspace allocated %v/op in steady state", allocs)
+	}
+}

@@ -86,6 +86,7 @@ func ResumeSampler(cfg Config, prob *Problem, c *Checkpoint) (*Sampler, error) {
 		HV:    NewHyper(cfg.K),
 		pred:  NewPredictor(prob.Test, cfg.ClampMin, cfg.ClampMax),
 		ws:    NewWorkspace(cfg.K),
+		hws:   NewHyperWorkspace(cfg.K),
 	}
 	s.pred.Alpha = cfg.Alpha
 	copy(s.pred.sum, c.PredSum)

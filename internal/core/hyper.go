@@ -158,32 +158,66 @@ func InitStream(seed uint64, side Side, item int) *rng.Stream {
 	return rng.NewKeyed(seed, keyInit, uint64(side), uint64(item))
 }
 
+// HyperWorkspace holds the scratch of one Normal–Wishart posterior draw so
+// the per-iteration hyperparameter sampling allocates nothing in steady
+// state. One workspace must not be shared by concurrent draws.
+type HyperWorkspace struct {
+	xbar, diff, muStar, scratch la.Vector
+	wInv, wStar, wStarChol      *la.Matrix
+	wInvChol, scaled            *la.Matrix
+	bartA, bartB                *la.Matrix // Wishart Bartlett scratch
+	invE, invCol                la.Vector  // InvFromCholWS scratch
+}
+
+// NewHyperWorkspace allocates the scratch for K latent features.
+func NewHyperWorkspace(k int) *HyperWorkspace {
+	return &HyperWorkspace{
+		xbar: la.NewVector(k), diff: la.NewVector(k),
+		muStar: la.NewVector(k), scratch: la.NewVector(k),
+		wInv: la.NewMatrix(k, k), wStar: la.NewMatrix(k, k),
+		wStarChol: la.NewMatrix(k, k), wInvChol: la.NewMatrix(k, k),
+		scaled: la.NewMatrix(k, k),
+		bartA:  la.NewMatrix(k, k), bartB: la.NewMatrix(k, k),
+		invE: la.NewVector(k), invCol: la.NewVector(k),
+	}
+}
+
 // SampleHyper draws (μ, Λ) from the Normal–Wishart posterior given the
 // side's moments, writing the result (and derived Cholesky factor and Λ·μ
-// cache) into h. The stream consumption order is fixed: Wishart first,
-// then the mean. Standard conjugate update (Salakhutdinov & Mnih, eq. 14):
+// cache) into h. It is a convenience wrapper over SampleHyperWS that
+// allocates a fresh workspace; engines hold one workspace per runner and
+// call SampleHyperWS directly.
+func SampleHyper(prior NWPrior, m *Moments, stream *rng.Stream, h *Hyper) {
+	SampleHyperWS(prior, m, stream, h, NewHyperWorkspace(len(prior.Mu0)))
+}
+
+// SampleHyperWS is the allocation-free Normal–Wishart posterior draw. The
+// stream consumption order is fixed: Wishart first, then the mean.
+// Standard conjugate update (Salakhutdinov & Mnih, eq. 14):
 //
 //	β* = β0 + N, ν* = ν0 + N
 //	μ* = (β0 μ0 + N x̄) / β*
 //	W*⁻¹ = W0⁻¹ + N S̄ + (β0 N / β*) (x̄ − μ0)(x̄ − μ0)ᵀ
 //	Λ ~ W(W*, ν*), μ ~ N(μ*, (β* Λ)⁻¹)
-func SampleHyper(prior NWPrior, m *Moments, stream *rng.Stream, h *Hyper) {
-	k := len(prior.Mu0)
+func SampleHyperWS(prior NWPrior, m *Moments, stream *rng.Stream, h *Hyper, ws *HyperWorkspace) {
 	n := m.N
 
-	xbar := la.NewVector(k)
+	xbar := ws.xbar
 	if n > 0 {
 		copy(xbar, m.Sum)
 		la.Scal(1/n, xbar)
+	} else {
+		xbar.Zero()
 	}
 
 	// W*⁻¹ = W0⁻¹ + (SumSq − N x̄ x̄ᵀ) + (β0 N / β*) (x̄−μ0)(x̄−μ0)ᵀ.
 	// Note N·S̄ = SumSq − N x̄ x̄ᵀ.
-	wInv := prior.W0Inv.Clone()
+	wInv := ws.wInv
+	wInv.CopyFrom(prior.W0Inv)
 	if n > 0 {
 		wInv.Add(m.SumSq) // SumSq only has the lower triangle filled
 		la.SyrLower(-n, xbar, wInv)
-		diff := la.NewVector(k)
+		diff := ws.diff
 		for i := range diff {
 			diff[i] = xbar[i] - prior.Mu0[i]
 		}
@@ -193,34 +227,30 @@ func SampleHyper(prior NWPrior, m *Moments, stream *rng.Stream, h *Hyper) {
 	la.SymmetrizeLower(wInv)
 
 	// W* = (W*⁻¹)⁻¹ via Cholesky.
-	wInvChol := la.NewMatrix(k, k)
-	if err := la.Cholesky(wInv, wInvChol); err != nil {
+	if err := la.Cholesky(wInv, ws.wInvChol); err != nil {
 		panic("core: Normal-Wishart posterior scale not SPD: " + err.Error())
 	}
-	wStar := la.NewMatrix(k, k)
-	la.InvFromChol(wInvChol, wStar)
-	wStarChol := la.NewMatrix(k, k)
-	if err := la.Cholesky(wStar, wStarChol); err != nil {
+	la.InvFromCholWS(ws.wInvChol, ws.wStar, ws.invE, ws.invCol)
+	if err := la.Cholesky(ws.wStar, ws.wStarChol); err != nil {
 		panic("core: inverted scale not SPD: " + err.Error())
 	}
 
 	// Λ ~ W(W*, ν*).
 	nuStar := prior.Nu0 + n
-	stream.Wishart(wStarChol, nuStar, h.Lambda)
+	stream.WishartWS(ws.wStarChol, nuStar, h.Lambda, ws.bartA, ws.bartB)
 	if err := la.Cholesky(h.Lambda, h.LambdaChol); err != nil {
 		panic("core: sampled precision not SPD: " + err.Error())
 	}
 
 	// μ ~ N(μ*, (β* Λ)⁻¹): chol(β*Λ) = sqrt(β*)·chol(Λ).
 	betaStar := prior.Beta0 + n
-	muStar := la.NewVector(k)
+	muStar := ws.muStar
 	for i := range muStar {
 		muStar[i] = (prior.Beta0*prior.Mu0[i] + n*xbar[i]) / betaStar
 	}
-	scaled := h.LambdaChol.Clone()
-	scaled.ScaleInPlace(math.Sqrt(betaStar))
-	scratch := la.NewVector(k)
-	stream.MVNFromPrecChol(muStar, scaled, h.Mu, scratch)
+	ws.scaled.CopyFrom(h.LambdaChol)
+	ws.scaled.ScaleInPlace(math.Sqrt(betaStar))
+	stream.MVNFromPrecChol(muStar, ws.scaled, h.Mu, ws.scratch)
 
 	la.SymvLower(h.Lambda, h.Mu, h.LambdaMu)
 }

@@ -60,6 +60,28 @@ func (c Config) SelectKernel(nnz int) Kernel {
 	}
 }
 
+// accChunk is one chunk accumulator of the parallel kernel's reduction:
+// a partial precision and rhs leased from a worker-local arena.
+type accChunk struct {
+	prec *la.Matrix
+	rhs  la.Vector
+}
+
+// AccArena is a worker-local arena of chunk accumulators for the parallel
+// item-update kernel. Engines create one and share it across all their
+// workspaces (NewWorkspaceShared) so the whole run leases from the same
+// steady-state pool of buffers.
+type AccArena struct {
+	a *sched.Arena[*accChunk]
+}
+
+// NewAccArena creates an arena of K x K chunk accumulators.
+func NewAccArena(k int) *AccArena {
+	return &AccArena{a: sched.NewArena(func() *accChunk {
+		return &accChunk{prec: la.NewMatrix(k, k), rhs: la.NewVector(k)}
+	})}
+}
+
 // Workspace holds the per-worker scratch space of the item update so the
 // hot loop performs no allocation. One Workspace must not be used by two
 // goroutines at once.
@@ -71,10 +93,22 @@ type Workspace struct {
 	mu      la.Vector
 	scratch la.Vector
 	xtmp    la.Vector
+
+	// acc supplies chunk accumulators to the parallel kernel; parts is the
+	// reused per-item list of leased chunks (ascending chunk order).
+	acc   *AccArena
+	parts []*accChunk
 }
 
-// NewWorkspace allocates a workspace for K latent features.
+// NewWorkspace allocates a workspace for K latent features with its own
+// private accumulator arena (created lazily on first parallel-kernel use).
 func NewWorkspace(k int) *Workspace {
+	return NewWorkspaceShared(k, nil)
+}
+
+// NewWorkspaceShared allocates a workspace whose parallel-kernel chunk
+// accumulators come from the shared arena acc (nil for a private one).
+func NewWorkspaceShared(k int, acc *AccArena) *Workspace {
 	return &Workspace{
 		K:       k,
 		prec:    la.NewMatrix(k, k),
@@ -83,6 +117,7 @@ func NewWorkspace(k int) *Workspace {
 		mu:      la.NewVector(k),
 		scratch: la.NewVector(k),
 		xtmp:    la.NewVector(k),
+		acc:     acc,
 	}
 }
 
@@ -129,13 +164,12 @@ func UpdateItem(
 		}
 
 	case KernelCholesky:
+		// Precision and rhs accumulate in one fused, register-blocked pass
+		// over the ratings (ascending index, so the sums are bit-identical
+		// to the per-rating SyrLower/Axpy loop), then one factorization.
 		ws.prec.CopyFrom(hyper.Lambda)
 		copy(ws.rhs, hyper.LambdaMu)
-		for p, c := range cols {
-			x := other.Row(int(c))
-			la.SyrLower(alpha, x, ws.prec)
-			la.Axpy(alpha*vals[p], x, ws.rhs)
-		}
+		la.SyrkAxpyBatchLower(alpha, other, cols, vals, ws.prec, ws.rhs)
 		if err := la.Cholesky(ws.prec, ws.precL); err != nil {
 			panic("core: item posterior precision not SPD: " + err.Error())
 		}
@@ -162,56 +196,70 @@ func UpdateItem(
 // The chunk decomposition depends only on (nnz, cfg.ParallelGrain); the
 // partials are combined in ascending chunk order, so the result is
 // bit-identical for any worker count, including sequential execution.
+// Chunk accumulators are leased from the workspace's worker-local arena
+// instead of allocated per chunk, so the steady-state hot path performs
+// no allocation.
 func accumulateParallel(
 	ws *Workspace, cfg *Config,
 	cols []int32, vals []float64,
 	other *la.Matrix, hyper *Hyper,
 	pool *sched.Pool, pw *sched.Worker,
 ) {
-	k := ws.K
 	nnz := len(cols)
 	grain := cfg.ParallelGrain
 	nchunks := (nnz + grain - 1) / grain
 	if nchunks == 0 {
 		nchunks = 1
 	}
-	partPrec := make([]*la.Matrix, nchunks)
-	partRhs := make([]la.Vector, nchunks)
-
-	runChunk := func(ci int) {
-		lo := ci * grain
-		hi := lo + grain
-		if hi > nnz {
-			hi = nnz
-		}
-		pp := la.NewMatrix(k, k)
-		pr := la.NewVector(k)
-		for p := lo; p < hi; p++ {
-			x := other.Row(int(cols[p]))
-			la.SyrLower(cfg.Alpha, x, pp)
-			la.Axpy(cfg.Alpha*vals[p], x, pr)
-		}
-		partPrec[ci] = pp
-		partRhs[ci] = pr
+	if ws.acc == nil {
+		ws.acc = NewAccArena(ws.K)
 	}
+	if cap(ws.parts) < nchunks {
+		ws.parts = make([]*accChunk, nchunks)
+	}
+	ws.parts = ws.parts[:nchunks]
 
 	if pool != nil && nchunks > 1 {
 		g := pool.NewGroup()
 		for ci := 0; ci < nchunks; ci++ {
 			ci := ci
-			g.Spawn(pw, func(_ *sched.Worker) { runChunk(ci) })
+			g.Spawn(pw, func(tw *sched.Worker) {
+				ws.runAccChunk(tw, ci, grain, cfg.Alpha, cols, vals, other)
+			})
 		}
 		g.Sync(pw)
 	} else {
+		// Method call, not a closure: the inline path stays allocation-free.
 		for ci := 0; ci < nchunks; ci++ {
-			runChunk(ci)
+			ws.runAccChunk(pw, ci, grain, cfg.Alpha, cols, vals, other)
 		}
 	}
 
 	ws.prec.CopyFrom(hyper.Lambda)
 	copy(ws.rhs, hyper.LambdaMu)
 	for ci := 0; ci < nchunks; ci++ {
-		ws.prec.Add(partPrec[ci])
-		la.Axpy(1, partRhs[ci], ws.rhs)
+		ch := ws.parts[ci]
+		ws.prec.Add(ch.prec)
+		la.Axpy(1, ch.rhs, ws.rhs)
+		ws.acc.a.Put(pw, ch)
+		ws.parts[ci] = nil
 	}
+}
+
+// runAccChunk leases a chunk accumulator and accumulates ratings
+// [ci*grain, min((ci+1)*grain, nnz)) into it, recording the lease in
+// ws.parts[ci]. The per-element summation order inside a chunk is
+// ascending rating index, matching the per-rating reference loop.
+func (ws *Workspace) runAccChunk(w *sched.Worker, ci, grain int, alpha float64,
+	cols []int32, vals []float64, other *la.Matrix) {
+	lo := ci * grain
+	hi := lo + grain
+	if hi > len(cols) {
+		hi = len(cols)
+	}
+	ch := ws.acc.a.Get(w)
+	ch.prec.Zero()
+	ch.rhs.Zero()
+	la.SyrkAxpyBatchLower(alpha, other, cols[lo:hi], vals[lo:hi], ch.prec, ch.rhs)
+	ws.parts[ci] = ch
 }

@@ -94,6 +94,7 @@ type Sampler struct {
 
 	pred *Predictor
 	ws   *Workspace
+	hws  *HyperWorkspace
 	res  Result
 }
 
@@ -114,6 +115,7 @@ func NewSampler(cfg Config, prob *Problem) (*Sampler, error) {
 		HV:    NewHyper(cfg.K),
 		pred:  NewPredictor(prob.Test, cfg.ClampMin, cfg.ClampMax),
 		ws:    NewWorkspace(cfg.K),
+		hws:   NewHyperWorkspace(cfg.K),
 	}
 	s.pred.Alpha = cfg.Alpha
 	return s, nil
@@ -127,7 +129,7 @@ func (s *Sampler) Step(iter int) {
 	// Movies: hyperparameters from V, then every movie row.
 	groupsV := GroupBoundaries(cfg.MomentGroupsV, s.V.Rows)
 	mv := MomentsGrouped(s.V, groupsV, cfg.K, nil)
-	SampleHyper(s.Prior, mv, HyperStream(cfg.Seed, iter, SideV), s.HV)
+	SampleHyperWS(s.Prior, mv, HyperStream(cfg.Seed, iter, SideV), s.HV, s.hws)
 	for j := 0; j < s.Prob.Rt.M; j++ {
 		cols, vals := s.Prob.Rt.Row(j)
 		kern := cfg.SelectKernel(len(cols))
@@ -139,7 +141,7 @@ func (s *Sampler) Step(iter int) {
 	// Users: hyperparameters from U, then every user row.
 	groupsU := GroupBoundaries(cfg.MomentGroupsU, s.U.Rows)
 	mu := MomentsGrouped(s.U, groupsU, cfg.K, nil)
-	SampleHyper(s.Prior, mu, HyperStream(cfg.Seed, iter, SideU), s.HU)
+	SampleHyperWS(s.Prior, mu, HyperStream(cfg.Seed, iter, SideU), s.HU, s.hws)
 	for i := 0; i < s.Prob.R.M; i++ {
 		cols, vals := s.Prob.R.Row(i)
 		kern := cfg.SelectKernel(len(cols))

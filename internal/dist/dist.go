@@ -1,0 +1,128 @@
+// Package dist implements the paper's Section IV: distributed BPMF over
+// the message-passing layer in package comm. The rating matrix is split
+// into contiguous row (user) and column (movie) ranges by the
+// workload-model partitioner; every rank keeps a full replica of both
+// factor matrices but samples only its owned rows, streaming each updated
+// row to the ranks that need it ("ghosts") through coalescing send buffers
+// that overlap communication with the remaining item updates (IV-C).
+//
+// The sampled chain is a pure function of (data, Config): hyperparameter
+// moments are reduced with a deterministic rank-ordered allreduce whose
+// summation order equals the sequential sampler's grouped moment reduction
+// with groups = the partition boundaries, and every item draw comes from
+// the same keyed stream regardless of rank placement. A sequential
+// core.Sampler configured with MomentGroupsOf(plan) therefore reproduces
+// the distributed chain bit-for-bit at any rank count.
+package dist
+
+import (
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+	"time"
+)
+
+// DefaultBufferSize is the default coalescing buffer capacity per
+// destination rank (the paper's Section IV-C batching of item sends).
+const DefaultBufferSize = 64 << 10
+
+// Options configures a distributed run.
+type Options struct {
+	// Ranks is the number of nodes in the virtual (or real) cluster.
+	Ranks int
+	// ThreadsPerRank is the size of each rank's work-stealing pool for its
+	// local item loop. 0 or 1 keeps the per-rank update loop sequential
+	// (communication still overlaps computation through the coalescers).
+	ThreadsPerRank int
+	// BufferSize is the coalescing buffer capacity in bytes per
+	// destination. 0 selects DefaultBufferSize; negative disables
+	// coalescing entirely (one message per item, the IV-C ablation).
+	BufferSize int
+	// Reorder applies the communication-minimizing RCM reordering before
+	// partitioning. Results are mapped back to the original index space.
+	Reorder bool
+	// TreeAllreduce swaps the deterministic rank-ordered allreduce for the
+	// lower-latency recursive-doubling tree. The chain is still
+	// deterministic for a fixed rank count but no longer bit-matches the
+	// sequential reference (the summation tree depends on P).
+	TreeAllreduce bool
+	// OneSided exchanges items with GASPI-style notified one-sided Puts
+	// straight into the replicated factor memory instead of two-sided
+	// coalesced messages. Same chain, different transport ablation.
+	OneSided bool
+}
+
+// normalized fills in defaulted fields.
+func (o Options) normalized() Options {
+	if o.Ranks < 1 {
+		o.Ranks = 1
+	}
+	if o.ThreadsPerRank < 1 {
+		o.ThreadsPerRank = 1
+	}
+	if o.BufferSize == 0 {
+		o.BufferSize = DefaultBufferSize
+	}
+	return o
+}
+
+// Stats reports one rank's traffic and time breakdown.
+type Stats struct {
+	Rank int
+	// ItemsSent counts (item, destination) pairs sent; GhostsRecv counts
+	// partner-rank item rows received and applied to the local replica.
+	ItemsSent  int64
+	GhostsRecv int64
+	// Flushes is the number of coalesced messages produced (0 in one-sided
+	// mode, which sends per-item Puts).
+	Flushes int
+	// Comm snapshots the rank's endpoint counters.
+	Comm comm.Stats
+	// ComputeTime is time spent in item updates, WaitTime in ghost waits
+	// and collectives, OverlapTime the part of ComputeTime during which
+	// sends were already in flight (communication hidden behind compute).
+	ComputeTime time.Duration
+	WaitTime    time.Duration
+	OverlapTime time.Duration
+}
+
+// BuildPlan partitions the problem for opt.Ranks nodes and returns the
+// plan together with the test set mapped into the plan's index space
+// (identical to prob.Test unless reordering is enabled). Every rank must
+// build the identical plan — it is a pure function of (prob, opt), which
+// is what lets real multi-process runs (cmd/bpmf-dist) derive it locally
+// instead of shipping it.
+func BuildPlan(prob *core.Problem, opt Options) (*partition.Plan, []sparse.Entry) {
+	opt = opt.normalized()
+	plan := partition.Build(prob.R, partition.Options{Ranks: opt.Ranks, Reorder: opt.Reorder})
+	test := prob.Test
+	if plan.Reordered {
+		rowInv := invertPerm32(plan.RowPerm)
+		colInv := invertPerm32(plan.ColPerm)
+		mapped := make([]sparse.Entry, len(test))
+		for i, e := range test {
+			mapped[i] = sparse.Entry{Row: rowInv[e.Row], Col: colInv[e.Col], Val: e.Val}
+		}
+		test = mapped
+	}
+	return plan, test
+}
+
+// MomentGroupsOf returns the moment-group boundary lists (users, movies)
+// induced by a plan's ownership ranges. A sequential sampler configured
+// with these groups performs its hyperparameter moment reduction in
+// exactly the distributed engine's summation order and hence reproduces
+// the distributed chain bit-for-bit.
+func MomentGroupsOf(plan *partition.Plan) (groupsU, groupsV []int) {
+	return append([]int(nil), plan.RowBounds...), append([]int(nil), plan.ColBounds...)
+}
+
+// invertPerm32 inverts perm (perm[newPos] = old) into inv[old] = newPos.
+func invertPerm32(perm []int32) []int32 {
+	inv := make([]int32, len(perm))
+	for newPos, old := range perm {
+		inv[old] = int32(newPos)
+	}
+	return inv
+}

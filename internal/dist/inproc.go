@@ -1,0 +1,50 @@
+package dist
+
+import (
+	"sync"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+)
+
+// RunInProc executes a distributed run as a virtual cluster inside this
+// process: opt.Ranks nodes over the channel-backed fabric, each on its own
+// goroutine. It returns rank 0's result (every rank computes an identical
+// one) and the per-rank statistics in rank order.
+func RunInProc(cfg core.Config, prob *core.Problem, opt Options) (*core.Result, []Stats, error) {
+	opt = opt.normalized()
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	plan, test := BuildPlan(prob, opt)
+	fab := comm.NewFabric(opt.Ranks)
+	defer fab.Close()
+
+	results := make([]*core.Result, opt.Ranks)
+	stats := make([]Stats, opt.Ranks)
+	errs := make([]error, opt.Ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < opt.Ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			node, err := NewNode(fab.Comms()[r], cfg, plan, test, opt)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			res, st, err := node.Run()
+			results[r], errs[r] = res, err
+			if st != nil {
+				stats[r] = *st
+			}
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return results[0], stats, nil
+}

@@ -1,0 +1,504 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/la"
+	"repro/internal/partition"
+	"repro/internal/sched"
+	"repro/internal/sparse"
+)
+
+// One-sided segment ids for the two replicated factor matrices.
+const (
+	segU = 0
+	segV = 1
+)
+
+// itemGrain is the work-stealing grain of the per-rank item loop when
+// ThreadsPerRank > 1 (same value as the multi-core engine).
+const itemGrain = 8
+
+// Node is one rank of the distributed engine.
+type Node struct {
+	c    *comm.Comm
+	cfg  core.Config
+	opt  Options
+	plan *partition.Plan
+	test []sparse.Entry // full test set, plan index space
+
+	rank, ranks, k int
+	r, rt          *sparse.CSR
+
+	u, v   *la.Matrix
+	hu, hv *core.Hyper
+	prior  core.NWPrior
+
+	rowOwner, colOwner []int32
+
+	// sendU[i-rowLo] / sendV[j-colLo] list the ranks an owned item's
+	// updated row must reach; expU/expV are the ghost rows this rank
+	// receives per iteration.
+	sendU, sendV [][]int32
+	expU, expV   int
+
+	pred *core.Predictor // over the locally owned test entries
+
+	pool    *sched.Pool
+	ws      *core.Workspace // single-thread update path
+	wsArena *sched.Arena[*core.Workspace]
+	hws     *core.HyperWorkspace
+
+	win    *comm.OneSided
+	recBuf []byte
+
+	kernelCounts [3]atomic.Int64
+	stats        Stats
+	res          core.Result
+}
+
+// NewNode builds rank c.Rank() of a distributed run. plan and test must be
+// the (identical) outputs of BuildPlan on every rank.
+func NewNode(c *comm.Comm, cfg core.Config, plan *partition.Plan, test []sparse.Entry, opt Options) (*Node, error) {
+	opt = opt.normalized()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if c.Size() != opt.Ranks {
+		return nil, fmt.Errorf("dist: communicator has %d ranks, options say %d", c.Size(), opt.Ranks)
+	}
+	if len(plan.RowBounds) != opt.Ranks+1 || len(plan.ColBounds) != opt.Ranks+1 {
+		return nil, fmt.Errorf("dist: plan built for %d ranks, options say %d",
+			len(plan.RowBounds)-1, opt.Ranks)
+	}
+	// Record the summation order the engine's allreduce implements, so the
+	// node's config is self-describing (see MomentGroupsOf).
+	cfg.MomentGroupsU, cfg.MomentGroupsV = MomentGroupsOf(plan)
+
+	m, n := plan.R.M, plan.R.N
+	nd := &Node{
+		c: c, cfg: cfg, opt: opt, plan: plan, test: test,
+		rank: c.Rank(), ranks: opt.Ranks, k: cfg.K,
+		r: plan.R, rt: plan.R.Transpose(),
+		u:     core.InitFactors(cfg.Seed, core.SideU, m, cfg.K),
+		v:     core.InitFactors(cfg.Seed, core.SideV, n, cfg.K),
+		hu:    core.NewHyper(cfg.K),
+		hv:    core.NewHyper(cfg.K),
+		prior: core.DefaultNWPrior(cfg.K),
+	}
+	nd.stats.Rank = nd.rank
+	nd.rowOwner = ownersArray(plan.RowBounds, m)
+	nd.colOwner = ownersArray(plan.ColBounds, n)
+	nd.recBuf = make([]byte, 4+8*nd.k)
+	nd.buildRouting()
+
+	var localTest []sparse.Entry
+	for _, e := range test {
+		if nd.rowOwner[e.Row] == int32(nd.rank) {
+			localTest = append(localTest, e)
+		}
+	}
+	nd.pred = core.NewPredictor(localTest, cfg.ClampMin, cfg.ClampMax)
+	nd.pred.Alpha = cfg.Alpha
+
+	acc := core.NewAccArena(cfg.K)
+	if opt.ThreadsPerRank > 1 {
+		nd.wsArena = sched.NewArena(func() *core.Workspace {
+			return core.NewWorkspaceShared(cfg.K, acc)
+		})
+	} else {
+		nd.ws = core.NewWorkspaceShared(cfg.K, acc)
+	}
+	nd.hws = core.NewHyperWorkspace(cfg.K)
+	return nd, nil
+}
+
+func ownersArray(bounds []int, n int) []int32 {
+	owner := make([]int32, n)
+	for p := 0; p+1 < len(bounds); p++ {
+		for i := bounds[p]; i < bounds[p+1]; i++ {
+			owner[i] = int32(p)
+		}
+	}
+	return owner
+}
+
+// buildRouting derives, for every owned item, the destination ranks of its
+// updated factor row, and the total ghost rows this rank expects per
+// iteration. All ranks compute the full (deterministic) table from the
+// shared plan, so no routing metadata ever travels over the network.
+//
+// A movie row j goes to every rank owning a user that rated j, plus every
+// rank owning a user with a held-out test entry on j (so evaluation always
+// sees fresh factors). A user row i goes to every rank owning a movie i
+// rated (those ranks read it in the next movie phase).
+func (nd *Node) buildRouting() {
+	rowLo, rowHi := nd.plan.RowBounds[nd.rank], nd.plan.RowBounds[nd.rank+1]
+	colLo, colHi := nd.plan.ColBounds[nd.rank], nd.plan.ColBounds[nd.rank+1]
+	nd.sendU = make([][]int32, rowHi-rowLo)
+	nd.sendV = make([][]int32, colHi-colLo)
+
+	// Ranks that need each movie for test evaluation, beyond its raters.
+	testNeedV := make(map[int32][]int32)
+	for _, e := range nd.test {
+		testNeedV[e.Col] = append(testNeedV[e.Col], nd.rowOwner[e.Row])
+	}
+
+	seen := make([]int, nd.ranks)
+	epoch := 0
+	destsOf := func(owner int32, partners []int32, partnerOwner []int32, extra []int32) []int32 {
+		epoch++
+		seen[owner] = epoch
+		var dests []int32
+		for _, p := range partners {
+			if o := partnerOwner[p]; seen[o] != epoch {
+				seen[o] = epoch
+				dests = append(dests, o)
+			}
+		}
+		for _, o := range extra {
+			if seen[o] != epoch {
+				seen[o] = epoch
+				dests = append(dests, o)
+			}
+		}
+		sort.Slice(dests, func(a, b int) bool { return dests[a] < dests[b] })
+		return dests
+	}
+	contains := func(dests []int32, r int32) bool {
+		for _, d := range dests {
+			if d == r {
+				return true
+			}
+		}
+		return false
+	}
+
+	self := int32(nd.rank)
+	for j := 0; j < nd.rt.M; j++ {
+		raters, _ := nd.rt.Row(j)
+		dests := destsOf(nd.colOwner[j], raters, nd.rowOwner, testNeedV[int32(j)])
+		if nd.colOwner[j] == self {
+			nd.sendV[j-colLo] = dests
+		} else if contains(dests, self) {
+			nd.expV++
+		}
+	}
+	for i := 0; i < nd.r.M; i++ {
+		rated, _ := nd.r.Row(i)
+		dests := destsOf(nd.rowOwner[i], rated, nd.colOwner, nil)
+		if nd.rowOwner[i] == self {
+			nd.sendU[i-rowLo] = dests
+		} else if contains(dests, self) {
+			nd.expU++
+		}
+	}
+}
+
+// itemTag returns the message tag of one iteration's item exchange phase.
+func itemTag(iter int, side core.Side) int {
+	return 1 + 2*iter + int(side)
+}
+
+// allreduce sums per-rank float64 vectors with the configured reduction.
+func (nd *Node) allreduce(v []float64) []float64 {
+	if nd.opt.TreeAllreduce {
+		return nd.c.AllreduceSumTree(v)
+	}
+	return nd.c.AllreduceSumOrdered(v)
+}
+
+// sampleHyper draws one side's hyperparameters from the globally reduced
+// moments. The rank-ordered allreduce adds partials in ascending rank
+// order, which is exactly MomentsGrouped's combine order with groups =
+// the ownership boundaries — the key to bit-equality with the sequential
+// reference.
+func (nd *Node) sampleHyper(iter int, side core.Side, x *la.Matrix, bounds []int, h *core.Hyper) {
+	lo, hi := bounds[nd.rank], bounds[nd.rank+1]
+	part := core.NewMoments(nd.k)
+	part.AccumulateRows(x, lo, hi)
+
+	vec := make([]float64, 1+nd.k+nd.k*nd.k)
+	vec[0] = part.N
+	copy(vec[1:1+nd.k], part.Sum)
+	copy(vec[1+nd.k:], part.SumSq.Data)
+	t0 := time.Now()
+	tot := nd.allreduce(vec)
+	nd.stats.WaitTime += time.Since(t0)
+	part.N = tot[0]
+	copy(part.Sum, tot[1:1+nd.k])
+	copy(part.SumSq.Data, tot[1+nd.k:])
+
+	core.SampleHyperWS(nd.prior, part, core.HyperStream(nd.cfg.Seed, iter, side), h, nd.hws)
+}
+
+// updateSide samples every owned item of one side, streams each updated
+// row to the ranks that need it, then blocks until all expected ghost
+// rows of the phase have been applied to the local replica.
+func (nd *Node) updateSide(iter int, side core.Side) {
+	cfg := &nd.cfg
+	var lo, hi int
+	var self, other *la.Matrix
+	var ratings *sparse.CSR
+	var send [][]int32
+	var exp, seg int
+	var hyper *core.Hyper
+	if side == core.SideV {
+		lo, hi = nd.plan.ColBounds[nd.rank], nd.plan.ColBounds[nd.rank+1]
+		self, other, hyper = nd.v, nd.u, nd.hv
+		ratings, send, exp, seg = nd.rt, nd.sendV, nd.expV, segV
+	} else {
+		lo, hi = nd.plan.RowBounds[nd.rank], nd.plan.RowBounds[nd.rank+1]
+		self, other, hyper = nd.u, nd.v, nd.hu
+		ratings, send, exp, seg = nd.r, nd.sendU, nd.expU, segU
+	}
+	tag := itemTag(iter, side)
+
+	var coals []*comm.Coalescer
+	if !nd.opt.OneSided {
+		coals = make([]*comm.Coalescer, nd.ranks)
+		for dst := 0; dst < nd.ranks; dst++ {
+			if dst != nd.rank {
+				coals[dst] = comm.NewCoalescer(nd.c, dst, tag, nd.opt.BufferSize)
+			}
+		}
+	}
+
+	var firstSend time.Time
+	sendItem := func(item int) {
+		dests := send[item-lo]
+		if len(dests) == 0 {
+			return
+		}
+		if firstSend.IsZero() {
+			firstSend = time.Now()
+		}
+		row := self.Row(item)
+		if nd.opt.OneSided {
+			for _, dst := range dests {
+				nd.win.Put(int(dst), seg, int64(item*nd.k), row, tag)
+			}
+		} else {
+			binary.LittleEndian.PutUint32(nd.recBuf, uint32(item))
+			for i, x := range row {
+				binary.LittleEndian.PutUint64(nd.recBuf[4+8*i:], math.Float64bits(x))
+			}
+			for _, dst := range dests {
+				coals[dst].Append(nd.recBuf)
+			}
+		}
+		nd.stats.ItemsSent += int64(len(dests))
+	}
+
+	update := func(ws *core.Workspace, w *sched.Worker, item int) {
+		cols, vals := ratings.Row(item)
+		kern := cfg.SelectKernel(len(cols))
+		nd.kernelCounts[kern].Add(1)
+		core.UpdateItem(ws, kern, cfg, cols, vals, other, hyper,
+			core.ItemStream(cfg.Seed, iter, side, item), nd.pool, w, self.Row(item))
+	}
+
+	computeStart := time.Now()
+	if nd.pool != nil {
+		// Threaded path: all updates finish before the send sweep, so the
+		// sweep is exposed communication, not compute — it counts toward
+		// neither ComputeTime nor OverlapTime.
+		nd.pool.ParallelFor(lo, hi, itemGrain, func(w *sched.Worker, a, b int) {
+			for item := a; item < b; item++ {
+				ws := nd.wsArena.Get(w)
+				update(ws, w, item)
+				nd.wsArena.Put(w, ws)
+			}
+		})
+		nd.stats.ComputeTime += time.Since(computeStart)
+		for item := lo; item < hi; item++ {
+			sendItem(item)
+		}
+		nd.flushAll(coals)
+	} else {
+		// Interleaved path: sends overlap the remaining item updates;
+		// OverlapTime is the compute tail spent with sends in flight.
+		for item := lo; item < hi; item++ {
+			update(nd.ws, nil, item)
+			sendItem(item)
+		}
+		nd.flushAll(coals)
+		computeEnd := time.Now()
+		nd.stats.ComputeTime += computeEnd.Sub(computeStart)
+		if !firstSend.IsZero() {
+			nd.stats.OverlapTime += computeEnd.Sub(firstSend)
+		}
+	}
+
+	t0 := time.Now()
+	if nd.opt.OneSided {
+		if exp > 0 {
+			nd.win.WaitNotify(tag, int64(exp))
+		}
+		nd.stats.GhostsRecv += int64(exp)
+	} else {
+		nd.recvGhosts(tag, exp, self)
+	}
+	nd.stats.WaitTime += time.Since(t0)
+}
+
+// flushAll drains the phase's coalescers (no-op in one-sided mode).
+func (nd *Node) flushAll(coals []*comm.Coalescer) {
+	for _, co := range coals {
+		if co != nil {
+			co.Flush()
+			nd.stats.Flushes += co.Flushes()
+		}
+	}
+}
+
+// recvGhosts applies coalesced item records to the local replica until the
+// expected count of the phase has arrived.
+func (nd *Node) recvGhosts(tag, expected int, dst *la.Matrix) {
+	recSize := 4 + 8*nd.k
+	got := 0
+	for got < expected {
+		m := nd.c.Recv(comm.AnySource, tag)
+		for off := 0; off+recSize <= len(m.Data); off += recSize {
+			idx := int(binary.LittleEndian.Uint32(m.Data[off:]))
+			row := dst.Row(idx)
+			for i := range row {
+				row[i] = math.Float64frombits(binary.LittleEndian.Uint64(m.Data[off+4+8*i:]))
+			}
+			got++
+		}
+	}
+	nd.stats.GhostsRecv += int64(got)
+}
+
+// evaluate scores the test set: per-rank partial squared errors combined
+// with the deterministic allreduce, so every rank records the identical
+// RMSE trace.
+func (nd *Node) evaluate(iter int) {
+	collect := iter >= nd.cfg.Burnin
+	seS, seA, n := nd.pred.PartialUpdate(nd.u, nd.v, collect)
+	t0 := time.Now()
+	tot := nd.allreduce([]float64{seS, seA, n})
+	nd.stats.WaitTime += time.Since(t0)
+	sr, ar := math.NaN(), math.NaN()
+	if tot[2] > 0 {
+		sr, ar = math.Sqrt(tot[0]/tot[2]), math.Sqrt(tot[1]/tot[2])
+	}
+	nd.res.SampleRMSE = append(nd.res.SampleRMSE, sr)
+	nd.res.AvgRMSE = append(nd.res.AvgRMSE, ar)
+}
+
+// gatherSide completes the local replica of one side: every rank
+// broadcasts its owned row range (rows nobody rated were never ghosted).
+func (nd *Node) gatherSide(x *la.Matrix, bounds []int) {
+	lo, hi := bounds[nd.rank], bounds[nd.rank+1]
+	mine := encodeFloats(x.Data[lo*nd.k : hi*nd.k])
+	blobs := nd.c.Allgather(mine)
+	for r, b := range blobs {
+		decodeFloatsInto(x.Data[bounds[r]*nd.k:bounds[r+1]*nd.k], b)
+	}
+}
+
+// gatherIntervals reassembles the posterior predictive intervals in global
+// test order from the per-rank predictors.
+func (nd *Node) gatherIntervals() []core.Interval {
+	local := nd.pred.Intervals()
+	blobs := nd.c.Allgather(encodeIntervals(local))
+	queues := make([][]core.Interval, nd.ranks)
+	total := 0
+	for r, b := range blobs {
+		queues[r] = decodeIntervals(b)
+		total += len(queues[r])
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]core.Interval, 0, total)
+	next := make([]int, nd.ranks)
+	for _, e := range nd.test {
+		r := nd.rowOwner[e.Row]
+		if next[r] < len(queues[r]) {
+			out = append(out, queues[r][next[r]])
+			next[r]++
+		}
+	}
+	return out
+}
+
+// Run executes the configured Gibbs iterations and returns the (rank-
+// identical) result plus this rank's statistics.
+func (nd *Node) Run() (*core.Result, *Stats, error) {
+	if nd.opt.OneSided {
+		nd.win = comm.NewOneSided(nd.c)
+		nd.win.Register(segU, nd.u.Data)
+		nd.win.Register(segV, nd.v.Data)
+		defer nd.win.Close()
+	}
+	if nd.opt.ThreadsPerRank > 1 {
+		nd.pool = sched.NewPool(nd.opt.ThreadsPerRank)
+		defer nd.pool.Close()
+	}
+
+	start := time.Now()
+	for it := 0; it < nd.cfg.Iters; it++ {
+		// Movies first, then users (Algorithm 1). The user phase reads the
+		// movie ghosts of this iteration, so each phase ends with a wait
+		// for its expected ghost count.
+		nd.sampleHyper(it, core.SideV, nd.v, nd.plan.ColBounds, nd.hv)
+		nd.updateSide(it, core.SideV)
+		nd.sampleHyper(it, core.SideU, nd.u, nd.plan.RowBounds, nd.hu)
+		nd.updateSide(it, core.SideU)
+		nd.evaluate(it)
+	}
+
+	nd.gatherSide(nd.u, nd.plan.RowBounds)
+	nd.gatherSide(nd.v, nd.plan.ColBounds)
+	ivs := nd.gatherIntervals()
+
+	kc := nd.allreduce([]float64{
+		float64(nd.kernelCounts[0].Load()),
+		float64(nd.kernelCounts[1].Load()),
+		float64(nd.kernelCounts[2].Load()),
+	})
+	for i := range nd.res.KernelCounts {
+		nd.res.KernelCounts[i] = int64(kc[i])
+	}
+
+	u, v := nd.u, nd.v
+	if nd.plan.Reordered {
+		u, v = permuteBack(nd.u, nd.plan.RowPerm), permuteBack(nd.v, nd.plan.ColPerm)
+		for t := range ivs {
+			ivs[t].Row = nd.plan.RowPerm[ivs[t].Row]
+			ivs[t].Col = nd.plan.ColPerm[ivs[t].Col]
+		}
+	}
+
+	nd.res.Elapsed = time.Since(start)
+	nd.res.U, nd.res.V = u, v
+	nd.res.Iters = nd.cfg.Iters
+	nd.res.ItemUpdates = int64(nd.cfg.Iters) * int64(nd.r.M+nd.r.N)
+	nd.res.Intervals = ivs
+	nd.stats.Comm = nd.c.Stats()
+	st := nd.stats
+	return &nd.res, &st, nil
+}
+
+// permuteBack maps a factor matrix from plan index space to the original
+// ordering: perm[planPos] = originalIndex.
+func permuteBack(x *la.Matrix, perm []int32) *la.Matrix {
+	out := la.NewMatrix(x.Rows, x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		copy(out.Row(int(perm[i])), x.Row(i))
+	}
+	return out
+}
+
+// Plan re-exports the plan a node runs with (useful for tooling).
+func (nd *Node) Plan() *partition.Plan { return nd.plan }

@@ -8,7 +8,9 @@
 //   - programmer-productivity abstraction: vertex programs are invoked
 //     through an interface, gather accumulators are allocated per vertex
 //     activation, and neighbor factors are copied into the accumulator
-//     (no workspace reuse across activations);
+//     and re-materialized before the update (the kernels' internal
+//     scratch is leased from a shared arena — our substrate detail — but
+//     the gather copies themselves are the abstraction's tax);
 //   - synchronous supersteps: one barrier per side per Gibbs iteration,
 //     so a straggler vertex (a movie with 10⁵ ratings) stalls every
 //     thread;
@@ -72,7 +74,9 @@ type Program interface {
 	// canonical storage order.
 	Gather(acc any, neighbor la.Vector, rating float64)
 	// Apply consumes the accumulator and writes the vertex's new factor.
-	Apply(side core.Side, local int, acc any, out la.Vector)
+	// thread is the engine thread running the activation (GraphLab's
+	// execution-context id), letting programs keep thread-local scratch.
+	Apply(side core.Side, local, thread int, acc any, out la.Vector)
 }
 
 // Stats counts engine activity, used by the discrete-event model
@@ -118,7 +122,7 @@ func (e *Engine) Superstep(side core.Side, prog Program, factors, other *la.Matr
 			for k, c := range cols {
 				prog.Gather(acc, other.Row(int(c)), vals[k])
 			}
-			prog.Apply(side, v, acc, factors.Row(v))
+			prog.Apply(side, v, t, acc, factors.Row(v))
 			perThread[t].a++
 			perThread[t].g += int64(len(cols))
 		}
@@ -155,10 +159,19 @@ func Run(cfg core.Config, prob *core.Problem, threads int) (*core.Result, *Stats
 	u := core.InitFactors(cfg.Seed, core.SideU, m, cfg.K)
 	v := core.InitFactors(cfg.Seed, core.SideV, n, cfg.K)
 	hu, hv := core.NewHyper(cfg.K), core.NewHyper(cfg.K)
+	hws := core.NewHyperWorkspace(cfg.K)
 	prior := core.DefaultNWPrior(cfg.K)
 	pred := core.NewPredictor(prob.Test, cfg.ClampMin, cfg.ClampMax)
 	pred.Alpha = cfg.Alpha
 	res := &core.Result{}
+	// The kernel scratch (our substrate, not part of the vertex-program
+	// abstraction) is leased per activation from a shared arena; the
+	// GraphLab productivity tax Figure 3 measures — per-activation gather
+	// accumulators and neighbor-row copies — stays in InitAcc/Gather.
+	acc := core.NewAccArena(cfg.K)
+	wsArena := sched.NewArena(func() *core.Workspace {
+		return core.NewWorkspaceShared(cfg.K, acc)
+	})
 
 	sfor := func(nGroups int, run func(gr int)) {
 		sched.StaticFor(threads, 0, nGroups, func(_, lo, hi int) {
@@ -173,8 +186,8 @@ func Run(cfg core.Config, prob *core.Problem, threads int) (*core.Result, *Stats
 		// Movies superstep.
 		groupsV := core.GroupBoundaries(cfg.MomentGroupsV, v.Rows)
 		mv := core.MomentsGrouped(v, groupsV, cfg.K, sfor)
-		core.SampleHyper(prior, mv, core.HyperStream(cfg.Seed, it, core.SideV), hv)
-		pv := &program{cfg: &cfg, iter: it, side: core.SideV, hyper: hv, res: res}
+		core.SampleHyperWS(prior, mv, core.HyperStream(cfg.Seed, it, core.SideV), hv, hws)
+		pv := &program{cfg: &cfg, iter: it, side: core.SideV, hyper: hv, res: res, ws: wsArena}
 		e.Superstep(core.SideV, pv, v, u)
 		for k := range res.KernelCounts {
 			res.KernelCounts[k] += pv.counts[k].Load()
@@ -183,8 +196,8 @@ func Run(cfg core.Config, prob *core.Problem, threads int) (*core.Result, *Stats
 		// Users superstep.
 		groupsU := core.GroupBoundaries(cfg.MomentGroupsU, u.Rows)
 		mu := core.MomentsGrouped(u, groupsU, cfg.K, sfor)
-		core.SampleHyper(prior, mu, core.HyperStream(cfg.Seed, it, core.SideU), hu)
-		pu := &program{cfg: &cfg, iter: it, side: core.SideU, hyper: hu, res: res}
+		core.SampleHyperWS(prior, mu, core.HyperStream(cfg.Seed, it, core.SideU), hu, hws)
+		pu := &program{cfg: &cfg, iter: it, side: core.SideU, hyper: hu, res: res, ws: wsArena}
 		e.Superstep(core.SideU, pu, u, v)
 		for k := range res.KernelCounts {
 			res.KernelCounts[k] += pu.counts[k].Load()
@@ -209,6 +222,7 @@ type program struct {
 	side   core.Side
 	hyper  *core.Hyper
 	res    *core.Result
+	ws     *sched.Arena[*core.Workspace]
 	counts [3]atomic.Int64
 }
 
@@ -230,17 +244,19 @@ func (p *program) Gather(acc any, neighbor la.Vector, rating float64) {
 }
 
 // Apply performs the Gibbs draw with the hybrid kernel (inline, no nested
-// parallelism), writing the new factor row.
-func (p *program) Apply(side core.Side, local int, acc any, out la.Vector) {
+// parallelism), writing the new factor row. The workspace lease uses the
+// engine thread's arena shard, so threads do not contend on one free list.
+func (p *program) Apply(side core.Side, local, thread int, acc any, out la.Vector) {
 	a := acc.(*bpmfAcc)
 	// Rebuild a dense "other" view so core.UpdateItem accumulates in the
 	// same canonical order as the flat engines.
 	view := &rowView{rows: a.rows, k: p.cfg.K}
-	ws := core.NewWorkspace(p.cfg.K) // per-activation allocation, GraphLab-style
+	ws := p.ws.GetShard(thread) // leased per activation, released below
 	kern := p.cfg.SelectKernel(len(a.cols))
 	p.counts[kern].Add(1)
 	core.UpdateItem(ws, kern, p.cfg, a.cols, a.vals, view.matrix(), p.hyper,
 		core.ItemStream(p.cfg.Seed, p.iter, side, local), nil, nil, out)
+	p.ws.PutShard(thread, ws)
 }
 
 // rowView materializes gathered rows into a contiguous matrix (another

@@ -138,11 +138,18 @@ func SolveSPD(l *Matrix, b, x, scratch Vector) {
 // dst must be n x n and must not alias l.
 func InvFromChol(l *Matrix, dst *Matrix) {
 	n := l.Rows
-	if dst.Rows != n || dst.Cols != n {
+	InvFromCholWS(l, dst, NewVector(n), NewVector(n))
+}
+
+// InvFromCholWS is InvFromChol with caller-provided scratch (two length-n
+// vectors, contents ignored and overwritten), performing no allocation —
+// the variant the hyperparameter sampler uses once per Gibbs iteration.
+// dst must not alias l; e and col must not alias each other.
+func InvFromCholWS(l *Matrix, dst *Matrix, e, col Vector) {
+	n := l.Rows
+	if dst.Rows != n || dst.Cols != n || len(e) != n || len(col) != n {
 		panic("la: InvFromChol dimension mismatch")
 	}
-	e := NewVector(n)
-	col := NewVector(n)
 	for j := 0; j < n; j++ {
 		e.Zero()
 		e[j] = 1

@@ -37,24 +37,48 @@ func (v Vector) Zero() {
 }
 
 // Dot returns the inner product of x and y. Panics if lengths differ.
+//
+// The loop is unrolled four-wide with a single accumulator, so the
+// floating-point summation order (and hence the result, bit for bit) is
+// identical to the plain `for i { s += x[i]*y[i] }` reference; the unroll
+// only removes loop-control and bounds-check overhead.
 func Dot(x, y Vector) float64 {
-	if len(x) != len(y) {
-		panic(fmt.Sprintf("la: Dot length mismatch %d vs %d", len(x), len(y)))
+	n := len(x)
+	if n != len(y) {
+		panic(fmt.Sprintf("la: Dot length mismatch %d vs %d", n, len(y)))
 	}
+	y = y[:n]
 	var s float64
-	for i, xi := range x {
-		s += xi * y[i]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s += x[i] * y[i]
+		s += x[i+1] * y[i+1]
+		s += x[i+2] * y[i+2]
+		s += x[i+3] * y[i+3]
+	}
+	for ; i < n; i++ {
+		s += x[i] * y[i]
 	}
 	return s
 }
 
-// Axpy computes y += alpha*x in place.
+// Axpy computes y += alpha*x in place (four-wide unrolled; element updates
+// are independent, so the result is bit-identical to the scalar loop).
 func Axpy(alpha float64, x, y Vector) {
-	if len(x) != len(y) {
-		panic(fmt.Sprintf("la: Axpy length mismatch %d vs %d", len(x), len(y)))
+	n := len(x)
+	if n != len(y) {
+		panic(fmt.Sprintf("la: Axpy length mismatch %d vs %d", n, len(y)))
 	}
-	for i, xi := range x {
-		y[i] += alpha * xi
+	y = y[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		y[i] += alpha * x[i]
+		y[i+1] += alpha * x[i+1]
+		y[i+2] += alpha * x[i+2]
+		y[i+3] += alpha * x[i+3]
+	}
+	for ; i < n; i++ {
+		y[i] += alpha * x[i]
 	}
 }
 
@@ -163,26 +187,36 @@ func (m *Matrix) ScaleInPlace(alpha float64) {
 // Transpose returns a new matrix that is the transpose of m.
 func (m *Matrix) Transpose() *Matrix {
 	t := NewMatrix(m.Cols, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
-		for j, v := range row {
-			t.Data[j*t.Cols+i] = v
-		}
-	}
+	m.TransposeInto(t)
 	return t
 }
 
-// Gemv computes y = alpha*A*x + beta*y.
+// TransposeInto writes mᵀ into dst without allocating. dst must be
+// m.Cols x m.Rows and must not alias m.
+func (m *Matrix) TransposeInto(dst *Matrix) {
+	if dst.Rows != m.Cols || dst.Cols != m.Rows {
+		panic("la: TransposeInto dimension mismatch")
+	}
+	if dst == m || (len(dst.Data) > 0 && len(m.Data) > 0 && &dst.Data[0] == &m.Data[0]) {
+		panic("la: TransposeInto cannot alias its receiver")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			dst.Data[j*dst.Cols+i] = v
+		}
+	}
+}
+
+// Gemv computes y = alpha*A*x + beta*y. Each row's inner product runs
+// through the unrolled Dot, keeping the per-row summation order of the
+// scalar reference.
 func Gemv(alpha float64, a *Matrix, x Vector, beta float64, y Vector) {
 	if a.Cols != len(x) || a.Rows != len(y) {
 		panic("la: Gemv dimension mismatch")
 	}
 	for i := 0; i < a.Rows; i++ {
-		row := a.Row(i)
-		var s float64
-		for j, v := range row {
-			s += v * x[j]
-		}
+		s := Dot(a.Row(i), x)
 		y[i] = alpha*s + beta*y[i]
 	}
 }
@@ -227,6 +261,95 @@ func SyrLower(alpha float64, x Vector, a *Matrix) {
 		for j := 0; j <= i; j++ {
 			row[j] += f * x[j]
 		}
+	}
+}
+
+// SyrkBatchLower accumulates the gathered symmetric rank-nnz update
+//
+//	A += alpha * Σ_p src[cols[p]] · src[cols[p]]ᵀ
+//
+// into the lower triangle of A (including the diagonal), processing four
+// rating rows per pass with register-blocked outer products instead of
+// len(cols) independent SyrLower calls. Blocking quarters the
+// accumulator's load/store traffic and amortizes row-gather overhead —
+// this is the dominant kernel of the serial- and parallel-Cholesky item
+// updates (Figure 2), see PERF.md.
+//
+// The floating-point summation order is fixed to ascending rating index p
+// with one chained accumulation per matrix element, which is exactly the
+// order of the naive per-rating loop: the result is bit-identical to
+// calling SyrLower once per gathered row, for any nnz including the
+// 1–3-row tail.
+func SyrkBatchLower(alpha float64, src *Matrix, cols []int32, a *Matrix) {
+	SyrkAxpyBatchLower(alpha, src, cols, nil, a, nil)
+}
+
+// SyrkAxpyBatchLower fuses the two accumulations of the BPMF item update
+// into one gathered pass over the rating rows:
+//
+//	A += alpha * Σ_p x_p · x_pᵀ       (lower triangle, as SyrkBatchLower)
+//	y += Σ_p (alpha · vals[p]) · x_p   (the posterior rhs)
+//
+// where x_p = src[cols[p]]. vals and y may both be nil to skip the rhs
+// (SyrkBatchLower). Per memory element the summation order is ascending
+// p, so the result is bit-identical to the naive interleaved
+// SyrLower/Axpy per-rating loop.
+func SyrkAxpyBatchLower(alpha float64, src *Matrix, cols []int32, vals []float64, a *Matrix, y Vector) {
+	n := a.Rows
+	if a.Cols != n || src.Cols != n {
+		panic("la: SyrkAxpyBatchLower dimension mismatch")
+	}
+	withRhs := y != nil
+	if withRhs && (len(y) != n || len(vals) != len(cols)) {
+		panic("la: SyrkAxpyBatchLower rhs dimension mismatch")
+	}
+	p := 0
+	for ; p+4 <= len(cols); p += 4 {
+		x0 := src.Row(int(cols[p]))
+		x1 := src.Row(int(cols[p+1]))
+		x2 := src.Row(int(cols[p+2]))
+		x3 := src.Row(int(cols[p+3]))
+		if withRhs {
+			a0 := alpha * vals[p]
+			a1 := alpha * vals[p+1]
+			a2 := alpha * vals[p+2]
+			a3 := alpha * vals[p+3]
+			for i := range y {
+				s := y[i]
+				s += a0 * x0[i]
+				s += a1 * x1[i]
+				s += a2 * x2[i]
+				s += a3 * x3[i]
+				y[i] = s
+			}
+		}
+		for i := 0; i < n; i++ {
+			f0 := alpha * x0[i]
+			f1 := alpha * x1[i]
+			f2 := alpha * x2[i]
+			f3 := alpha * x3[i]
+			row := a.Row(i)[: i+1 : i+1]
+			b0 := x0[:len(row)]
+			b1 := x1[:len(row)]
+			b2 := x2[:len(row)]
+			b3 := x3[:len(row)]
+			for j := range row {
+				s := row[j]
+				s += f0 * b0[j]
+				s += f1 * b1[j]
+				s += f2 * b2[j]
+				s += f3 * b3[j]
+				row[j] = s
+			}
+		}
+	}
+	// Tail of 1–3 rows: plain per-rating updates, still ascending p.
+	for ; p < len(cols); p++ {
+		x := src.Row(int(cols[p]))
+		if withRhs {
+			Axpy(alpha*vals[p], x, y)
+		}
+		SyrLower(alpha, x, a)
 	}
 }
 

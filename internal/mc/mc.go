@@ -16,7 +16,6 @@
 package mc
 
 import (
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -24,35 +23,6 @@ import (
 	"repro/internal/la"
 	"repro/internal/sched"
 )
-
-// wsFreeList is a free list of item-update workspaces. A worker that
-// helps execute other items while blocked inside a nested Sync must not
-// reuse a workspace that is mid-update, so workspaces are checked out per
-// item rather than per worker.
-type wsFreeList struct {
-	mu   sync.Mutex
-	free []*core.Workspace
-	k    int
-}
-
-func newWSFreeList(k int) *wsFreeList { return &wsFreeList{k: k} }
-
-func (p *wsFreeList) get() *core.Workspace {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if n := len(p.free); n > 0 {
-		ws := p.free[n-1]
-		p.free = p.free[:n-1]
-		return ws
-	}
-	return core.NewWorkspace(p.k)
-}
-
-func (p *wsFreeList) put(ws *core.Workspace) {
-	p.mu.Lock()
-	p.free = append(p.free, ws)
-	p.mu.Unlock()
-}
 
 // Engine identifies a multi-core scheduling strategy.
 type Engine int
@@ -87,16 +57,26 @@ func Run(engine Engine, cfg core.Config, prob *core.Problem, threads int) (*core
 		threads = 1
 	}
 	m, n := prob.Dims()
+	// All workspaces share one chunk-accumulator arena, and workspaces are
+	// leased per item from a worker-local arena: a worker that helps
+	// execute other items while blocked inside a nested Sync must not
+	// reuse a workspace that is mid-update, so checkout stays per item —
+	// the sharding only keeps the lease on the leasing worker's
+	// cache-warm shard.
+	acc := core.NewAccArena(cfg.K)
 	r := &runner{
-		cfg:    cfg,
-		prob:   prob,
-		prior:  core.DefaultNWPrior(cfg.K),
-		u:      core.InitFactors(cfg.Seed, core.SideU, m, cfg.K),
-		v:      core.InitFactors(cfg.Seed, core.SideV, n, cfg.K),
-		hu:     core.NewHyper(cfg.K),
-		hv:     core.NewHyper(cfg.K),
-		pred:   core.NewPredictor(prob.Test, cfg.ClampMin, cfg.ClampMax),
-		wsPool: newWSFreeList(cfg.K),
+		cfg:   cfg,
+		prob:  prob,
+		prior: core.DefaultNWPrior(cfg.K),
+		u:     core.InitFactors(cfg.Seed, core.SideU, m, cfg.K),
+		v:     core.InitFactors(cfg.Seed, core.SideV, n, cfg.K),
+		hu:    core.NewHyper(cfg.K),
+		hv:    core.NewHyper(cfg.K),
+		hws:   core.NewHyperWorkspace(cfg.K),
+		pred:  core.NewPredictor(prob.Test, cfg.ClampMin, cfg.ClampMax),
+		wsPool: sched.NewArena(func() *core.Workspace {
+			return core.NewWorkspaceShared(cfg.K, acc)
+		}),
 	}
 	r.pred.Alpha = cfg.Alpha
 	res := &core.Result{}
@@ -132,8 +112,9 @@ type runner struct {
 	prior  core.NWPrior
 	u, v   *la.Matrix
 	hu, hv *core.Hyper
+	hws    *core.HyperWorkspace
 	pred   *core.Predictor
-	wsPool *wsFreeList
+	wsPool *sched.Arena[*core.Workspace]
 
 	kernelCounts [3]atomic.Int64
 }
@@ -162,10 +143,10 @@ func (r *runner) updateRange(side core.Side, iter, lo, hi int, pool *sched.Pool,
 		cols, vals := rt.Row(item)
 		kern := cfg.SelectKernel(len(cols))
 		r.kernelCounts[kern].Add(1)
-		ws := r.wsPool.get()
+		ws := r.wsPool.Get(pw)
 		core.UpdateItem(ws, kern, cfg, cols, vals, other, hyper,
 			core.ItemStream(cfg.Seed, iter, side, item), pool, pw, self.Row(item))
-		r.wsPool.put(ws)
+		r.wsPool.Put(pw, ws)
 	}
 }
 
@@ -175,14 +156,14 @@ func (r *runner) sampleHypers(iter int, parallelFor func(n int, run func(g int))
 	cfg := &r.cfg
 	groupsV := core.GroupBoundaries(cfg.MomentGroupsV, r.v.Rows)
 	mv := core.MomentsGrouped(r.v, groupsV, cfg.K, parallelFor)
-	core.SampleHyper(r.prior, mv, core.HyperStream(cfg.Seed, iter, core.SideV), r.hv)
+	core.SampleHyperWS(r.prior, mv, core.HyperStream(cfg.Seed, iter, core.SideV), r.hv, r.hws)
 }
 
 func (r *runner) sampleHyperU(iter int, parallelFor func(n int, run func(g int))) {
 	cfg := &r.cfg
 	groupsU := core.GroupBoundaries(cfg.MomentGroupsU, r.u.Rows)
 	mu := core.MomentsGrouped(r.u, groupsU, cfg.K, parallelFor)
-	core.SampleHyper(r.prior, mu, core.HyperStream(cfg.Seed, iter, core.SideU), r.hu)
+	core.SampleHyperWS(r.prior, mu, core.HyperStream(cfg.Seed, iter, core.SideU), r.hu, r.hws)
 }
 
 func (r *runner) score(iter int, res *core.Result) {

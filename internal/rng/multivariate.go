@@ -55,14 +55,23 @@ func (r *Stream) MVNFromCovChol(mu la.Vector, covL *la.Matrix, dst, scratch la.V
 // factor for downstream sampling. Requires nu > K-1.
 func (r *Stream) Wishart(scaleL *la.Matrix, nu float64, dst *la.Matrix) {
 	k := scaleL.Rows
-	if scaleL.Cols != k || dst.Rows != k || dst.Cols != k {
+	r.WishartWS(scaleL, nu, dst, la.NewMatrix(k, k), la.NewMatrix(k, k))
+}
+
+// WishartWS is Wishart with caller-provided K x K scratch matrices for the
+// Bartlett factor and its scaled product, performing no allocation. Only
+// the lower triangles of the scratch matrices are written and read, so
+// stale upper-triangle contents from a previous lease are harmless.
+func (r *Stream) WishartWS(scaleL *la.Matrix, nu float64, dst, a, b *la.Matrix) {
+	k := scaleL.Rows
+	if scaleL.Cols != k || dst.Rows != k || dst.Cols != k ||
+		a.Rows != k || a.Cols != k || b.Rows != k || b.Cols != k {
 		panic("rng: Wishart dimension mismatch")
 	}
 	if nu <= float64(k-1) {
 		panic("rng: Wishart needs nu > K-1")
 	}
 	// Bartlett factor A.
-	a := la.NewMatrix(k, k)
 	for i := 0; i < k; i++ {
 		for j := 0; j < i; j++ {
 			a.Set(i, j, r.Norm())
@@ -70,7 +79,6 @@ func (r *Stream) Wishart(scaleL *la.Matrix, nu float64, dst *la.Matrix) {
 		a.Set(i, i, math.Sqrt(r.ChiSq(nu-float64(i))))
 	}
 	// B = scaleL * A (both lower triangular; B is lower triangular).
-	b := la.NewMatrix(k, k)
 	for i := 0; i < k; i++ {
 		for j := 0; j <= i; j++ {
 			var s float64

@@ -1,0 +1,68 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestArenaReusesValues(t *testing.T) {
+	var made atomic.Int64
+	a := NewArena(func() *int {
+		made.Add(1)
+		v := new(int)
+		return v
+	})
+	x := a.Get(nil)
+	a.Put(nil, x)
+	y := a.Get(nil)
+	if x != y {
+		t.Fatal("arena did not reuse the released value")
+	}
+	if made.Load() != 1 {
+		t.Fatalf("newFn ran %d times, want 1", made.Load())
+	}
+	// A second concurrent lease must be a distinct value.
+	z := a.Get(nil)
+	if z == y {
+		t.Fatal("outstanding lease handed out twice")
+	}
+	a.Put(nil, y)
+	a.Put(nil, z)
+}
+
+func TestArenaConcurrentLeases(t *testing.T) {
+	var made atomic.Int64
+	a := NewArena(func() *[64]byte {
+		made.Add(1)
+		return new([64]byte)
+	})
+	pool := NewPool(4)
+	defer pool.Close()
+	const iters = 2000
+	var wg sync.WaitGroup
+	pool.ParallelFor(0, iters, 1, func(w *Worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := a.Get(w)
+			v[0]++ // exclusive ownership while leased
+			a.Put(w, v)
+		}
+	})
+	wg.Wait()
+	// Steady state: far fewer values created than leases taken.
+	if made.Load() > int64(pool.NumWorkers()*4) {
+		t.Fatalf("arena churned %d allocations over %d leases", made.Load(), iters)
+	}
+}
+
+func TestArenaGetSteadyStateZeroAllocs(t *testing.T) {
+	a := NewArena(func() *int { return new(int) })
+	a.Put(nil, a.Get(nil))
+	allocs := testing.AllocsPerRun(100, func() {
+		v := a.Get(nil)
+		a.Put(nil, v)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Get/Put allocated %v/op", allocs)
+	}
+}
