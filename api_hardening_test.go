@@ -1,0 +1,231 @@
+package bpmf
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// trainedSmall trains a small model once per test with the given held-out
+// fraction.
+func trainedSmall(t *testing.T, testFrac float64) (*Result, int, int) {
+	t.Helper()
+	m, n, ratings := syntheticRatings(t, 90)
+	data, err := DataFromRatings(m, n, ratings, testFrac, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Train(data, quickConfig(Sequential))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, m, n
+}
+
+// TestPublicQueryAPINoPanics is the table test pinning the bounds-check
+// contract: no public query entry point may panic on out-of-range input.
+func TestPublicQueryAPINoPanics(t *testing.T) {
+	res, m, n := trainedSmall(t, 0.2)
+	badUsers := []int{-1, -1 << 40, m, m + 1, math.MaxInt, math.MinInt}
+	badItems := []int{-1, -1 << 40, n, n + 7, math.MaxInt, math.MinInt}
+	for _, u := range badUsers {
+		for _, it := range badItems {
+			if p := res.Predict(u, it); !math.IsNaN(p) {
+				t.Fatalf("Predict(%d, %d) = %v, want NaN", u, it, p)
+			}
+		}
+		if p := res.Predict(u, 0); !math.IsNaN(p) {
+			t.Fatalf("Predict(%d, 0) = %v, want NaN", u, p)
+		}
+		if f := res.UserFactors(u); f != nil {
+			t.Fatalf("UserFactors(%d) = %v, want nil", u, f)
+		}
+		if top := res.Recommend(u, 5); top != nil {
+			t.Fatalf("Recommend(%d, 5) = %v, want nil", u, top)
+		}
+	}
+	for _, it := range badItems {
+		if p := res.Predict(0, it); !math.IsNaN(p) {
+			t.Fatalf("Predict(0, %d) = %v, want NaN", it, p)
+		}
+		if f := res.ItemFactors(it); f != nil {
+			t.Fatalf("ItemFactors(%d) = %v, want nil", it, f)
+		}
+	}
+	// A request-controlled huge n must not panic or pre-allocate.
+	if top := res.Recommend(0, math.MaxInt); len(top) == 0 || len(top) > n {
+		t.Fatalf("Recommend with huge n returned %d items", len(top))
+	}
+	// In-range still works.
+	if math.IsNaN(res.Predict(0, 0)) {
+		t.Fatal("in-range Predict became NaN")
+	}
+	if res.UserFactors(0) == nil || res.ItemFactors(n-1) == nil {
+		t.Fatal("in-range factor queries became nil")
+	}
+}
+
+func TestIntervalsNilWithoutTestSet(t *testing.T) {
+	res, _, _ := trainedSmall(t, 0)
+	if iv := res.Intervals(); iv != nil {
+		t.Fatalf("Intervals() with no test set = %v (len %d), want nil", iv, len(iv))
+	}
+	// With a test set and completed burn-in they are non-nil.
+	res2, _, _ := trainedSmall(t, 0.2)
+	if res2.Intervals() == nil {
+		t.Fatal("Intervals() with held-out test set must be non-nil")
+	}
+}
+
+func TestRecommendUserWithEveryItemRated(t *testing.T) {
+	// 2 users x 3 items; user 0 rated everything.
+	ratings := []Rating{
+		{User: 0, Item: 0, Value: 5}, {User: 0, Item: 1, Value: 3}, {User: 0, Item: 2, Value: 4},
+		{User: 1, Item: 0, Value: 2}, {User: 1, Item: 1, Value: 5},
+	}
+	data, err := DataFromRatings(2, 3, ratings, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Defaults()
+	cfg.K = 4
+	cfg.Iters = 4
+	cfg.Burnin = 2
+	res, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top := res.Recommend(0, 5); top != nil {
+		t.Fatalf("user with every item rated: got %v, want nil", top)
+	}
+	// User 1 has exactly one unrated item.
+	top := res.Recommend(1, 5)
+	if len(top) != 1 || top[0].Item != 2 {
+		t.Fatalf("user 1: got %v, want exactly item 2", top)
+	}
+}
+
+func TestEvaluateRankingShortCatalogDoesNotDeflate(t *testing.T) {
+	// 1 item unrated in training per user, held-out relevant. A perfect
+	// model should reach precision 1 even with k = 10 >> catalog.
+	ratings := []Rating{
+		{User: 0, Item: 0, Value: 5}, {User: 0, Item: 1, Value: 4}, {User: 0, Item: 2, Value: 5},
+		{User: 1, Item: 0, Value: 4}, {User: 1, Item: 1, Value: 5}, {User: 1, Item: 2, Value: 4},
+	}
+	data, err := DataFromRatings(2, 3, ratings, 0.3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.NumTest() == 0 {
+		t.Skip("split held nothing out at this seed")
+	}
+	cfg := Defaults()
+	cfg.K = 4
+	cfg.Iters = 10
+	cfg.Burnin = 5
+	res, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.EvaluateRanking(10, 0) // every held-out rating is relevant
+	if rep.Users == 0 {
+		t.Fatal("no users evaluated")
+	}
+	// Every user's recommendable set is exactly its held-out relevant
+	// set, so an undeflated precision@k must be exactly 1.
+	if rep.PrecisionAtK != 1 {
+		t.Fatalf("precision@10 = %v, want 1 (deflated by k > catalog?)", rep.PrecisionAtK)
+	}
+	if rep.NDCGAtK != 1 {
+		t.Fatalf("NDCG@10 = %v, want 1", rep.NDCGAtK)
+	}
+}
+
+func TestConfigValidationAtPublicBoundary(t *testing.T) {
+	m, n, ratings := syntheticRatings(t, 91)
+	data, err := DataFromRatings(m, n, ratings, 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"burnin >= iters", Config{Iters: 10, Burnin: 10}, "Burnin"},
+		{"burnin > iters", Config{Iters: 5, Burnin: 50}, "Burnin"},
+		{"burnin >= default iters", Config{Burnin: 25}, "Burnin"},
+		{"negative K", Config{K: -1}, "K"},
+		{"negative Alpha", Config{Alpha: -2}, "Alpha"},
+		{"negative Iters", Config{Iters: -3}, "Iters"},
+		{"negative Burnin", Config{Iters: 5, Burnin: -1}, "Burnin"},
+	}
+	for _, tc := range cases {
+		_, err := Train(data, tc.cfg)
+		if err == nil {
+			t.Fatalf("%s: Train accepted %+v", tc.name, tc.cfg)
+		}
+		if !strings.Contains(err.Error(), "bpmf:") || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not name %q at the bpmf boundary", tc.name, err, tc.want)
+		}
+	}
+	// Zero-value config still falls back to the defaults and trains.
+	cfg := Config{Iters: 2, Burnin: 1, K: 4}
+	if _, err := Train(data, cfg); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	// Iters alone (no burn-in) stays valid: chain lengths are taken
+	// together, never an Iters override against a leftover default Burnin.
+	if _, err := Train(data, Config{Iters: 2, K: 4}); err != nil {
+		t.Fatalf("Iters-only config rejected: %v", err)
+	}
+}
+
+func TestTrainWithCheckpointWritesLoadableSnapshot(t *testing.T) {
+	m, n, ratings := syntheticRatings(t, 92)
+	data, err := DataFromRatings(m, n, ratings, 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickConfig(Sequential)
+	var buf bytes.Buffer
+	res, err := TrainWithCheckpoint(data, cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no checkpoint bytes written")
+	}
+	// The result must match a plain sequential Train bit for bit.
+	want, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RMSE() != want.RMSE() {
+		t.Fatalf("RMSE %v != plain Train %v", res.RMSE(), want.RMSE())
+	}
+}
+
+func TestTrainWithCheckpointPropagatesWriteError(t *testing.T) {
+	m, n, ratings := syntheticRatings(t, 93)
+	data, err := DataFromRatings(m, n, ratings, 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TrainWithCheckpoint(data, quickConfig(Sequential), failingWriter{}); err == nil {
+		t.Fatal("expected write error to surface")
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write(p []byte) (int, error) {
+	return 0, errDiskFull
+}
+
+var errDiskFull = &writeError{"disk full"}
+
+type writeError struct{ msg string }
+
+func (e *writeError) Error() string { return e.msg }

@@ -26,6 +26,7 @@ import (
 	"repro/internal/mc"
 	"repro/internal/partition"
 	"repro/internal/rng"
+	"repro/internal/serve"
 	"repro/internal/sparse"
 )
 
@@ -351,5 +352,82 @@ func BenchmarkCoalescedExchange(b *testing.B) {
 		co.Flush()
 		fab.drain(1000, len(rec))
 		fab.close()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Serving: the checkpoint-backed model server's hot paths.
+// serve_topn  = one user's top-N request (blocked batch Gemv + bounded
+//               heap + training-set exclusion), live and precomputed.
+// serve_foldin = one cold-start fold-in draw (core.UpdateItem
+//               conditional against the full item catalog).
+// ---------------------------------------------------------------------------
+
+// benchServeModel trains a short chain on a scaled ML-20M-shaped problem
+// and loads its checkpoint into a serving snapshot.
+func benchServeModel(b *testing.B, topn int) (*serve.Model, *core.Problem) {
+	b.Helper()
+	ds := datagen.Generate(datagen.Scaled(datagen.ML20M(7), 0.02))
+	train, test := sparse.SplitTrainTest(ds.R, 0.05, 7)
+	prob := core.NewProblem(train, test)
+	cfg := core.DefaultConfig()
+	cfg.Iters, cfg.Burnin = 2, 1
+	s, err := core.NewSampler(cfg, prob)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for it := 0; it < cfg.Iters; it++ {
+		s.Step(it)
+	}
+	opts := serve.Options{Alpha: cfg.Alpha, Exclude: prob.R, Test: prob.Test, TopN: topn}
+	m, err := serve.NewModel(s.Checkpoint(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, prob
+}
+
+func BenchmarkServeTopN(b *testing.B) {
+	live, _ := benchServeModel(b, 0)
+	for _, n := range []int{10, 100} {
+		b.Run(fmt.Sprintf("live/items=%d/n=%d", live.NumItems(), n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := live.Recommend(i%live.NumUsers(), n); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(live.NumItems())*float64(b.N)/b.Elapsed().Seconds(), "items/s")
+		})
+	}
+	tab, _ := benchServeModel(b, 100)
+	b.Run(fmt.Sprintf("precomputed/items=%d/n=100", tab.NumItems()), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := tab.Recommend(i%tab.NumUsers(), 100); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkServeFoldIn(b *testing.B) {
+	m, _ := benchServeModel(b, 0)
+	for _, nnz := range []int{20, 200} {
+		items := make([]int32, nnz)
+		vals := make([]float64, nnz)
+		for i := range items {
+			items[i] = int32(i * (m.NumItems() / nnz))
+			vals[i] = 1 + float64(i%5)
+		}
+		b.Run(fmt.Sprintf("nnz=%d", nnz), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.FoldIn(items, vals, i); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(nnz), "ratings")
+		})
 	}
 }

@@ -20,6 +20,7 @@ package bpmf
 import (
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/dist"
@@ -174,9 +175,24 @@ func Defaults() Config {
 	}
 }
 
-// toCore converts the public config to the internal one.
-func (c Config) toCore() core.Config {
+// toCore converts the public config to the internal one, validating it at
+// the public boundary: zero fields fall back to Defaults(), negative
+// fields are rejected, and chain-length consistency (Burnin < Iters —
+// otherwise no post-burn-in samples would remain and every posterior mean
+// would be NaN) is checked on the *effective* values, so the outcome does
+// not depend on which of Iters/Burnin was left to default.
+func (c Config) toCore() (core.Config, error) {
 	cc := core.DefaultConfig()
+	switch {
+	case c.K < 0:
+		return cc, fmt.Errorf("bpmf: K must be >= 0 (0 = default %d), got %d", cc.K, c.K)
+	case c.Alpha < 0:
+		return cc, fmt.Errorf("bpmf: Alpha must be >= 0 (0 = default %g), got %g", cc.Alpha, c.Alpha)
+	case c.Iters < 0:
+		return cc, fmt.Errorf("bpmf: Iters must be >= 0 (0 = default %d), got %d", cc.Iters, c.Iters)
+	case c.Burnin < 0:
+		return cc, fmt.Errorf("bpmf: Burnin must be >= 0, got %d", c.Burnin)
+	}
 	if c.K > 0 {
 		cc.K = c.K
 	}
@@ -187,11 +203,19 @@ func (c Config) toCore() core.Config {
 		cc.Iters = c.Iters
 	}
 	if c.Burnin > 0 || c.Iters > 0 {
+		// The chain lengths are taken together: leaving both zero means the
+		// default 20/10 chain, setting either means Burnin is exactly
+		// c.Burnin (zero = no burn-in), never a leftover default.
 		cc.Burnin = c.Burnin
+	}
+	if cc.Burnin >= cc.Iters {
+		return cc, fmt.Errorf(
+			"bpmf: Burnin (%d) must be less than Iters (%d): no post-burn-in samples would remain for the posterior mean",
+			cc.Burnin, cc.Iters)
 	}
 	cc.Seed = c.Seed
 	cc.ClampMin, cc.ClampMax = c.ClampMin, c.ClampMax
-	return cc
+	return cc, nil
 }
 
 // Result holds a trained model and its evaluation trace.
@@ -215,18 +239,29 @@ func (r *Result) SampleRMSETrace() []float64 {
 }
 
 // Predict returns the model's rating estimate for (user, item) from the
-// final factor sample.
+// final factor sample, or NaN if either index is out of range.
 func (r *Result) Predict(user, item int) float64 {
+	if user < 0 || user >= r.res.U.Rows || item < 0 || item >= r.res.V.Rows {
+		return math.NaN()
+	}
 	return la.Dot(r.res.U.Row(user), r.res.V.Row(item))
 }
 
-// UserFactors returns a copy of the user's latent feature vector.
+// UserFactors returns a copy of the user's latent feature vector, or nil
+// if user is out of range.
 func (r *Result) UserFactors(user int) []float64 {
+	if user < 0 || user >= r.res.U.Rows {
+		return nil
+	}
 	return append([]float64(nil), r.res.U.Row(user)...)
 }
 
-// ItemFactors returns a copy of the item's latent feature vector.
+// ItemFactors returns a copy of the item's latent feature vector, or nil
+// if item is out of range.
 func (r *Result) ItemFactors(item int) []float64 {
+	if item < 0 || item >= r.res.V.Rows {
+		return nil
+	}
 	return append([]float64(nil), r.res.V.Row(item)...)
 }
 
@@ -247,6 +282,9 @@ type PredictionInterval struct {
 // Intervals returns posterior predictive intervals for every held-out
 // rating (nil if no test set was held out or burn-in never completed).
 func (r *Result) Intervals() []PredictionInterval {
+	if len(r.res.Intervals) == 0 {
+		return nil
+	}
 	out := make([]PredictionInterval, len(r.res.Intervals))
 	for i, iv := range r.res.Intervals {
 		out[i] = PredictionInterval{
@@ -266,15 +304,15 @@ func Train(data *Data, cfg Config) (*Result, error) {
 	if data == nil || data.prob == nil {
 		return nil, fmt.Errorf("bpmf: nil data")
 	}
-	cc := cfg.toCore()
+	cc, err := cfg.toCore()
+	if err != nil {
+		return nil, err
+	}
 	threads := cfg.Threads
 	if threads < 1 {
 		threads = 1
 	}
-	var (
-		res *core.Result
-		err error
-	)
+	var res *core.Result
 	switch cfg.Engine {
 	case Sequential:
 		var s *core.Sampler
@@ -304,6 +342,33 @@ func Train(data *Data, cfg Config) (*Result, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	return &Result{res: res, data: data}, nil
+}
+
+// TrainWithCheckpoint trains like Train and then serializes a resumable
+// snapshot of the finished chain to w — the file cmd/bpmf-serve loads
+// into a serving model. The snapshot is produced by the sequential
+// reference sampler regardless of cfg.Engine: every engine samples the
+// identical chain for a given Config, so the checkpoint bytes are the
+// same ones any engine's run would yield, and only wall-clock time
+// differs. Training errors and checkpoint I/O errors (full disk,
+// closed pipe) are both reported.
+func TrainWithCheckpoint(data *Data, cfg Config, w io.Writer) (*Result, error) {
+	if data == nil || data.prob == nil {
+		return nil, fmt.Errorf("bpmf: nil data")
+	}
+	cc, err := cfg.toCore()
+	if err != nil {
+		return nil, err
+	}
+	s, err := core.NewSampler(cc, data.prob)
+	if err != nil {
+		return nil, err
+	}
+	res := s.Run()
+	if err := s.Checkpoint().Write(w); err != nil {
+		return nil, fmt.Errorf("bpmf: writing checkpoint: %w", err)
 	}
 	return &Result{res: res, data: data}, nil
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro"
@@ -36,6 +37,7 @@ func main() {
 	ranks := flag.Int("ranks", 1, "virtual ranks for the distributed engine")
 	testFrac := flag.Float64("test", 0.2, "held-out fraction for RMSE")
 	reorder := flag.Bool("reorder", false, "communication-minimizing reordering (distributed)")
+	ckptOut := flag.String("ckpt-out", "", "write a resumable chain checkpoint here after training (servable with bpmf-serve)")
 	flag.Parse()
 
 	data, err := loadData(*dataPath, *synthetic, *scale, *testFrac, *seed)
@@ -60,7 +62,7 @@ func main() {
 	cfg.Ranks = *ranks
 	cfg.Reorder = *reorder
 
-	res, err := bpmf.Train(data, cfg)
+	res, err := train(data, cfg, *ckptOut)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,6 +76,41 @@ func main() {
 	kc := res.KernelCounts()
 	fmt.Printf("final RMSE %.6f  throughput %.0f updates/s  kernels[rankupdate=%d serial_chol=%d parallel_chol=%d]\n",
 		res.RMSE(), res.UpdatesPerSec(), kc[0], kc[1], kc[2])
+}
+
+// train runs Train, or TrainWithCheckpoint when a checkpoint path was
+// given. The checkpoint is written to a temp file and renamed into place
+// so a bpmf-serve watcher never observes a half-written snapshot.
+func train(data *bpmf.Data, cfg bpmf.Config, ckptOut string) (*bpmf.Result, error) {
+	if ckptOut == "" {
+		return bpmf.Train(data, cfg)
+	}
+	if cfg.Engine != bpmf.Sequential {
+		// TrainWithCheckpoint snapshots full sampler state, which only the
+		// sequential reference retains; the chain (and so the checkpoint)
+		// is bit-identical to what the requested engine would sample, but
+		// the run is single-threaded — say so instead of silently losing
+		// the parallelism the user asked for.
+		fmt.Printf("checkpoint requested: training with the sequential reference sampler (same chain; -engine %s and -threads ignored)\n", cfg.Engine)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(ckptOut), filepath.Base(ckptOut)+".tmp*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.Remove(tmp.Name())
+	res, err := bpmf.TrainWithCheckpoint(data, cfg, tmp)
+	if err != nil {
+		tmp.Close()
+		return nil, err
+	}
+	if err := tmp.Close(); err != nil {
+		return nil, err
+	}
+	if err := os.Rename(tmp.Name(), ckptOut); err != nil {
+		return nil, err
+	}
+	fmt.Printf("checkpoint written to %s\n", ckptOut)
+	return res, nil
 }
 
 func loadData(path, synthetic string, scale, testFrac float64, seed uint64) (*bpmf.Data, error) {

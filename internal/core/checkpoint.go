@@ -112,13 +112,20 @@ func (s *Sampler) RunFrom(firstIter int) *Result {
 }
 
 // Write serializes the checkpoint (own little-endian binary format; no
-// external dependencies).
+// external dependencies). Every write is error-checked: a full disk or a
+// broken pipe surfaces as an error instead of a silently truncated file
+// that would only be discovered at resume/serve time.
 func (c *Checkpoint) Write(w io.Writer) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	if _, err := bw.WriteString(ckptMagic); err != nil {
-		return err
+		return fmt.Errorf("core: writing checkpoint magic: %w", err)
 	}
-	writeU64 := func(v uint64) { binary.Write(bw, binary.LittleEndian, v) } //nolint:errcheck
+	var err error
+	writeU64 := func(v uint64) {
+		if err == nil {
+			err = binary.Write(bw, binary.LittleEndian, v)
+		}
+	}
 	writeU64(uint64(c.K))
 	writeU64(uint64(c.NextIter))
 	writeU64(c.Seed)
@@ -142,7 +149,13 @@ func (c *Checkpoint) Write(w io.Writer) error {
 	writeFloats(c.PredSumSq)
 	writeFloats(c.SampleRMSE)
 	writeFloats(c.AvgRMSE)
-	return bw.Flush()
+	if err != nil {
+		return fmt.Errorf("core: writing checkpoint: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("core: flushing checkpoint: %w", err)
+	}
+	return nil
 }
 
 // ReadCheckpoint deserializes a checkpoint written by Write.
@@ -181,14 +194,42 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	}
 	const maxDim = 1 << 31
 	if c.K <= 0 || c.K > 1<<16 || uRows < 0 || uRows > maxDim || vRows < 0 || vRows > maxDim ||
-		nTest < 0 || nTest > maxDim || nTrace < 0 || nTrace > 1<<24 {
+		nTest < 0 || nTest > maxDim || nTrace < 0 || nTrace > 1<<24 ||
+		c.NextIter < 0 || c.NSamples < 0 || c.ItemUpdates < 0 {
 		return nil, fmt.Errorf("core: implausible checkpoint header (K=%d U=%d V=%d test=%d)",
 			c.K, uRows, vRows, nTest)
 	}
+	// Validate the total element count the header implies before any
+	// allocation: a corrupt header must produce an error, not a
+	// multi-gigabyte make() — and the products are computed in int64, so a
+	// crafted rows*K can never overflow int on 32-bit platforms either.
+	// 1<<31 float64 elements = 16 GiB, already beyond any plausible
+	// checkpoint; real industrial runs (millions of rows x K <= 1024) stay
+	// orders of magnitude below it.
+	const maxElems = 1 << 31
+	total := int64(uRows)*int64(c.K) + int64(vRows)*int64(c.K) +
+		2*int64(nTest) + 2*int64(nTrace)
+	if int64(uRows)*int64(c.K) > maxElems || int64(vRows)*int64(c.K) > maxElems || total > maxElems {
+		return nil, fmt.Errorf("core: checkpoint header implies %d float64s (K=%d U=%d V=%d test=%d); refusing to allocate",
+			total, c.K, uRows, vRows, nTest)
+	}
+	// readFloats grows its slice in bounded chunks instead of one up-front
+	// make(n): a header that promises more data than the stream holds
+	// costs at most one chunk of over-allocation before the read error
+	// stops it.
+	const floatChunk = 1 << 16
 	readFloats := func(n int) []float64 {
-		v := make([]float64, n)
-		for i := range v {
-			v[i] = math.Float64frombits(readU64())
+		var v []float64
+		for len(v) < n && err == nil {
+			c := n - len(v)
+			if c > floatChunk {
+				c = floatChunk
+			}
+			start := len(v)
+			v = append(v, make([]float64, c)...)
+			for i := start; i < len(v); i++ {
+				v[i] = math.Float64frombits(readU64())
+			}
 		}
 		return v
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 
 	"repro/internal/datagen"
@@ -143,5 +144,134 @@ func TestReadCheckpointRejectsGarbage(t *testing.T) {
 	}
 	if _, err := ReadCheckpoint(bytes.NewBufferString(ckptMagic)); err == nil {
 		t.Fatal("expected truncation error")
+	}
+}
+
+func TestReadCheckpointTruncatedStreams(t *testing.T) {
+	prob := ckptProblem(t)
+	cfg := ckptConfig()
+	s, err := NewSampler(cfg, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for it := 0; it < 3; it++ {
+		s.Step(it)
+	}
+	var buf bytes.Buffer
+	if err := s.Checkpoint().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every strict prefix must produce an error, never a panic or a
+	// silently short checkpoint — including cuts inside the magic, the
+	// header, and the float body.
+	cuts := []int{0, 1, len(ckptMagic) - 1, len(ckptMagic), len(ckptMagic) + 3,
+		len(ckptMagic) + 8*5, len(full) / 4, len(full) / 2, len(full) - 8, len(full) - 1}
+	for _, cut := range cuts {
+		if _, err := ReadCheckpoint(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d/%d bytes: expected error", cut, len(full))
+		}
+	}
+	// The untruncated stream still reads.
+	if _, err := ReadCheckpoint(bytes.NewReader(full)); err != nil {
+		t.Fatalf("full stream: %v", err)
+	}
+}
+
+// craftHeader builds a syntactically valid checkpoint header with the
+// given dimension fields and no body.
+func craftHeader(k, nextIter, uRows, vRows, nTest, nSamples, nTrace uint64) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(ckptMagic)
+	w := func(v uint64) {
+		var b [8]byte
+		for i := 0; i < 8; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
+		buf.Write(b[:])
+	}
+	w(k)
+	w(nextIter)
+	w(42) // seed
+	w(uRows)
+	w(vRows)
+	w(nTest)
+	w(nSamples)
+	w(nTrace)
+	w(0) // item updates
+	w(0)
+	w(0)
+	w(0) // kernel counts
+	return buf.Bytes()
+}
+
+func TestReadCheckpointRejectsImplausibleHeaders(t *testing.T) {
+	cases := []struct {
+		name string
+		hdr  []byte
+	}{
+		{"zero K", craftHeader(0, 0, 10, 10, 0, 0, 0)},
+		{"huge K", craftHeader(1<<20, 0, 10, 10, 0, 0, 0)},
+		{"negative uRows", craftHeader(8, 0, 1<<63, 10, 0, 0, 0)},
+		{"negative NextIter", craftHeader(8, 1<<63, 10, 10, 0, 0, 0)},
+		{"negative NSamples", craftHeader(8, 0, 10, 10, 0, 1<<63, 0)},
+		{"huge trace", craftHeader(8, 0, 10, 10, 0, 0, 1<<30)},
+		// Each dimension is individually in range, but rows*K overflows
+		// the element cap: must error before allocating.
+		{"product overflow", craftHeader(1<<16, 0, 1<<31, 1<<31, 1<<31, 0, 0)},
+		{"product overflow V", craftHeader(1<<16, 0, 10, 1<<31, 0, 0, 0)},
+	}
+	for _, tc := range cases {
+		if _, err := ReadCheckpoint(bytes.NewReader(tc.hdr)); err == nil {
+			t.Fatalf("%s: expected header rejection", tc.name)
+		}
+	}
+}
+
+// chokedWriter fails after accepting limit bytes, like a disk filling up.
+type chokedWriter struct {
+	limit   int
+	written int
+}
+
+func (w *chokedWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.limit {
+		n := w.limit - w.written
+		if n < 0 {
+			n = 0
+		}
+		w.written = w.limit
+		return n, errShortDisk
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+var errShortDisk = fmt.Errorf("no space left on device")
+
+func TestCheckpointWritePropagatesIOErrors(t *testing.T) {
+	prob := ckptProblem(t)
+	cfg := ckptConfig()
+	s, err := NewSampler(cfg, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step(0)
+	ckpt := s.Checkpoint()
+	var buf bytes.Buffer
+	if err := ckpt.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	size := buf.Len()
+	// A writer that chokes at any point must surface an error: a full
+	// disk can never masquerade as a successful checkpoint.
+	for _, limit := range []int{0, 1, 16, size / 2, size - 1} {
+		w := &chokedWriter{limit: limit}
+		if err := ckpt.Write(w); err == nil {
+			t.Fatalf("limit %d/%d bytes: Write reported success", limit, size)
+		}
+	}
+	if err := ckpt.Write(&chokedWriter{limit: size}); err != nil {
+		t.Fatalf("exact-size writer must succeed: %v", err)
 	}
 }

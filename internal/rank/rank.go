@@ -1,0 +1,139 @@
+// Package rank is the ranking core shared by the public
+// Recommend/EvaluateRanking API and the serving layer (internal/serve):
+// batch scoring of one user vector against every item factor with the
+// allocation-free la kernels, and top-N selection with training-set
+// exclusion.
+//
+// Keeping one implementation here guarantees the offline evaluator and
+// the online server rank identically: same scores (bit for bit — the
+// blocked Gemv keeps each item's inner-product summation order equal to
+// the per-item Dot loop it replaced), same heap tie-breaking, same
+// exclusion semantics.
+package rank
+
+import (
+	"container/heap"
+
+	"repro/internal/la"
+)
+
+// Item is one ranked item: its index and predicted score.
+type Item struct {
+	Index int
+	Score float64
+}
+
+// scorePanel is the item-panel height of the blocked scoring pass: V is
+// walked in contiguous panels of this many rows so each Gemv works on a
+// cache-resident block of the factor matrix.
+const scorePanel = 256
+
+// ScoreInto writes u·vⱼ for every item row vⱼ of v into out (len must be
+// v.Rows). The pass runs la.Gemv over fixed-size item panels; per item
+// the summation order equals la.Dot(u, v.Row(j)), so scores are
+// bit-identical to the naive per-item loop. It allocates nothing.
+func ScoreInto(v *la.Matrix, u la.Vector, out []float64) {
+	if len(u) != v.Cols || len(out) != v.Rows {
+		panic("rank: ScoreInto dimension mismatch")
+	}
+	panel := la.Matrix{Cols: v.Cols}
+	for lo := 0; lo < v.Rows; lo += scorePanel {
+		hi := lo + scorePanel
+		if hi > v.Rows {
+			hi = v.Rows
+		}
+		panel.Rows = hi - lo
+		panel.Data = v.Data[lo*v.Cols : hi*v.Cols]
+		la.Gemv(1, &panel, u, 0, out[lo:hi])
+	}
+}
+
+// TopN accumulates the n highest-scoring items offered to it, keeping a
+// min-heap of the current winners (the root is the weakest). Offer order
+// matters only for ties; callers that need deterministic output offer
+// items in ascending index order.
+type TopN struct {
+	n int
+	h itemHeap
+}
+
+// NewTopN returns an accumulator for the n best items (n >= 0). n is a
+// request-controlled value: the pre-allocation is capped and the heap
+// grows on demand, so an absurd n costs nothing until items are actually
+// offered (the heap can never outgrow the number of offers).
+func NewTopN(n int) *TopN {
+	t := &TopN{n: n}
+	if n > 0 {
+		c := n
+		if c > 1024 {
+			c = 1024
+		}
+		t.h = make(itemHeap, 0, c)
+	}
+	return t
+}
+
+// Offer considers one item. It is kept if fewer than n items have been
+// kept so far or its score strictly beats the current weakest.
+func (t *TopN) Offer(index int, score float64) {
+	if t.n <= 0 {
+		return
+	}
+	if len(t.h) < t.n {
+		heap.Push(&t.h, Item{Index: index, Score: score})
+	} else if score > t.h[0].Score {
+		t.h[0] = Item{Index: index, Score: score}
+		heap.Fix(&t.h, 0)
+	}
+}
+
+// Take drains the accumulator, returning the kept items sorted by
+// descending score. The accumulator is empty afterwards.
+func (t *TopN) Take() []Item {
+	if len(t.h) == 0 {
+		return nil
+	}
+	out := make([]Item, len(t.h))
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&t.h).(Item)
+	}
+	return out
+}
+
+// TopNScoresExcluding ranks scores[0..len) and returns the top n items,
+// skipping the indices in excl (which must be sorted ascending — the CSR
+// row-view contract; nil excludes nothing). Fewer than n items are
+// returned when the catalog minus exclusions is smaller than n; any n,
+// including math.MaxInt, is safe.
+func TopNScoresExcluding(scores []float64, excl []int32, n int) []Item {
+	if n > len(scores) {
+		n = len(scores)
+	}
+	t := NewTopN(n)
+	e := 0
+	for i, s := range scores {
+		for e < len(excl) && int(excl[e]) < i {
+			e++
+		}
+		if e < len(excl) && int(excl[e]) == i {
+			continue
+		}
+		t.Offer(i, s)
+	}
+	return t.Take()
+}
+
+// itemHeap is a min-heap of items by score.
+type itemHeap []Item
+
+func (h itemHeap) Len() int           { return len(h) }
+func (h itemHeap) Less(i, j int) bool { return h[i].Score < h[j].Score }
+func (h itemHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x any)        { *h = append(*h, x.(Item)) }
+func (h *itemHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

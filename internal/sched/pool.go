@@ -65,8 +65,9 @@ func NewPool(n int) *Pool {
 // NumWorkers returns the number of workers in the pool.
 func (p *Pool) NumWorkers() int { return len(p.workers) }
 
-// Close shuts the pool down after draining currently queued work is NOT
-// guaranteed; callers should Sync their groups first.
+// Close shuts the pool down and waits for all workers to exit. Draining
+// currently queued work is NOT guaranteed; callers should Sync their
+// groups first.
 func (p *Pool) Close() {
 	p.sleepMu.Lock()
 	if p.closed {

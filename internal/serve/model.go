@@ -1,0 +1,382 @@
+// Package serve turns a trained BPMF chain into an online model server:
+// the paper's headline use case is industrial-scale recommendation whose
+// 15-day runs must ultimately *serve* predictions, with the confidence
+// intervals the introduction credits BPMF for.
+//
+// A core.Checkpoint is loaded into an immutable Model snapshot; a Server
+// holds the current snapshot behind an atomic pointer and hot-swaps it on
+// reload (SIGHUP or file change), so queries never block on a reload and
+// never observe a half-loaded model. Batch scoring runs through the same
+// internal/rank core the offline evaluator uses (blocked Gemv over item
+// panels); top-N lists can be precomputed, sharded over an
+// internal/sched worker pool; and cold-start users are folded in by
+// sampling their factor row from the checkpointed posterior with the
+// sampler's own core.UpdateItem conditional.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/la"
+	"repro/internal/rank"
+	"repro/internal/sched"
+	"repro/internal/sparse"
+)
+
+// Errors returned by the query API. The serving layer never panics on
+// malformed input: out-of-range indices and inconsistent request shapes
+// come back as these documented errors.
+var (
+	ErrUserRange = errors.New("serve: user index out of range")
+	ErrItemRange = errors.New("serve: item index out of range")
+	ErrBadInput  = errors.New("serve: malformed request")
+)
+
+// Options configures how a checkpoint becomes a serving model.
+type Options struct {
+	// Alpha is the observation precision the chain was trained with
+	// (Config.Alpha). <= 0 falls back to the core default. It sets the
+	// observation-noise floor of every predictive Std and the fold-in
+	// likelihood weight.
+	Alpha float64
+	// ClampMin/ClampMax clip served predictions to the rating range
+	// (ClampMax <= ClampMin disables clipping), matching training.
+	ClampMin, ClampMax float64
+	// Exclude lists each user's already-rated items (the training
+	// matrix); Recommend skips them. nil excludes nothing.
+	Exclude *sparse.CSR
+	// Test aligns the checkpoint's PredSum/PredSumSq accumulators with
+	// their (user, item) identities — the held-out entries of the
+	// training run, in split order. When given, Predict serves the exact
+	// posterior predictive mean/std for those pairs.
+	Test []sparse.Entry
+	// PinSeed, when true, rejects checkpoints whose Seed differs from
+	// Seed. Set it whenever Test (and Exclude) were reconstructed from a
+	// specific training run's seed: a hot reload of a chain retrained
+	// under another seed would otherwise pass the count-only shape checks
+	// and serve posterior accumulators aligned to the wrong (user, item)
+	// pairs.
+	PinSeed bool
+	// Seed is the training seed Test was derived from (with PinSeed).
+	Seed uint64
+	// TopN > 0 precomputes every user's top-TopN list at load time;
+	// Recommend answers requests with n <= TopN from the table.
+	TopN int
+	// Pool shards the top-N precompute across its workers (nil =
+	// sequential). The pool is only used during NewModel.
+	Pool *sched.Pool
+}
+
+// Prediction is one served rating estimate.
+type Prediction struct {
+	// Score is the (clamped) point prediction u·v from the final factor
+	// sample.
+	Score float64
+	// Mean and Std summarize the posterior predictive distribution. For
+	// pairs covered by the checkpoint's accumulators they are the exact
+	// across-sample mean and spread (plus 1/Alpha observation noise);
+	// otherwise Mean repeats Score and Std is the observation-noise
+	// floor.
+	Mean, Std float64
+	// Posterior reports whether Mean/Std came from the checkpointed
+	// across-sample accumulators.
+	Posterior bool
+}
+
+// postStat is a checkpointed posterior predictive summary for one pair.
+type postStat struct{ mean, std float64 }
+
+// Model is an immutable serving snapshot of a trained chain. All methods
+// are safe for concurrent use; nothing is mutated after NewModel returns
+// (the fold-in scratch pool is internally synchronized).
+type Model struct {
+	k        int
+	u, v     *la.Matrix
+	cfg      core.Config // kernel selection + alpha for fold-in
+	seed     uint64
+	nextIter int
+	nSamples int
+	hyperU   *core.Hyper
+	alpha    float64
+	clampMin float64
+	clampMax float64
+	exclude  *sparse.CSR
+	post     map[uint64]postStat
+	table    *Table
+
+	ws     sync.Pool // *core.Workspace for fold-in draws
+	scores sync.Pool // *[]float64 NumItems-sized buffers for live ranking
+}
+
+// NewModel validates a checkpoint and builds an immutable serving
+// snapshot from it. The user-side hyperparameters needed for fold-in are
+// reconstructed deterministically: they are exactly the (μ, Λ) the
+// resumed chain would draw for the user side at iteration
+// ckpt.NextIter, since that draw is keyed by (seed, iter, side) and
+// conditions on the checkpointed U.
+func NewModel(ckpt *core.Checkpoint, opts Options) (*Model, error) {
+	if ckpt == nil || ckpt.U == nil || ckpt.V == nil {
+		return nil, fmt.Errorf("%w: nil checkpoint", ErrBadInput)
+	}
+	k := ckpt.K
+	if k < 1 || ckpt.U.Cols != k || ckpt.V.Cols != k {
+		return nil, fmt.Errorf("%w: checkpoint K=%d does not match factor shapes %dx%d / %dx%d",
+			ErrBadInput, k, ckpt.U.Rows, ckpt.U.Cols, ckpt.V.Rows, ckpt.V.Cols)
+	}
+	if ckpt.U.Rows < 1 || ckpt.V.Rows < 1 {
+		return nil, fmt.Errorf("%w: checkpoint has no users or no items", ErrBadInput)
+	}
+	if opts.Exclude != nil && (opts.Exclude.M != ckpt.U.Rows || opts.Exclude.N != ckpt.V.Rows) {
+		return nil, fmt.Errorf("%w: exclusion matrix %dx%d does not match model %dx%d",
+			ErrBadInput, opts.Exclude.M, opts.Exclude.N, ckpt.U.Rows, ckpt.V.Rows)
+	}
+	if opts.Test != nil && len(opts.Test) != len(ckpt.PredSum) {
+		return nil, fmt.Errorf("%w: %d test entries do not match %d checkpointed accumulators",
+			ErrBadInput, len(opts.Test), len(ckpt.PredSum))
+	}
+	if opts.PinSeed && ckpt.Seed != opts.Seed {
+		return nil, fmt.Errorf("%w: checkpoint seed %d does not match the pinned training seed %d",
+			ErrBadInput, ckpt.Seed, opts.Seed)
+	}
+	alpha := opts.Alpha
+	if alpha <= 0 {
+		alpha = core.DefaultConfig().Alpha
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.K = k
+	cfg.Alpha = alpha
+	cfg.Seed = ckpt.Seed
+	cfg.Burnin = 0
+
+	m := &Model{
+		k:        k,
+		u:        ckpt.U.Clone(),
+		v:        ckpt.V.Clone(),
+		cfg:      cfg,
+		seed:     ckpt.Seed,
+		nextIter: ckpt.NextIter,
+		nSamples: ckpt.NSamples,
+		alpha:    alpha,
+		clampMin: opts.ClampMin,
+		clampMax: opts.ClampMax,
+		exclude:  opts.Exclude,
+	}
+	m.ws.New = func() any { return core.NewWorkspace(k) }
+	nItems := m.v.Rows
+	m.scores.New = func() any { s := make([]float64, nItems); return &s }
+
+	// User-side hyperparameters for fold-in: the single-group moment
+	// reduction over the checkpointed U, drawn from the keyed stream of
+	// iteration NextIter — bit-identical to the resumed sampler's own
+	// user-side draw.
+	mom := core.MomentsGrouped(m.u, core.GroupBoundaries(nil, m.u.Rows), k, nil)
+	m.hyperU = core.NewHyper(k)
+	core.SampleHyper(core.DefaultNWPrior(k), mom, core.HyperStream(m.seed, m.nextIter, core.SideU), m.hyperU)
+
+	// Posterior predictive summaries of the checkpointed accumulators,
+	// mirroring core.Predictor.Intervals.
+	if opts.Test != nil && ckpt.NSamples > 0 {
+		m.post = make(map[uint64]postStat, len(opts.Test))
+		n := float64(ckpt.NSamples)
+		for t, e := range opts.Test {
+			mean := ckpt.PredSum[t] / n
+			variance := ckpt.PredSumSq[t]/n - mean*mean
+			if variance < 0 {
+				variance = 0
+			}
+			variance += 1 / alpha
+			m.post[pairKey(int(e.Row), int(e.Col))] = postStat{mean: mean, std: math.Sqrt(variance)}
+		}
+	}
+
+	if opts.TopN > 0 {
+		m.table = precomputeTopN(m, opts.Pool, opts.TopN)
+	}
+	return m, nil
+}
+
+// pairKey packs a (user, item) pair into one map key.
+func pairKey(user, item int) uint64 { return uint64(uint32(user))<<32 | uint64(uint32(item)) }
+
+// NumUsers returns the number of user rows in the snapshot.
+func (m *Model) NumUsers() int { return m.u.Rows }
+
+// NumItems returns the number of item rows in the snapshot.
+func (m *Model) NumItems() int { return m.v.Rows }
+
+// K returns the latent dimension.
+func (m *Model) K() int { return m.k }
+
+// NSamples returns how many post-burn-in samples the checkpoint's
+// posterior accumulators average over.
+func (m *Model) NSamples() int { return m.nSamples }
+
+// clamp applies the configured rating-range clip.
+func (m *Model) clamp(v float64) float64 {
+	if m.clampMax > m.clampMin {
+		v = math.Min(m.clampMax, math.Max(m.clampMin, v))
+	}
+	return v
+}
+
+// obsStd is the observation-noise floor of every predictive Std.
+func (m *Model) obsStd() float64 { return math.Sqrt(1 / m.alpha) }
+
+// Predict serves the rating estimate for (user, item) with its posterior
+// predictive mean and standard deviation.
+func (m *Model) Predict(user, item int) (Prediction, error) {
+	if user < 0 || user >= m.u.Rows {
+		return Prediction{}, fmt.Errorf("%w: user %d of %d", ErrUserRange, user, m.u.Rows)
+	}
+	if item < 0 || item >= m.v.Rows {
+		return Prediction{}, fmt.Errorf("%w: item %d of %d", ErrItemRange, item, m.v.Rows)
+	}
+	score := m.clamp(la.Dot(m.u.Row(user), m.v.Row(item)))
+	p := Prediction{Score: score, Mean: score, Std: m.obsStd()}
+	if st, ok := m.post[pairKey(user, item)]; ok {
+		p.Mean, p.Std, p.Posterior = st.mean, st.std, true
+	}
+	return p, nil
+}
+
+// ScoreUser writes the user's raw predicted score u·v for every item
+// into out, which must have length NumItems. The pass is the blocked
+// batch-Gemv of internal/rank, not a per-item Dot loop. Scores are NOT
+// clamped: ranking must happen on raw predictions (clamping would
+// collapse every above-range prediction into a tie at ClampMax and
+// degrade top-N order to index order); apply clamp to values shown to
+// users.
+func (m *Model) ScoreUser(user int, out []float64) error {
+	if user < 0 || user >= m.u.Rows {
+		return fmt.Errorf("%w: user %d of %d", ErrUserRange, user, m.u.Rows)
+	}
+	return m.ScoreVector(m.u.Row(user), out)
+}
+
+// ScoreVector scores an explicit user factor vector (e.g. a fold-in
+// result) against every item. out must have length NumItems. Like
+// ScoreUser, scores are raw (unclamped).
+func (m *Model) ScoreVector(u la.Vector, out []float64) error {
+	if len(u) != m.k {
+		return fmt.Errorf("%w: factor vector has %d features, model has %d", ErrBadInput, len(u), m.k)
+	}
+	if len(out) != m.v.Rows {
+		return fmt.Errorf("%w: score buffer has %d slots, model has %d items", ErrBadInput, len(out), m.v.Rows)
+	}
+	rank.ScoreInto(m.v, u, out)
+	return nil
+}
+
+// Recommend returns the user's top-n items, excluding the user's
+// already-rated items when the model was built with an exclusion matrix.
+// Ranking is by raw predicted score; the reported Score of each item is
+// clamped to the serving rating range, matching Predict. Requests with
+// n <= the precomputed table size are answered from the table; the two
+// paths share one ranking core and return identical lists. n <= 0
+// returns nil.
+func (m *Model) Recommend(user, n int) ([]rank.Item, error) {
+	if user < 0 || user >= m.u.Rows {
+		return nil, fmt.Errorf("%w: user %d of %d", ErrUserRange, user, m.u.Rows)
+	}
+	if n <= 0 {
+		return nil, nil
+	}
+	if m.table != nil && n <= m.table.n {
+		return m.clampItems(m.table.get(user, n)), nil
+	}
+	scores := m.leaseScores()
+	defer m.scores.Put(scores)
+	if err := m.ScoreUser(user, *scores); err != nil {
+		return nil, err
+	}
+	return m.clampItems(rank.TopNScoresExcluding(*scores, m.excludeRow(user), n)), nil
+}
+
+// RecommendVector ranks every item for an explicit factor vector,
+// skipping the ascending-sorted exclusion list excl (nil = none). It is
+// the recommendation path for folded-in users, whose rated items are
+// their exclusion list. Like Recommend, ranking is raw and reported
+// scores are clamped.
+func (m *Model) RecommendVector(u la.Vector, excl []int32, n int) ([]rank.Item, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	scores := m.leaseScores()
+	defer m.scores.Put(scores)
+	if err := m.ScoreVector(u, *scores); err != nil {
+		return nil, err
+	}
+	return m.clampItems(rank.TopNScoresExcluding(*scores, excl, n)), nil
+}
+
+// leaseScores leases a NumItems-sized score buffer from the model's
+// pool: the live recommendation path is the layer's request hot loop and
+// must not allocate a catalog-sized slice per request.
+func (m *Model) leaseScores() *[]float64 {
+	return m.scores.Get().(*[]float64)
+}
+
+// clampItems clamps the reported scores of a ranked list in place and
+// returns it.
+func (m *Model) clampItems(items []rank.Item) []rank.Item {
+	if m.clampMax > m.clampMin {
+		for i := range items {
+			items[i].Score = m.clamp(items[i].Score)
+		}
+	}
+	return items
+}
+
+// excludeRow returns the user's sorted already-rated item list (nil when
+// no exclusion matrix was configured).
+func (m *Model) excludeRow(user int) []int32 {
+	if m.exclude == nil {
+		return nil
+	}
+	cols, _ := m.exclude.Row(user)
+	return cols
+}
+
+// FoldIn samples a factor row for a user that was not in the training
+// run, conditioned on its observed ratings — the cold-start path that
+// folds a new user into the posterior without re-running the chain. The
+// draw is the sampler's own core.UpdateItem conditional
+//
+//	u_new ~ N(Λ*⁻¹(Λμ + α Σ r_j v_j), Λ*⁻¹), Λ* = Λ + α Σ v_j v_jᵀ
+//
+// using the model's reconstructed user-side hyperparameters and the
+// checkpointed item factors. items must be strictly ascending (the CSR
+// row contract — it fixes the accumulation order, making the draw
+// deterministic) with one rating value each; items may be empty, which
+// yields a draw from the user prior. key seeds the draw's random stream:
+// equal (model, items, vals, key) always returns the identical vector.
+func (m *Model) FoldIn(items []int32, vals []float64, key int) (la.Vector, error) {
+	if len(items) != len(vals) {
+		return nil, fmt.Errorf("%w: %d items vs %d values", ErrBadInput, len(items), len(vals))
+	}
+	for p, it := range items {
+		if int(it) < 0 || int(it) >= m.v.Rows {
+			return nil, fmt.Errorf("%w: rated item %d of %d", ErrItemRange, it, m.v.Rows)
+		}
+		if p > 0 && items[p-1] >= it {
+			return nil, fmt.Errorf("%w: rated items must be strictly ascending (got %d after %d)",
+				ErrBadInput, it, items[p-1])
+		}
+	}
+	ws := m.ws.Get().(*core.Workspace)
+	defer m.ws.Put(ws)
+	out := la.NewVector(m.k)
+	kern := m.cfg.SelectKernel(len(items))
+	core.UpdateItem(ws, kern, &m.cfg, items, vals, m.v, m.hyperU,
+		core.ItemStream(m.seed, m.nextIter, core.SideU, key), nil, nil, out)
+	return out, nil
+}
+
+// userHyper exposes the reconstructed user-side hyperparameters to the
+// fold-in property test.
+func (m *Model) userHyper() *core.Hyper { return m.hyperU }

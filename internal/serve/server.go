@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// LoadModel reads a checkpoint file and builds a serving model from it.
+func LoadModel(path string, opts Options) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening checkpoint: %w", err)
+	}
+	defer f.Close()
+	ckpt, err := core.ReadCheckpoint(f)
+	if err != nil {
+		return nil, err
+	}
+	return NewModel(ckpt, opts)
+}
+
+// Server owns the current serving snapshot and swaps it atomically on
+// reload. Queries go through Model() and keep whatever snapshot they
+// grabbed — a reload never blocks readers, never tears a half-loaded
+// model into view, and a failed reload leaves the last good snapshot
+// serving.
+type Server struct {
+	path string
+	opts Options
+
+	cur atomic.Pointer[Model]
+
+	// reloadMu serializes reloads (concurrent SIGHUP + watcher ticks);
+	// readers never take it.
+	reloadMu sync.Mutex
+	mtime    time.Time
+	size     int64
+
+	// Reloads counts successful snapshot swaps since Open (the initial
+	// load is the first).
+	Reloads atomic.Int64
+}
+
+// Open loads the checkpoint at path into a Server. The Options are
+// reused for every subsequent reload.
+func Open(path string, opts Options) (*Server, error) {
+	s := &Server{path: path, opts: opts}
+	if err := s.Reload(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Model returns the current immutable snapshot. Callers should grab it
+// once per request and use it for the whole request, so one request
+// never mixes two snapshots.
+func (s *Server) Model() *Model { return s.cur.Load() }
+
+// Reload reads the checkpoint file and swaps in a fresh snapshot. On any
+// error the previous snapshot keeps serving unchanged.
+func (s *Server) Reload() error {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	fi, err := os.Stat(s.path)
+	if err != nil {
+		return fmt.Errorf("serve: stat checkpoint: %w", err)
+	}
+	m, err := LoadModel(s.path, s.opts)
+	if err != nil {
+		return err
+	}
+	s.cur.Store(m)
+	s.mtime, s.size = fi.ModTime(), fi.Size()
+	s.Reloads.Add(1)
+	return nil
+}
+
+// MaybeReload stats the checkpoint file and reloads only if its mtime or
+// size changed since the last successful reload. It reports whether a
+// swap happened.
+func (s *Server) MaybeReload() (bool, error) {
+	s.reloadMu.Lock()
+	fi, err := os.Stat(s.path)
+	if err != nil {
+		s.reloadMu.Unlock()
+		return false, fmt.Errorf("serve: stat checkpoint: %w", err)
+	}
+	unchanged := fi.ModTime().Equal(s.mtime) && fi.Size() == s.size
+	s.reloadMu.Unlock()
+	if unchanged {
+		return false, nil
+	}
+	if err := s.Reload(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Watch polls the checkpoint file every interval and hot-reloads on
+// change, until ctx is done. Reload errors are reported to onErr (nil =
+// dropped) and do not stop the watch — a checkpoint mid-write simply
+// fails validation and is retried on the next tick.
+func (s *Server) Watch(ctx context.Context, interval time.Duration, onErr func(error)) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if _, err := s.MaybeReload(); err != nil && onErr != nil {
+				onErr(err)
+			}
+		}
+	}
+}

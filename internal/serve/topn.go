@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"repro/internal/rank"
+	"repro/internal/sched"
+)
+
+// Table is a precomputed per-user top-N index: the sharded batch-scoring
+// pass every heavy-traffic deployment wants, so request-time Recommend
+// is a slice copy instead of a catalog scan.
+type Table struct {
+	n     int
+	lists [][]rank.Item
+}
+
+// tableGrain is the user-block size of the precompute shard: large
+// enough to amortize task overhead, small enough to rebalance the skewed
+// per-user exclusion costs.
+const tableGrain = 64
+
+// precomputeTopN builds the table by batch-scoring every user, sharded
+// over the pool's workers (nil pool = sequential). Each worker leases
+// its score buffer from an arena, so the sweep allocates only the result
+// lists. The per-user work is identical to the live Recommend path —
+// same scoring, same ranking core — so table and live answers agree
+// exactly.
+func precomputeTopN(m *Model, pool *sched.Pool, n int) *Table {
+	t := &Table{n: n, lists: make([][]rank.Item, m.u.Rows)}
+	buffers := sched.NewArena(func() []float64 { return make([]float64, m.v.Rows) })
+	fill := func(w *sched.Worker, lo, hi int) {
+		scores := buffers.Get(w)
+		for user := lo; user < hi; user++ {
+			// ScoreUser cannot fail here: user is in range by loop bounds
+			// and the buffer was sized off the model.
+			_ = m.ScoreUser(user, scores)
+			t.lists[user] = rank.TopNScoresExcluding(scores, m.excludeRow(user), n)
+		}
+		buffers.Put(w, scores)
+	}
+	if pool != nil {
+		pool.ParallelFor(0, m.u.Rows, tableGrain, fill)
+	} else {
+		fill(nil, 0, m.u.Rows)
+	}
+	return t
+}
+
+// get returns a copy of the first n entries of the user's list (the
+// table is shared across requests and must stay immutable).
+func (t *Table) get(user, n int) []rank.Item {
+	l := t.lists[user]
+	if n > len(l) {
+		n = len(l)
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]rank.Item, n)
+	copy(out, l[:n])
+	return out
+}

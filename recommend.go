@@ -1,11 +1,10 @@
 package bpmf
 
 import (
-	"container/heap"
 	"math"
 	"sort"
 
-	"repro/internal/la"
+	"repro/internal/rank"
 )
 
 // Scored is one recommendation: an item and its predicted rating.
@@ -16,61 +15,46 @@ type Scored struct {
 
 // Recommend returns the user's top-n unseen items by predicted rating
 // (items the user rated in the training data are excluded — the standard
-// recommender-system protocol the paper's introduction describes).
+// recommender-system protocol the paper's introduction describes). It
+// returns nil if user is out of range or n <= 0, and fewer than n items
+// when the user has fewer than n unrated items. Scoring and selection run
+// through the same ranking core the serving layer uses (internal/rank):
+// a blocked Gemv over item panels feeding a bounded min-heap.
 func (r *Result) Recommend(user, n int) []Scored {
-	if n <= 0 {
-		return nil
-	}
-	seen := map[int32]bool{}
-	if r.data != nil {
-		cols, _ := r.data.prob.R.Row(user)
-		for _, c := range cols {
-			seen[c] = true
-		}
-	}
-	u := r.res.U.Row(user)
-	h := &scoredHeap{}
-	heap.Init(h)
-	for item := 0; item < r.res.V.Rows; item++ {
-		if seen[int32(item)] {
-			continue
-		}
-		s := la.Dot(u, r.res.V.Row(item))
-		if h.Len() < n {
-			heap.Push(h, Scored{Item: item, Score: s})
-		} else if s > (*h)[0].Score {
-			(*h)[0] = Scored{Item: item, Score: s}
-			heap.Fix(h, 0)
-		}
-	}
-	out := make([]Scored, h.Len())
-	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(h).(Scored)
-	}
-	return out
+	return r.recommendInto(user, n, nil)
 }
 
-// scoredHeap is a min-heap by score (the root is the weakest of the
-// current top-n).
-type scoredHeap []Scored
-
-func (h scoredHeap) Len() int           { return len(h) }
-func (h scoredHeap) Less(i, j int) bool { return h[i].Score < h[j].Score }
-func (h scoredHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *scoredHeap) Push(x any)        { *h = append(*h, x.(Scored)) }
-func (h *scoredHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+// recommendInto is Recommend with an optional reusable score buffer of
+// length NumItems (nil allocates one): EvaluateRanking calls it once per
+// evaluated user and must not churn a catalog-sized slice per call.
+func (r *Result) recommendInto(user, n int, scores []float64) []Scored {
+	if n <= 0 || user < 0 || user >= r.res.U.Rows {
+		return nil
+	}
+	var excl []int32
+	if r.data != nil {
+		excl, _ = r.data.prob.R.Row(user)
+	}
+	if scores == nil {
+		scores = make([]float64, r.res.V.Rows)
+	}
+	rank.ScoreInto(r.res.V, r.res.U.Row(user), scores)
+	items := rank.TopNScoresExcluding(scores, excl, n)
+	if len(items) == 0 {
+		return nil
+	}
+	out := make([]Scored, len(items))
+	for i, it := range items {
+		out[i] = Scored{Item: it.Index, Score: it.Score}
+	}
+	return out
 }
 
 // RankingReport holds averaged top-k ranking quality over the held-out
 // test set.
 type RankingReport struct {
 	// Users is the number of users with at least one relevant held-out
-	// item that entered the average.
+	// item and at least one recommendable item that entered the average.
 	Users int
 	// PrecisionAtK / RecallAtK / NDCGAtK are means over those users.
 	PrecisionAtK, RecallAtK, NDCGAtK float64
@@ -80,7 +64,10 @@ type RankingReport struct {
 // held-out ratings: an item is *relevant* for a user if its held-out
 // rating is >= relevanceThreshold. Returns averaged precision@k,
 // recall@k and NDCG@k over users with at least one relevant held-out
-// item.
+// item. Users with nothing recommendable (every item rated in training)
+// are skipped; for users with fewer than k recommendable items the
+// metrics are computed over the list actually recommended, so a short
+// catalog does not deflate precision@k or NDCG@k.
 func (r *Result) EvaluateRanking(k int, relevanceThreshold float64) RankingReport {
 	if r.data == nil || k <= 0 {
 		return RankingReport{}
@@ -103,9 +90,14 @@ func (r *Result) EvaluateRanking(k int, relevanceThreshold float64) RankingRepor
 	sort.Ints(users)
 
 	var rep RankingReport
+	scores := make([]float64, r.res.V.Rows)
 	for _, u := range users {
 		rel := relevant[u]
-		top := r.Recommend(u, k)
+		top := r.recommendInto(u, k, scores)
+		if len(top) == 0 {
+			// Nothing recommendable for this user; precision is undefined.
+			continue
+		}
 		hits := 0
 		dcg := 0.0
 		for rank, s := range top {
@@ -114,16 +106,18 @@ func (r *Result) EvaluateRanking(k int, relevanceThreshold float64) RankingRepor
 				dcg += 1 / math.Log2(float64(rank)+2)
 			}
 		}
+		// The ideal ranker can place at most min(|relevant|, |returned|)
+		// hits in the list it was able to produce.
 		idealHits := len(rel)
-		if idealHits > k {
-			idealHits = k
+		if idealHits > len(top) {
+			idealHits = len(top)
 		}
 		idcg := 0.0
 		for rank := 0; rank < idealHits; rank++ {
 			idcg += 1 / math.Log2(float64(rank)+2)
 		}
 		rep.Users++
-		rep.PrecisionAtK += float64(hits) / float64(k)
+		rep.PrecisionAtK += float64(hits) / float64(len(top))
 		rep.RecallAtK += float64(hits) / float64(len(rel))
 		if idcg > 0 {
 			rep.NDCGAtK += dcg / idcg
