@@ -91,6 +91,23 @@ func DataFromMatrixMarket(r io.Reader, testFrac float64, seed uint64) (*Data, er
 	if err != nil {
 		return nil, err
 	}
+	return dataFromMatrix(full, testFrac, seed), nil
+}
+
+// DataFromFile reads the rating matrix at path, sniffing the on-disk
+// format — MatrixMarket text (parsed with the parallel ingestion path)
+// or .bcsr binary shards (written by `datagen -out x.bcsr` or
+// sparse.WriteBinary) — and holds out testFrac for evaluation. Malformed
+// or corrupt files of either format are reported as errors.
+func DataFromFile(path string, testFrac float64, seed uint64) (*Data, error) {
+	full, err := sparse.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return dataFromMatrix(full, testFrac, seed), nil
+}
+
+func dataFromMatrix(full *sparse.CSR, testFrac float64, seed uint64) *Data {
 	var train *sparse.CSR
 	var test []sparse.Entry
 	if testFrac > 0 {
@@ -98,7 +115,7 @@ func DataFromMatrixMarket(r io.Reader, testFrac float64, seed uint64) (*Data, er
 	} else {
 		train = full
 	}
-	return &Data{prob: core.NewProblem(train, test)}, nil
+	return &Data{prob: core.NewProblem(train, test)}
 }
 
 // Engine selects the execution strategy.

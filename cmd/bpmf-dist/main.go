@@ -14,8 +14,9 @@
 //	bpmf-dist -rank 1 -peers host0:9000,host1:9000 -synthetic small
 //
 // All ranks must use identical data/sampler flags: each rank regenerates
-// the dataset and partition plan deterministically from the shared seed,
-// so only factor updates travel over the network.
+// the dataset (or loads the same -data file — MatrixMarket or .bcsr,
+// sniffed) and derives the partition plan deterministically from the
+// shared seed, so only factor updates travel over the network.
 package main
 
 import (
@@ -43,6 +44,7 @@ func main() {
 	rank := flag.Int("rank", -1, "this process's rank")
 	peers := flag.String("peers", "", "comma-separated rank addresses (host:port per rank)")
 	basePort := flag.Int("baseport", 9800, "first port for -launch mode")
+	dataPath := flag.String("data", "", "rating matrix file (MatrixMarket .mtx or binary .bcsr); overrides -synthetic")
 	synthetic := flag.String("synthetic", "small", "benchmark: chembl | ml-20m | small")
 	scale := flag.Float64("scale", 1.0, "synthetic scale factor")
 	k := flag.Int("k", 16, "latent features")
@@ -66,7 +68,7 @@ func main() {
 		log.Fatal("worker mode needs -rank and -peers (or use -launch N)")
 	}
 
-	prob, err := buildProblem(*synthetic, *scale, *testFrac, *seed)
+	prob, err := buildProblem(*dataPath, *synthetic, *scale, *testFrac, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -147,7 +149,18 @@ func launchLocal(n, basePort int) error {
 	return firstErr
 }
 
-func buildProblem(name string, scale, testFrac float64, seed uint64) (*core.Problem, error) {
+// buildProblem loads -data when given (every rank reads the same file,
+// so the deterministic split and partition plan agree across ranks) and
+// falls back to regenerating the named synthetic benchmark.
+func buildProblem(dataPath, name string, scale, testFrac float64, seed uint64) (*core.Problem, error) {
+	if dataPath != "" {
+		full, err := sparse.Load(dataPath)
+		if err != nil {
+			return nil, err
+		}
+		train, test := sparse.SplitTrainTest(full, testFrac, seed)
+		return core.NewProblem(train, test), nil
+	}
 	var spec datagen.Spec
 	switch strings.ToLower(name) {
 	case "chembl":

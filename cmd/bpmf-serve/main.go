@@ -51,7 +51,7 @@ func main() {
 
 	ckptPath := flag.String("ckpt", "", "checkpoint file to serve (required)")
 	addr := flag.String("addr", ":8080", "HTTP listen address")
-	dataPath := flag.String("data", "", "MatrixMarket rating matrix: enables already-rated exclusion in /recommend")
+	dataPath := flag.String("data", "", "rating matrix (MatrixMarket .mtx or binary .bcsr): enables already-rated exclusion in /recommend")
 	testFrac := flag.Float64("test", 0, "held-out fraction of the training run; with -data, reconstructs the test split (seeded by the checkpoint) so /predict serves exact posterior intervals")
 	alpha := flag.Float64("alpha", 2.0, "observation precision the chain was trained with")
 	clampMin := flag.Float64("clamp-min", 0, "minimum served rating (with -clamp-max)")
@@ -111,26 +111,7 @@ func main() {
 		go srv.Watch(ctx, *watch, func(err error) { log.Printf("watch reload failed: %v", err) })
 	}
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("/predict", func(w http.ResponseWriter, r *http.Request) { handlePredict(srv, w, r) })
-	mux.HandleFunc("/recommend", func(w http.ResponseWriter, r *http.Request) { handleRecommend(srv, w, r) })
-	mux.HandleFunc("/foldin", func(w http.ResponseWriter, r *http.Request) { handleFoldIn(srv, w, r) })
-	mux.HandleFunc("/reload", func(w http.ResponseWriter, r *http.Request) {
-		if err := srv.Reload(); err != nil {
-			httpError(w, http.StatusInternalServerError, err)
-			return
-		}
-		writeJSON(w, map[string]any{"reloads": srv.Reloads.Load()})
-	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		m := srv.Model()
-		writeJSON(w, map[string]any{
-			"users": m.NumUsers(), "items": m.NumItems(), "k": m.K(),
-			"samples": m.NSamples(), "reloads": srv.Reloads.Load(),
-		})
-	})
-
-	hs := &http.Server{Addr: *addr, Handler: mux}
+	hs := &http.Server{Addr: *addr, Handler: newMux(srv)}
 	go func() {
 		<-ctx.Done()
 		sd, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -141,6 +122,39 @@ func main() {
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
+}
+
+// newMux wires the HTTP endpoints onto a serving snapshot.
+func newMux(srv *serve.Server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", func(w http.ResponseWriter, r *http.Request) { handlePredict(srv, w, r) })
+	mux.HandleFunc("/recommend", func(w http.ResponseWriter, r *http.Request) { handleRecommend(srv, w, r) })
+	mux.HandleFunc("/foldin", func(w http.ResponseWriter, r *http.Request) { handleFoldIn(srv, w, r) })
+	mux.HandleFunc("/reload", func(w http.ResponseWriter, r *http.Request) { handleReload(srv, w, r) })
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		m := srv.Model()
+		writeJSON(w, map[string]any{
+			"users": m.NumUsers(), "items": m.NumItems(), "k": m.K(),
+			"samples": m.NSamples(), "reloads": srv.Reloads.Load(),
+		})
+	})
+	return mux
+}
+
+// handleReload swaps in a fresh snapshot. Reload mutates server state,
+// so it demands POST — a crawler or monitoring GET must never trigger
+// a reload the way it could when every method was accepted.
+func handleReload(srv *serve.Server, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		httpError(w, http.StatusMethodNotAllowed, errors.New("POST to reload"))
+		return
+	}
+	if err := srv.Reload(); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, map[string]any{"reloads": srv.Reloads.Load()})
 }
 
 // loadExclusions reads the training rating matrix and, when testFrac > 0,
@@ -158,12 +172,7 @@ func loadExclusions(dataPath string, testFrac float64, ckptPath string) (*sparse
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	df, err := os.Open(dataPath)
-	if err != nil {
-		return nil, nil, 0, err
-	}
-	defer df.Close()
-	full, err := sparse.ReadMatrixMarket(df)
+	full, err := sparse.Load(dataPath)
 	if err != nil {
 		return nil, nil, 0, err
 	}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro"
+	"repro/internal/serve"
+)
+
+// testServer trains a tiny model, checkpoints it and opens a serving
+// snapshot over it, exercising the same path main() takes.
+func testServer(t *testing.T) *serve.Server {
+	t.Helper()
+	ratings := []bpmf.Rating{
+		{User: 0, Item: 0, Value: 5}, {User: 0, Item: 1, Value: 4},
+		{User: 1, Item: 0, Value: 4}, {User: 1, Item: 2, Value: 2},
+		{User: 2, Item: 1, Value: 5}, {User: 2, Item: 2, Value: 1},
+	}
+	data, err := bpmf.DataFromRatings(3, 3, ratings, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := bpmf.Defaults()
+	cfg.K = 2
+	cfg.Iters = 4
+	cfg.Burnin = 2
+	ckpt := filepath.Join(t.TempDir(), "model.ckpt")
+	f, err := os.Create(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bpmf.TrainWithCheckpoint(data, cfg, f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.Open(ckpt, serve.Options{Alpha: cfg.Alpha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// TestReloadRequiresPOST pins the /reload method guard: reload mutates
+// server state, so GET (and friends) must get 405 without triggering a
+// snapshot swap, while POST still reloads.
+func TestReloadRequiresPOST(t *testing.T) {
+	srv := testServer(t)
+	mux := newMux(srv)
+	base := srv.Reloads.Load() // the initial Open counts as the first load
+
+	for _, method := range []string{http.MethodGet, http.MethodHead, http.MethodPut, http.MethodDelete} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(method, "/reload", nil))
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Errorf("%s /reload = %d, want %d", method, rec.Code, http.StatusMethodNotAllowed)
+		}
+		if allow := rec.Header().Get("Allow"); allow != http.MethodPost {
+			t.Errorf("%s /reload Allow header = %q, want POST", method, allow)
+		}
+	}
+	if got := srv.Reloads.Load(); got != base {
+		t.Fatalf("non-POST methods triggered %d reloads", got-base)
+	}
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/reload", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST /reload = %d, body %s", rec.Code, rec.Body.String())
+	}
+	if got := srv.Reloads.Load(); got != base+1 {
+		t.Fatalf("POST /reload performed %d reloads, want 1", got-base)
+	}
+}
+
+// TestHealthzAndPredictStillServe is a smoke check that the extracted
+// mux wires the read-only endpoints the way main always did.
+func TestHealthzAndPredictStillServe(t *testing.T) {
+	mux := newMux(testServer(t))
+	for _, url := range []string{"/healthz", "/predict?user=0&item=1", "/recommend?user=0&n=2"} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+		if rec.Code != http.StatusOK {
+			t.Errorf("GET %s = %d, body %s", url, rec.Code, rec.Body.String())
+		}
+	}
+}

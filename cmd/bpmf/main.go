@@ -1,9 +1,11 @@
-// Command bpmf trains BPMF on a rating matrix (MatrixMarket file or a
-// built-in synthetic benchmark) with a selectable engine.
+// Command bpmf trains BPMF on a rating matrix (a MatrixMarket .mtx or
+// binary .bcsr file — the format is sniffed — or a built-in synthetic
+// benchmark) with a selectable engine.
 //
 // Examples:
 //
 //	bpmf -data ratings.mtx -k 32 -iters 40 -engine worksteal -threads 8
+//	bpmf -data ratings.bcsr -k 32 -iters 40
 //	bpmf -synthetic chembl -scale 0.05 -engine distributed -ranks 4
 package main
 
@@ -24,7 +26,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bpmf: ")
 
-	dataPath := flag.String("data", "", "MatrixMarket rating matrix to train on")
+	dataPath := flag.String("data", "", "rating matrix to train on (MatrixMarket .mtx or binary .bcsr, sniffed)")
 	synthetic := flag.String("synthetic", "", "built-in benchmark: chembl | ml-20m | small")
 	scale := flag.Float64("scale", 1.0, "scale factor for the synthetic benchmark")
 	k := flag.Int("k", 32, "latent features")
@@ -116,12 +118,7 @@ func train(data *bpmf.Data, cfg bpmf.Config, ckptOut string) (*bpmf.Result, erro
 func loadData(path, synthetic string, scale, testFrac float64, seed uint64) (*bpmf.Data, error) {
 	switch {
 	case path != "":
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return bpmf.DataFromMatrixMarket(f, testFrac, seed)
+		return bpmf.DataFromFile(path, testFrac, seed)
 	case synthetic != "":
 		var spec datagen.Spec
 		switch strings.ToLower(synthetic) {

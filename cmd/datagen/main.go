@@ -1,8 +1,9 @@
 // Command datagen writes synthetic rating benchmarks (the ChEMBL- and
 // MovieLens-shaped workloads of the paper's evaluation) as MatrixMarket
-// files.
+// text or .bcsr binary shards, chosen by the output extension.
 //
 //	datagen -spec chembl -scale 0.1 -out chembl-10pct.mtx
+//	datagen -spec ml-20m -scale 2 -out ml-40m.bcsr
 package main
 
 import (
@@ -10,6 +11,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/datagen"
@@ -21,27 +23,15 @@ func main() {
 	log.SetPrefix("datagen: ")
 
 	spec := flag.String("spec", "small", "chembl | ml-20m | small | tiny")
-	scale := flag.Float64("scale", 1.0, "scale factor (rows, cols and nnz)")
+	scale := flag.Float64("scale", 1.0, "scale factor for rows, cols and nnz (values > 1 scale up)")
 	seed := flag.Uint64("seed", 42, "random seed")
-	out := flag.String("out", "", "output file (default stdout)")
+	out := flag.String("out", "", "output file: *.bcsr writes binary shards, anything else MatrixMarket (default stdout)")
 	stats := flag.Bool("stats", false, "print degree statistics instead of the matrix")
 	flag.Parse()
 
-	var s datagen.Spec
-	switch strings.ToLower(*spec) {
-	case "chembl":
-		s = datagen.ChEMBL(*seed)
-	case "ml-20m", "ml20m", "movielens":
-		s = datagen.ML20M(*seed)
-	case "small":
-		s = datagen.Small(*seed)
-	case "tiny":
-		s = datagen.Tiny(*seed)
-	default:
-		log.Fatalf("unknown spec %q", *spec)
-	}
-	if *scale < 1 {
-		s = datagen.Scaled(s, *scale)
+	s, err := buildSpec(*spec, *scale, *seed)
+	if err != nil {
+		log.Fatal(err)
 	}
 	ds := datagen.Generate(s)
 
@@ -54,19 +44,59 @@ func main() {
 		return
 	}
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		w = f
-	}
-	if err := sparse.WriteMatrixMarket(w, ds.R); err != nil {
+	if err := writeMatrix(*out, ds.R); err != nil {
 		log.Fatal(err)
 	}
 	if *out != "" {
 		fmt.Fprintf(os.Stderr, "wrote %s: %d x %d, %d ratings\n", *out, ds.R.M, ds.R.N, ds.R.NNZ())
 	}
+}
+
+// buildSpec resolves the named benchmark spec and applies the scale
+// factor. Any scale other than 1 is applied — the silent old behavior
+// of ignoring upscales is gone — and a non-positive scale is an error
+// rather than an accidental full-size dataset.
+func buildSpec(name string, scale float64, seed uint64) (datagen.Spec, error) {
+	var s datagen.Spec
+	switch strings.ToLower(name) {
+	case "chembl":
+		s = datagen.ChEMBL(seed)
+	case "ml-20m", "ml20m", "movielens":
+		s = datagen.ML20M(seed)
+	case "small":
+		s = datagen.Small(seed)
+	case "tiny":
+		s = datagen.Tiny(seed)
+	default:
+		return datagen.Spec{}, fmt.Errorf("unknown spec %q", name)
+	}
+	if scale <= 0 {
+		return datagen.Spec{}, fmt.Errorf("-scale must be positive, got %g", scale)
+	}
+	if scale != 1 {
+		s = datagen.Scaled(s, scale)
+	}
+	return s, nil
+}
+
+// writeMatrix writes r to path, picking the format from the extension:
+// .bcsr binary shards, MatrixMarket otherwise. An empty path streams
+// MatrixMarket to stdout.
+func writeMatrix(path string, r *sparse.CSR) error {
+	if path == "" {
+		return sparse.WriteMatrixMarket(os.Stdout, r)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if filepath.Ext(path) == ".bcsr" {
+		err = sparse.WriteBinary(f, r)
+	} else {
+		err = sparse.WriteMatrixMarket(f, r)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -1,0 +1,94 @@
+// Ingest: the dataset pipeline end to end — generate a MatrixMarket
+// export the way an upstream preprocessing job would, convert it to the
+// .bcsr binary shard format in bounded memory, verify the two files
+// load to the identical matrix, and train on the binary shards.
+//
+// This is the production startup story: text MatrixMarket is the
+// interchange format the paper's ChEMBL/MovieLens tooling emits, but a
+// long-running service wants its restarts bottlenecked on checksummed
+// binary shards, not on 20M lines of decimal parsing.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro"
+	"repro/internal/datagen"
+	"repro/internal/sparse"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "bpmf-ingest")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	mmPath := filepath.Join(dir, "ratings.mtx")
+	bcsrPath := filepath.Join(dir, "ratings.bcsr")
+
+	// An ml-20m-shaped dataset at 1% scale (~200k ratings) so the example
+	// runs in seconds; datagen -spec ml-20m writes the full thing.
+	ds := datagen.Generate(datagen.Scaled(datagen.ML20M(3), 0.01))
+	f, err := os.Create(mmPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sparse.WriteMatrixMarket(f, ds.R); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fi, _ := os.Stat(mmPath)
+	fmt.Printf("MatrixMarket export: %d x %d, %d ratings, %.1f MB of text\n",
+		ds.R.M, ds.R.N, ds.R.NNZ(), float64(fi.Size())/1e6)
+
+	// Convert to row-panel binary shards (CRC32 per shard). The converter
+	// streams: its memory is bounded by the largest shard, not the file.
+	start := time.Now()
+	stats, err := sparse.Converter{ShardNNZ: 1 << 16}.Convert(mmPath, bcsrPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bi, _ := os.Stat(bcsrPath)
+	fmt.Printf("converted to %d bcsr shards in %v (%.1f MB binary)\n",
+		stats.Shards, time.Since(start).Round(time.Millisecond), float64(bi.Size())/1e6)
+
+	// Both files load through the one sniffing entry point, to the same
+	// matrix, bit for bit.
+	tLoad := time.Now()
+	fromText, err := sparse.Load(mmPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	textTime := time.Since(tLoad)
+	tLoad = time.Now()
+	fromShards, err := sparse.Load(bcsrPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	shardTime := time.Since(tLoad)
+	if !sparse.Equal(fromText, fromShards) {
+		log.Fatal("text and binary loads disagree")
+	}
+	fmt.Printf("load: MatrixMarket %v, bcsr %v — identical matrices\n",
+		textTime.Round(time.Millisecond), shardTime.Round(time.Millisecond))
+
+	// Train straight off the shards via the public API.
+	data, err := bpmf.DataFromFile(bcsrPath, 0.2, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := bpmf.Defaults()
+	cfg.K = 8
+	cfg.Iters = 6
+	cfg.Burnin = 3
+	cfg.Threads = 4
+	res, err := bpmf.Train(data, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained on the shards: held-out RMSE %.4f\n", res.RMSE())
+}

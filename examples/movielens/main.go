@@ -2,32 +2,48 @@
 // clamped to the 0.5-5 star range, comparing engines on the same chain
 // (they are bit-identical by construction) and printing the RMSE
 // convergence trace the paper's §V-B describes.
+//
+// Pass a rating matrix file (MatrixMarket .mtx or binary .bcsr, e.g.
+// from cmd/datagen) as the first argument to train on it instead of the
+// built-in synthetic dataset.
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"repro"
 	"repro/internal/datagen"
 )
 
 func main() {
-	spec := datagen.Scaled(datagen.ML20M(11), 0.005)
-	ds := datagen.Generate(spec)
-	fmt.Printf("synthetic MovieLens: %d users x %d movies, %d ratings\n",
-		ds.R.M, ds.R.N, ds.R.NNZ())
-
-	var ratings []bpmf.Rating
-	for i := 0; i < ds.R.M; i++ {
-		cols, vals := ds.R.Row(i)
-		for k, c := range cols {
-			ratings = append(ratings, bpmf.Rating{User: i, Item: int(c), Value: vals[k]})
+	var data *bpmf.Data
+	var err error
+	if len(os.Args) > 1 {
+		data, err = bpmf.DataFromFile(os.Args[1], 0.2, 11)
+		if err != nil {
+			log.Fatal(err)
 		}
-	}
-	data, err := bpmf.DataFromRatings(ds.R.M, ds.R.N, ratings, 0.2, 11)
-	if err != nil {
-		log.Fatal(err)
+		fmt.Printf("loaded %s: %d users x %d movies, %d ratings\n",
+			os.Args[1], data.NumUsers(), data.NumItems(), data.NumTrain()+data.NumTest())
+	} else {
+		spec := datagen.Scaled(datagen.ML20M(11), 0.005)
+		ds := datagen.Generate(spec)
+		fmt.Printf("synthetic MovieLens: %d users x %d movies, %d ratings\n",
+			ds.R.M, ds.R.N, ds.R.NNZ())
+
+		var ratings []bpmf.Rating
+		for i := 0; i < ds.R.M; i++ {
+			cols, vals := ds.R.Row(i)
+			for k, c := range cols {
+				ratings = append(ratings, bpmf.Rating{User: i, Item: int(c), Value: vals[k]})
+			}
+		}
+		data, err = bpmf.DataFromRatings(ds.R.M, ds.R.N, ratings, 0.2, 11)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	base := bpmf.Defaults()

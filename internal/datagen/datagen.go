@@ -50,8 +50,9 @@ func ML20M(seed uint64) Spec {
 	}
 }
 
-// Scaled returns a copy of s with every dimension and the nnz scaled by f
-// (0 < f <= 1), keeping the shape and skew. Used for CI-sized runs.
+// Scaled returns a copy of s with every dimension and the nnz scaled by
+// f (any f > 0: below 1 shrinks toward CI-sized runs, above 1 grows the
+// benchmark past its reference shape), keeping the shape and skew.
 func Scaled(s Spec, f float64) Spec {
 	s.Rows = maxInt(8, int(float64(s.Rows)*f))
 	s.Cols = maxInt(8, int(float64(s.Cols)*f))

@@ -1,0 +1,288 @@
+package sparse
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// binary.go defines the .bcsr on-disk format: the repo's first
+// persistent binary interchange outside checkpoints. A matrix is stored
+// as a little-endian header plus a sequence of row-panel shards, each
+// carrying its own CRC32, so a reader can verify and decode shards
+// independently and map them 1:1 onto sched.Pool workers (or dist
+// ranks: the panels are exactly the contiguous row ranges the
+// partitioner hands out).
+//
+// Layout (all integers little-endian):
+//
+//	magic   "BPMFBCSR1\n"                      10 bytes (version 1)
+//	header  u64 M, u64 N, u64 NNZ, u64 shards
+//	table   shards × (u64 rowLo, u64 rowHi)    contiguous panels covering [0, M)
+//	shards  shards × shard, in table order
+//
+//	shard   u64 nnz, u64 crc32(payload), payload
+//	payload (rows+1) × u64 rowPtr              panel-relative, rowPtr[rows] == nnz
+//	        nnz × u32 col
+//	        nnz × u64 float64-bits val
+//
+// Per-shard nnz lives with the shard (not the table) so a streaming
+// writer never needs to seek; the header NNZ is the post-dedup total.
+const bcsrMagic = "BPMFBCSR1\n"
+
+// DefaultShardNNZ is the target number of entries per shard: big enough
+// that CRC+decode dominates scheduling overhead, small enough that a
+// pool has parallelism to steal (20 shards for the ml-20m nnz).
+const DefaultShardNNZ = 1 << 20
+
+// maxBCSRShards caps the declared shard count: legitimate files hold a
+// couple of dozen panels (nnz / DefaultShardNNZ), so 16M is far past
+// any real file while keeping a hostile header's table claim (and the
+// 32-bit byte-offset arithmetic over it) comfortably bounded.
+const maxBCSRShards = 1 << 24
+
+// WriteBinary writes a in .bcsr format with DefaultShardNNZ-sized row
+// panels. Every write is error-checked so a full disk surfaces here,
+// not at load time.
+func WriteBinary(w io.Writer, a *CSR) error {
+	return WriteBinarySharded(w, a, DefaultShardNNZ)
+}
+
+// WriteBinarySharded writes a with row panels targeting shardNNZ
+// entries each (a shard always holds at least one full row).
+func WriteBinarySharded(w io.Writer, a *CSR, shardNNZ int) error {
+	if shardNNZ < 1 {
+		shardNNZ = DefaultShardNNZ
+	}
+	rowNNZ := make([]int64, a.M)
+	for r := range rowNNZ {
+		rowNNZ[r] = int64(a.RowNNZ(r))
+	}
+	lo, hi := panelBounds(rowNNZ, shardNNZ)
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var err error
+	writeU64 := func(v uint64) {
+		if err == nil {
+			err = binary.Write(bw, binary.LittleEndian, v)
+		}
+	}
+	if _, werr := bw.WriteString(bcsrMagic); werr != nil {
+		return fmt.Errorf("sparse: writing bcsr magic: %w", werr)
+	}
+	writeU64(uint64(a.M))
+	writeU64(uint64(a.N))
+	writeU64(uint64(a.NNZ()))
+	writeU64(uint64(len(lo)))
+	for s := range lo {
+		writeU64(uint64(lo[s]))
+		writeU64(uint64(hi[s]))
+	}
+	if err != nil {
+		return fmt.Errorf("sparse: writing bcsr header: %w", err)
+	}
+	var payload []byte
+	for s := range lo {
+		payload = encodePanel(payload[:0], a, lo[s], hi[s])
+		writeU64(uint64(a.RowPtr[hi[s]] - a.RowPtr[lo[s]]))
+		writeU64(uint64(crc32.ChecksumIEEE(payload)))
+		if err == nil {
+			_, err = bw.Write(payload)
+		}
+		if err != nil {
+			return fmt.Errorf("sparse: writing bcsr shard %d: %w", s, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("sparse: flushing bcsr: %w", err)
+	}
+	return nil
+}
+
+// encodePanel appends the payload bytes of rows [lo, hi) of a to dst.
+func encodePanel(dst []byte, a *CSR, lo, hi int) []byte {
+	base := a.RowPtr[lo]
+	for r := lo; r <= hi; r++ {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(a.RowPtr[r]-base))
+	}
+	for _, c := range a.Col[base:a.RowPtr[hi]] {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(c))
+	}
+	for _, v := range a.Val[base:a.RowPtr[hi]] {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// ReadBinary reads a .bcsr matrix. Corrupt input — truncated streams,
+// shard CRC mismatches, implausible dimensions, non-monotonic row
+// pointers, out-of-range columns, non-finite values — is reported as an
+// error before it can poison a sampler; no input panics, and no header
+// field is trusted for an allocation larger than the bytes actually
+// present (reads grow in bounded chunks).
+func ReadBinary(r io.Reader) (*CSR, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, len(bcsrMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("sparse: reading bcsr magic: %w", err)
+	}
+	if string(magic) != bcsrMagic {
+		return nil, fmt.Errorf("sparse: not a bcsr file (magic %q)", magic)
+	}
+	var err error
+	readU64 := func() uint64 {
+		var v uint64
+		if err == nil {
+			err = binary.Read(br, binary.LittleEndian, &v)
+		}
+		return v
+	}
+	m := readU64()
+	n := readU64()
+	nnz := readU64()
+	shards := readU64()
+	if err != nil {
+		return nil, fmt.Errorf("sparse: reading bcsr header: %w", err)
+	}
+	if m > maxMMDim || n > maxMMDim {
+		return nil, fmt.Errorf("sparse: bcsr dimensions %dx%d out of range [0, %d]", m, n, int64(maxMMDim))
+	}
+	if shards > maxBCSRShards || (m > 0 && shards == 0) || (m == 0 && shards > 0) {
+		return nil, fmt.Errorf("sparse: bcsr claims %d shards for %d rows", shards, m)
+	}
+	if nnz > math.MaxInt64/16 {
+		return nil, fmt.Errorf("sparse: bcsr claims %d entries", nnz)
+	}
+	// The table is read through the chunked reader so a hostile shard
+	// count allocates in proportion to the bytes actually present, not
+	// to the claim.
+	table, err := readChunked(br, nil, int64(shards)*16)
+	if err != nil {
+		return nil, fmt.Errorf("sparse: reading bcsr shard table: %w", err)
+	}
+	lo := make([]uint64, shards)
+	hi := make([]uint64, shards)
+	for s := range lo {
+		lo[s] = binary.LittleEndian.Uint64(table[s*16:])
+		hi[s] = binary.LittleEndian.Uint64(table[s*16+8:])
+	}
+	for s := range lo {
+		prev := uint64(0)
+		if s > 0 {
+			prev = hi[s-1]
+		}
+		if lo[s] != prev || hi[s] < lo[s] || hi[s] > m {
+			return nil, fmt.Errorf("sparse: bcsr shard %d covers rows [%d, %d), want contiguous panels over [0, %d)", s, lo[s], hi[s], m)
+		}
+	}
+	if shards > 0 && hi[shards-1] != m {
+		return nil, fmt.Errorf("sparse: bcsr shards cover rows [0, %d) of %d", hi[shards-1], m)
+	}
+
+	a := &CSR{M: int(m), N: int(n), RowPtr: make([]int64, m+1)}
+	var payload []byte
+	var total uint64
+	for s := range lo {
+		snnz := readU64()
+		scrc := readU64()
+		if err != nil {
+			return nil, fmt.Errorf("sparse: reading bcsr shard %d header: %w", s, err)
+		}
+		rows := hi[s] - lo[s]
+		if snnz > nnz-total {
+			return nil, fmt.Errorf("sparse: bcsr shard %d claims %d entries, only %d remain of the %d declared", s, snnz, nnz-total, nnz)
+		}
+		want := int64(rows+1)*8 + int64(snnz)*12
+		payload, err = readChunked(br, payload[:0], want)
+		if err != nil {
+			return nil, fmt.Errorf("sparse: reading bcsr shard %d payload: %w", s, err)
+		}
+		if got := uint64(crc32.ChecksumIEEE(payload)); got != scrc {
+			return nil, fmt.Errorf("sparse: bcsr shard %d CRC mismatch (file %08x, computed %08x)", s, scrc, got)
+		}
+		if derr := decodePanel(a, payload, int(lo[s]), int(hi[s]), int64(total), int64(snnz)); derr != nil {
+			return nil, fmt.Errorf("sparse: bcsr shard %d: %w", s, derr)
+		}
+		total += snnz
+	}
+	if total != nnz {
+		return nil, fmt.Errorf("sparse: bcsr header promised %d entries, shards hold %d", nnz, total)
+	}
+	return a, nil
+}
+
+// readChunked fills dst with want bytes from br, growing in bounded
+// chunks so a shard header that promises more data than the stream
+// holds over-allocates by at most one chunk before the read error.
+func readChunked(br io.Reader, dst []byte, want int64) ([]byte, error) {
+	const chunk = 1 << 20
+	for int64(len(dst)) < want {
+		c := want - int64(len(dst))
+		if c > chunk {
+			c = chunk
+		}
+		start := len(dst)
+		dst = append(dst, make([]byte, c)...)
+		if _, err := io.ReadFull(br, dst[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+// decodePanel validates and appends one shard's rows to the CSR under
+// construction. base is the global entry offset of the panel.
+func decodePanel(a *CSR, payload []byte, lo, hi int, base, snnz int64) error {
+	rows := hi - lo
+	ptrEnd := int64(rows+1) * 8
+	ptr := payload[:ptrEnd]
+	cols := payload[ptrEnd : ptrEnd+snnz*4]
+	vals := payload[ptrEnd+snnz*4:]
+	prev := int64(0)
+	if first := int64(binary.LittleEndian.Uint64(ptr)); first != 0 {
+		return fmt.Errorf("panel rowPtr starts at %d, want 0", first)
+	}
+	for r := 0; r <= rows; r++ {
+		p := int64(binary.LittleEndian.Uint64(ptr[r*8:]))
+		if p < prev || p > snnz {
+			return fmt.Errorf("panel rowPtr not monotone in [0, %d]: row %d has %d after %d", snnz, r, p, prev)
+		}
+		prev = p
+		a.RowPtr[lo+r] = base + p
+	}
+	if prev != snnz {
+		return fmt.Errorf("panel rowPtr ends at %d, want %d", prev, snnz)
+	}
+	nOld := len(a.Col)
+	a.Col = append(a.Col, make([]int32, snnz)...)
+	a.Val = append(a.Val, make([]float64, snnz)...)
+	outCol := a.Col[nOld:]
+	outVal := a.Val[nOld:]
+	for k := int64(0); k < snnz; k++ {
+		c := binary.LittleEndian.Uint32(cols[k*4:])
+		if uint64(c) >= uint64(a.N) {
+			return fmt.Errorf("column %d out of range [0, %d)", c, a.N)
+		}
+		outCol[k] = int32(c)
+	}
+	// Columns must be strictly ascending within each row — the canonical
+	// accumulation order every engine's bit-reproducibility rests on.
+	for r := 0; r < rows; r++ {
+		s, e := a.RowPtr[lo+r]-base, a.RowPtr[lo+r+1]-base
+		for k := s + 1; k < e; k++ {
+			if outCol[k] <= outCol[k-1] {
+				return fmt.Errorf("row %d columns not strictly ascending (%d after %d)", lo+r, outCol[k], outCol[k-1])
+			}
+		}
+	}
+	for k := int64(0); k < snnz; k++ {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(vals[k*8:]))
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("entry %d has non-finite value %v", base+k, v)
+		}
+		outVal[k] = v
+	}
+	return nil
+}

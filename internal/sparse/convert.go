@@ -1,0 +1,287 @@
+package sparse
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Converter turns a MatrixMarket text file into a .bcsr shard file in
+// bounded memory, however large the input: a counting pass sizes the
+// row panels, a bucketing pass spills entries to one temp file per
+// shard, and a shard pass sorts each spill into its panel and writes
+// it with its CRC. Peak memory is O(rows + largest shard), never
+// O(total entries).
+type Converter struct {
+	// ShardNNZ is the target entries per shard (0 = DefaultShardNNZ).
+	ShardNNZ int
+	// TmpDir holds the spill files (empty = the output file's directory,
+	// so spills land on the same filesystem as the result).
+	TmpDir string
+}
+
+// ConvertStats reports what a conversion produced.
+type ConvertStats struct {
+	M, N   int
+	NNZ    int64 // post-dedup entries written
+	Shards int
+}
+
+// Convert streams the MatrixMarket file at mmPath into a .bcsr file at
+// outPath (written via a temp file + rename, so a crash never leaves a
+// half-written shard file behind).
+func (cv Converter) Convert(mmPath, outPath string) (ConvertStats, error) {
+	target := cv.ShardNNZ
+	if target < 1 {
+		target = DefaultShardNNZ
+	}
+	// Pass 1: count entries per row (and fully validate the stream).
+	var rowNNZ []int64
+	m, n, _, err := streamMM(mmPath, func(hm, hn, hnnz int) error {
+		rowNNZ = make([]int64, hm)
+		return nil
+	}, func(e Entry) error {
+		rowNNZ[e.Row]++
+		return nil
+	})
+	if err != nil {
+		return ConvertStats{}, err
+	}
+	lo, hi := panelBounds(rowNNZ, target)
+
+	// Pass 2: bucket entries into per-shard spill files.
+	tmpDir := cv.TmpDir
+	if tmpDir == "" {
+		tmpDir = filepath.Dir(outPath)
+	}
+	spills := make([]*os.File, len(lo))
+	spillW := make([]*bufio.Writer, len(lo))
+	defer func() {
+		for _, f := range spills {
+			if f != nil {
+				f.Close()
+				os.Remove(f.Name())
+			}
+		}
+	}()
+	for s := range lo {
+		f, err := os.CreateTemp(tmpDir, "bcsr-spill-*")
+		if err != nil {
+			return ConvertStats{}, fmt.Errorf("sparse: creating spill file: %w", err)
+		}
+		spills[s] = f
+		spillW[s] = bufio.NewWriterSize(f, 256<<10)
+	}
+	// Pass 2 re-reads the file, so guard against it having been swapped
+	// between passes (an upstream export job rewriting in place): a row
+	// outside pass 1's panels must surface as an error, not an
+	// out-of-range shard index.
+	var rec [16]byte
+	_, _, _, err = streamMM(mmPath, func(m2, n2, _ int) error {
+		if m2 != m || n2 != n {
+			return fmt.Errorf("sparse: %s changed between conversion passes (%dx%d, was %dx%d)", mmPath, m2, n2, m, n)
+		}
+		return nil
+	}, func(e Entry) error {
+		s := sort.Search(len(lo), func(s int) bool { return hi[s] > int(e.Row) })
+		binary.LittleEndian.PutUint32(rec[0:], uint32(e.Row))
+		binary.LittleEndian.PutUint32(rec[4:], uint32(e.Col))
+		binary.LittleEndian.PutUint64(rec[8:], math.Float64bits(e.Val))
+		_, werr := spillW[s].Write(rec[:])
+		return werr
+	})
+	if err != nil {
+		return ConvertStats{}, err
+	}
+	for s := range spillW {
+		if err := spillW[s].Flush(); err != nil {
+			return ConvertStats{}, fmt.Errorf("sparse: flushing spill file: %w", err)
+		}
+	}
+
+	// Pass 3: sort each spill into its row panel and write the output.
+	out, err := os.CreateTemp(filepath.Dir(outPath), filepath.Base(outPath)+".tmp*")
+	if err != nil {
+		return ConvertStats{}, err
+	}
+	defer func() {
+		if out != nil {
+			out.Close()
+			os.Remove(out.Name())
+		}
+	}()
+	bw := bufio.NewWriterSize(out, 1<<20)
+	var werr error
+	writeU64 := func(v uint64) {
+		if werr == nil {
+			werr = binary.Write(bw, binary.LittleEndian, v)
+		}
+	}
+	if _, err := bw.WriteString(bcsrMagic); err != nil {
+		return ConvertStats{}, fmt.Errorf("sparse: writing bcsr magic: %w", err)
+	}
+	writeU64(uint64(m))
+	writeU64(uint64(n))
+	// NNZ is not known until every panel has deduplicated; write a
+	// placeholder at a remembered offset and patch it before the rename.
+	nnzOffset := int64(len(bcsrMagic)) + 16
+	writeU64(0)
+	writeU64(uint64(len(lo)))
+	for s := range lo {
+		writeU64(uint64(lo[s]))
+		writeU64(uint64(hi[s]))
+	}
+	var totalNNZ int64
+	var payload []byte
+	for s := range lo {
+		panel, err := loadSpill(spills[s], lo[s], hi[s], n)
+		if err != nil {
+			return ConvertStats{}, fmt.Errorf("sparse: shard %d spill: %w", s, err)
+		}
+		spills[s].Close()
+		os.Remove(spills[s].Name())
+		spills[s] = nil
+		totalNNZ += int64(panel.NNZ())
+		payload = encodePanel(payload[:0], panel, 0, panel.M)
+		writeU64(uint64(panel.NNZ()))
+		writeU64(uint64(crc32.ChecksumIEEE(payload)))
+		if werr == nil {
+			_, werr = bw.Write(payload)
+		}
+		if werr != nil {
+			return ConvertStats{}, fmt.Errorf("sparse: writing bcsr shard %d: %w", s, werr)
+		}
+	}
+	if werr == nil {
+		werr = bw.Flush()
+	}
+	if werr != nil {
+		return ConvertStats{}, fmt.Errorf("sparse: writing bcsr: %w", werr)
+	}
+	if _, err := out.WriteAt(binary.LittleEndian.AppendUint64(nil, uint64(totalNNZ)), nnzOffset); err != nil {
+		return ConvertStats{}, fmt.Errorf("sparse: patching bcsr entry count: %w", err)
+	}
+	if err := out.Close(); err != nil {
+		return ConvertStats{}, err
+	}
+	if err := os.Rename(out.Name(), outPath); err != nil {
+		return ConvertStats{}, err
+	}
+	out = nil
+	return ConvertStats{M: m, N: n, NNZ: totalNNZ, Shards: len(lo)}, nil
+}
+
+// loadSpill reads one shard's spilled entries (file order preserved)
+// and builds its row panel with the canonical sort + duplicate-sum.
+func loadSpill(f *os.File, lo, hi, n int) (*CSR, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(bufio.NewReaderSize(f, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	if len(data)%16 != 0 {
+		return nil, fmt.Errorf("spill size %d not a whole number of records", len(data))
+	}
+	coo := &COO{M: hi - lo, N: n, Entries: make([]Entry, len(data)/16)}
+	for k := range coo.Entries {
+		rec := data[k*16:]
+		coo.Entries[k] = Entry{
+			Row: int32(binary.LittleEndian.Uint32(rec[0:])) - int32(lo),
+			Col: int32(binary.LittleEndian.Uint32(rec[4:])),
+			Val: math.Float64frombits(binary.LittleEndian.Uint64(rec[8:])),
+		}
+	}
+	return coo.ToCSR(), nil
+}
+
+// panelBounds greedily packs rows into contiguous panels of about
+// target entries each (always at least one row per panel).
+func panelBounds(rowNNZ []int64, target int) (lo, hi []int) {
+	for r := 0; r < len(rowNNZ); {
+		end := r
+		nnz := int64(0)
+		for end < len(rowNNZ) && (end == r || nnz < int64(target)) {
+			nnz += rowNNZ[end]
+			end++
+		}
+		lo = append(lo, r)
+		hi = append(hi, end)
+		r = end
+	}
+	return lo, hi
+}
+
+// streamMM streams the entries of a MatrixMarket file in file order
+// through visit, after announcing the parsed size line via header (may
+// be nil). It shares every validation rule with ReadMatrixMarket.
+func streamMM(path string, header func(m, n, nnz int) error, visit func(Entry) error) (m, n, count int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(bufio.NewReaderSize(f, 1<<20))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return 0, 0, 0, fmt.Errorf("sparse: reading MatrixMarket header: %w", err)
+		}
+		return 0, 0, 0, fmt.Errorf("sparse: empty MatrixMarket stream")
+	}
+	if err := validateMMHeader(sc.Text()); err != nil {
+		return 0, 0, 0, err
+	}
+	var nnz int
+	sized := false
+	for sc.Scan() {
+		line := sc.Bytes()
+		if isMMSkipLine(line) {
+			continue
+		}
+		if m, n, nnz, err = parseMMSize(string(line)); err != nil {
+			return 0, 0, 0, err
+		}
+		sized = true
+		break
+	}
+	if !sized {
+		if err := sc.Err(); err != nil {
+			return 0, 0, 0, fmt.Errorf("sparse: reading MatrixMarket size line: %w", err)
+		}
+		return 0, 0, 0, fmt.Errorf("sparse: MatrixMarket stream has no size line")
+	}
+	if header != nil {
+		if err := header(m, n, nnz); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	for sc.Scan() {
+		line := sc.Bytes()
+		if isMMSkipLine(line) {
+			continue
+		}
+		e, err := parseEntryBytes(line, m, n)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if err := visit(e); err != nil {
+			return 0, 0, 0, err
+		}
+		count++
+	}
+	if err := sc.Err(); err != nil {
+		return 0, 0, 0, err
+	}
+	if count != nnz {
+		return 0, 0, 0, fmt.Errorf("sparse: header promised %d entries, found %d", nnz, count)
+	}
+	return m, n, count, nil
+}

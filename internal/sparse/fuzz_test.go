@@ -1,0 +1,104 @@
+package sparse
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// fuzz_test.go is the loader-hardening corpus: no byte stream, however
+// corrupt, may panic either MatrixMarket parser or the bcsr reader, and
+// the two MatrixMarket parsers must stay decision-identical (the
+// parallel parser's contract is "bit-identical to the sequential
+// parse", which includes rejecting exactly the same inputs). The
+// f.Add seeds double as a regression corpus that plain `go test` (and
+// the CI loader job) runs without the fuzz engine.
+
+func mmSeeds() [][]byte {
+	seeds := [][]byte{
+		[]byte(""),
+		[]byte("not a matrix"),
+		[]byte("%%MatrixMarket matrix coordinate real general\n"),
+		[]byte("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.5\n"),
+		[]byte("%%MatrixMarket matrix coordinate real general\n% c\n\n2 2 1\n1 1 1.5"),
+		[]byte("%%MatrixMarket matrix coordinate pattern general\n2 2 1\n2 2\n"),
+		[]byte("%%MatrixMarket matrix coordinate integer general\n2 2 1\n1 2 9\n"),
+		[]byte("%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n2 1 1\n"),
+		[]byte("%%MatrixMarket matrix coordinate complex general\n2 2 1\n1 1 1 0\n"),
+		[]byte("%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n"),
+		[]byte("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 NaN\n"),
+		[]byte("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 Inf\n"),
+		[]byte("%%MatrixMarket matrix coordinate real general\n99999999999999 2 1\n1 1 1\n"),
+		[]byte("%%MatrixMarket matrix coordinate real general\n2 2 99\n1 1 1\n"),
+		[]byte("%%MatrixMarket matrix coordinate real general\n2 2 1\n1\t2\t3\r\n"),
+		[]byte("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n1 1 2\n"), // duplicate: summed
+		[]byte("%%MatrixMarket matrix coordinate real general\n3 3 1\n1 2 3\n"),        // unicode space: fallback path
+	}
+	return seeds
+}
+
+// FuzzReadMatrixMarket is the differential fuzz target: sequential and
+// parallel parsers must agree on accept/reject, and on acceptance the
+// matrices must be bit-identical.
+func FuzzReadMatrixMarket(f *testing.F) {
+	for _, s := range mmSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 64<<10 {
+			// The sequential scanner caps line length at 1 MiB; keep fuzz
+			// inputs well under it so the two parsers see the same lines.
+			return
+		}
+		seq, seqErr := ReadMatrixMarket(bytes.NewReader(data))
+		par, parErr := ParseMatrixMarket(data, nil)
+		if (seqErr == nil) != (parErr == nil) {
+			t.Fatalf("parsers disagree: sequential err=%v, parallel err=%v", seqErr, parErr)
+		}
+		if seqErr == nil && !Equal(seq, par) {
+			t.Fatalf("parsers accept but matrices differ (%dx%d nnz=%d vs %dx%d nnz=%d)",
+				seq.M, seq.N, seq.NNZ(), par.M, par.N, par.NNZ())
+		}
+	})
+}
+
+// FuzzReadBinary hammers the bcsr reader: arbitrary bytes must error or
+// yield a matrix that survives a write/read round trip.
+func FuzzReadBinary(f *testing.F) {
+	r := rand.New(rand.NewSource(1))
+	a := randomCSR(r, 12, 40)
+	var buf bytes.Buffer
+	if err := WriteBinarySharded(&buf, a, 10); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(bcsrMagic)])
+	f.Add(valid[:len(valid)/2])
+	for off := 0; off < len(valid); off += 7 {
+		mut := append([]byte(nil), valid...)
+		mut[off] ^= 0x81
+		f.Add(mut)
+	}
+	f.Add([]byte("BPMFBCSR1\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 256<<10 {
+			return
+		}
+		got, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var rt bytes.Buffer
+		if err := WriteBinary(&rt, got); err != nil {
+			t.Fatalf("accepted matrix fails to re-serialize: %v", err)
+		}
+		back, err := ReadBinary(bytes.NewReader(rt.Bytes()))
+		if err != nil {
+			t.Fatalf("re-serialized matrix fails to parse: %v", err)
+		}
+		if !Equal(got, back) {
+			t.Fatal("accepted matrix does not round-trip")
+		}
+	})
+}
