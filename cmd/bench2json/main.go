@@ -11,6 +11,13 @@
 // An existing snapshot with the same label is replaced in place (so a PR
 // can re-run its measurement without duplicating entries); otherwise the
 // snapshot is appended. See PERF.md for the workflow.
+//
+// Compare two recorded snapshots with a per-benchmark speedup table:
+//
+//	go run ./cmd/bench2json -diff pr4-pre-iteration,pr4-iteration
+//
+// which prints ns/op of both labels and the old/new ratio (>1 = the
+// second label is faster) for every benchmark present in both.
 package main
 
 import (
@@ -53,10 +60,33 @@ type Snapshot struct {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bench2json: ")
-	label := flag.String("label", "", "snapshot label (required), e.g. pr1-blocked-kernels")
-	out := flag.String("out", "BENCH_kernels.json", "trajectory file to update")
+	label := flag.String("label", "", "snapshot label (required unless -diff), e.g. pr1-blocked-kernels")
+	out := flag.String("out", "BENCH_kernels.json", "trajectory file to update (or read, with -diff)")
 	in := flag.String("in", "-", "bench output to parse (- = stdin)")
+	diff := flag.String("diff", "", "compare two recorded snapshots: <labelA>,<labelB>")
 	flag.Parse()
+
+	if *diff != "" {
+		parts := strings.SplitN(*diff, ",", 2)
+		if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+			log.Fatal("-diff wants two comma-separated labels: <labelA>,<labelB>")
+		}
+		data, err := os.ReadFile(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var traj []Snapshot
+		if err := json.Unmarshal(data, &traj); err != nil {
+			log.Fatalf("%s is not a trajectory file: %v", *out, err)
+		}
+		table, err := Diff(traj, parts[0], parts[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(table)
+		return
+	}
+
 	if *label == "" {
 		log.Fatal("-label is required")
 	}
@@ -107,6 +137,89 @@ func main() {
 	}
 	fmt.Printf("recorded %d benchmarks under label %q in %s\n",
 		len(snap.Benchmarks), snap.Label, *out)
+}
+
+// Diff renders the per-benchmark speedup table between two labelled
+// snapshots: ns/op under each label and the ratio old/new (>1 means b is
+// faster), for every benchmark recorded in both. Benchmarks present in
+// only one snapshot are listed below the table so a renamed series is
+// visible rather than silently dropped.
+func Diff(traj []Snapshot, labelA, labelB string) (string, error) {
+	find := func(label string) (*Snapshot, error) {
+		for i := range traj {
+			if traj[i].Label == label {
+				return &traj[i], nil
+			}
+		}
+		known := make([]string, len(traj))
+		for i := range traj {
+			known[i] = traj[i].Label
+		}
+		return nil, fmt.Errorf("no snapshot labelled %q (have: %s)", label, strings.Join(known, ", "))
+	}
+	a, err := find(labelA)
+	if err != nil {
+		return "", err
+	}
+	b, err := find(labelB)
+	if err != nil {
+		return "", err
+	}
+
+	aByName := make(map[string]Benchmark, len(a.Benchmarks))
+	for _, bench := range a.Benchmarks {
+		aByName[bench.Name] = bench
+	}
+	var sb strings.Builder
+	width := len("benchmark")
+	for _, bench := range b.Benchmarks {
+		if _, ok := aByName[bench.Name]; ok && len(bench.Name) > width {
+			width = len(bench.Name)
+		}
+	}
+	fmt.Fprintf(&sb, "%-*s  %14s  %14s  %8s\n", width, "benchmark", labelA, labelB, "speedup")
+	matched := make(map[string]bool, len(b.Benchmarks))
+	for _, bb := range b.Benchmarks {
+		ab, ok := aByName[bb.Name]
+		if !ok {
+			continue
+		}
+		matched[bb.Name] = true
+		ratio := "n/a"
+		if bb.NsPerOp > 0 {
+			ratio = fmt.Sprintf("%.2fx", ab.NsPerOp/bb.NsPerOp)
+		}
+		fmt.Fprintf(&sb, "%-*s  %14s  %14s  %8s\n",
+			width, bb.Name, fmtNs(ab.NsPerOp), fmtNs(bb.NsPerOp), ratio)
+	}
+	for _, ab := range a.Benchmarks {
+		if !matched[ab.Name] {
+			fmt.Fprintf(&sb, "# only in %s: %s\n", labelA, ab.Name)
+		}
+	}
+	for _, bb := range b.Benchmarks {
+		if !matched[bb.Name] {
+			fmt.Fprintf(&sb, "# only in %s: %s\n", labelB, bb.Name)
+		}
+	}
+	if len(matched) == 0 {
+		return "", fmt.Errorf("snapshots %q and %q share no benchmarks", labelA, labelB)
+	}
+	return sb.String(), nil
+}
+
+// fmtNs renders a ns/op figure with a human unit.
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
 }
 
 // Parse reads `go test -bench` output and collects its benchmark lines.

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkFig2UpdateKernels/serial_chol/nnz=1000-8   	    6452	    185432 ns/op	      1000 ratings	      48 B/op	       1 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if b.Name != "Fig2UpdateKernels/serial_chol/nnz=1000" {
+		t.Fatalf("name %q", b.Name)
+	}
+	if b.Iters != 6452 || b.NsPerOp != 185432 {
+		t.Fatalf("iters=%d ns=%v", b.Iters, b.NsPerOp)
+	}
+	if b.Metrics["ratings"] != 1000 || b.Metrics["B/op"] != 48 {
+		t.Fatalf("metrics %v", b.Metrics)
+	}
+	if _, ok := parseLine("ok  \trepro\t4.0s"); ok {
+		t.Fatal("non-benchmark line accepted")
+	}
+}
+
+func diffFixture() []Snapshot {
+	return []Snapshot{
+		{Label: "old", Benchmarks: []Benchmark{
+			{Name: "Fig3Multicore/TBB", NsPerOp: 30e6},
+			{Name: "Fig3Multicore/OpenMP", NsPerOp: 40e6},
+			{Name: "Retired/Series", NsPerOp: 5},
+		}},
+		{Label: "new", Benchmarks: []Benchmark{
+			{Name: "Fig3Multicore/TBB", NsPerOp: 15e6},
+			{Name: "Fig3Multicore/OpenMP", NsPerOp: 40e6},
+			{Name: "IterationPhases/score", NsPerOp: 9},
+		}},
+	}
+}
+
+func TestDiffSpeedupTable(t *testing.T) {
+	table, err := Diff(diffFixture(), "old", "new")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Fig3Multicore/TBB", "2.00x", // 30ms -> 15ms
+		"Fig3Multicore/OpenMP", "1.00x",
+		"# only in old: Retired/Series",
+		"# only in new: IterationPhases/score",
+		"30.00ms", "15.00ms",
+	} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestDiffUnknownLabel(t *testing.T) {
+	if _, err := Diff(diffFixture(), "old", "nope"); err == nil {
+		t.Fatal("unknown label must error")
+	}
+	if _, err := Diff(diffFixture(), "nope", "new"); err == nil {
+		t.Fatal("unknown label must error")
+	}
+}
+
+func TestDiffNoSharedBenchmarks(t *testing.T) {
+	traj := []Snapshot{
+		{Label: "a", Benchmarks: []Benchmark{{Name: "X", NsPerOp: 1}}},
+		{Label: "b", Benchmarks: []Benchmark{{Name: "Y", NsPerOp: 1}}},
+	}
+	if _, err := Diff(traj, "a", "b"); err == nil {
+		t.Fatal("disjoint snapshots must error")
+	}
+}
+
+func TestFmtNs(t *testing.T) {
+	for _, tc := range []struct {
+		ns   float64
+		want string
+	}{
+		{500, "500ns"}, {1500, "1.50µs"}, {2.5e6, "2.50ms"}, {3e9, "3.00s"},
+	} {
+		if got := fmtNs(tc.ns); got != tc.want {
+			t.Fatalf("fmtNs(%v) = %q, want %q", tc.ns, got, tc.want)
+		}
+	}
+}

@@ -81,11 +81,13 @@ func fig3(cfg core.Config, cm des.CostModel, scale float64) {
 	movie := ds.R.Transpose().RowDegrees()
 	user := ds.R.RowDegrees()
 
-	fmt.Println("# columns: threads, TBB, OpenMP, GraphLab  (x1000 items/s, virtual time)")
+	fmt.Println("# columns: threads, TBB, OpenMP, GraphLab  (x1000 items/s, virtual time,")
+	fmt.Println("# full iteration incl. chunk-parallel evaluation of a 5% held-out split)")
+	nTest := ds.R.NNZ() / 20
 	for _, threads := range []int{1, 2, 4, 8, 16} {
-		tbb := des.Fig3Point(movie, user, threads, des.PolicyWorkSteal, cm, &cfg)
-		omp := des.Fig3Point(movie, user, threads, des.PolicyStatic, cm, &cfg)
-		gl := des.Fig3Point(movie, user, threads, des.PolicyGraphLab, cm, &cfg)
+		tbb := des.Fig3PointEval(movie, user, nTest, threads, des.PolicyWorkSteal, cm, &cfg)
+		omp := des.Fig3PointEval(movie, user, nTest, threads, des.PolicyStatic, cm, &cfg)
+		gl := des.Fig3PointEval(movie, user, nTest, threads, des.PolicyGraphLab, cm, &cfg)
 		fmt.Printf("%8d  %10.2f  %10.2f  %10.2f\n", threads, tbb/1000, omp/1000, gl/1000)
 	}
 
@@ -129,6 +131,7 @@ func fig4(cfg core.Config, cm des.CostModel, scale float64) {
 	for _, nodes := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024} {
 		plan := partition.Build(ds.R, partition.Options{Ranks: nodes, Reorder: false})
 		w := des.BuildClusterWorkload(plan, cfg)
+		w.TestEntries = int64(ds.R.NNZ() / 20)
 		m := des.BlueGeneQ(nodes)
 		if scale < 1 {
 			// Scale the cache with the workload so the working-set /
@@ -157,6 +160,7 @@ func fig5(cfg core.Config, cm des.CostModel, scale float64) {
 	for _, nodes := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
 		plan := partition.Build(ds.R, partition.Options{Ranks: nodes, Reorder: false})
 		w := des.BuildClusterWorkload(plan, cfg)
+		w.TestEntries = int64(ds.R.NNZ() / 20)
 		m := des.BlueGeneQ(nodes)
 		if scale < 1 {
 			m.CacheBytes *= scale

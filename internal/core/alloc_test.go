@@ -78,6 +78,95 @@ func TestSampleHyperWSZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestItemLoopZeroAllocs pins the engines' full per-item path — re-keyed
+// workspace stream plus the update itself — at zero allocations, which is
+// what makes the item loops allocation-free per iteration, not just per
+// kernel call.
+func TestItemLoopZeroAllocs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.K = 16
+	hyper := NewHyper(cfg.K)
+	cols, vals, other := allocProblem(100, cfg.K)
+	ws := NewWorkspace(cfg.K)
+	out := la.NewVector(cfg.K)
+	run := func() {
+		for item := 0; item < 4; item++ {
+			UpdateItem(ws, KernelCholesky, &cfg, cols, vals, other, hyper,
+				ws.ItemStream(cfg.Seed, 0, SideU, item), nil, nil, out)
+		}
+	}
+	run()
+	if allocs := testing.AllocsPerRun(50, run); allocs != 0 {
+		t.Fatalf("item loop allocates %v per 4 items in steady state, want 0", allocs)
+	}
+}
+
+// TestWorkspaceItemStreamMatchesKeyed pins ws.ItemStream byte-identical
+// to the allocating core.ItemStream for the same key.
+func TestWorkspaceItemStreamMatchesKeyed(t *testing.T) {
+	ws := NewWorkspace(4)
+	for item := 0; item < 5; item++ {
+		a := ws.ItemStream(42, 3, SideV, item)
+		b := ItemStream(42, 3, SideV, item)
+		for i := 0; i < 20; i++ {
+			if a.Norm() != b.Norm() {
+				t.Fatalf("item %d: workspace stream diverges from keyed stream", item)
+			}
+		}
+	}
+}
+
+// TestMomentsGroupedWSZeroAllocs pins the per-iteration hyper-moment path:
+// once the workspace's partial pool is warm, a grouped reduction touches
+// the heap zero times — MomentsGrouped used to allocate fresh partials for
+// every group, every iteration, in every engine.
+func TestMomentsGroupedWSZeroAllocs(t *testing.T) {
+	k := 16
+	r := rng.New(6)
+	x := la.NewMatrix(300, k)
+	r.FillNorm(x.Data)
+	groups := []int{0, 77, 150, 300}
+	ws := NewMomentsWorkspace(k)
+	run := func() { MomentsGroupedWS(x, groups, k, nil, ws) }
+	run() // warm the partial pool
+	if allocs := testing.AllocsPerRun(50, run); allocs != 0 {
+		t.Fatalf("MomentsGroupedWS: %v allocs/op in steady state, want 0", allocs)
+	}
+}
+
+// TestMomentsGroupedWSMatchesAllocating pins the workspace variant against
+// the allocating reference, including workspace reuse across differing
+// group lists.
+func TestMomentsGroupedWSMatchesAllocating(t *testing.T) {
+	k := 8
+	r := rng.New(11)
+	x := la.NewMatrix(120, k)
+	r.FillNorm(x.Data)
+	ws := NewMomentsWorkspace(k)
+	for _, groups := range [][]int{{0, 120}, {0, 13, 50, 120}, {0, 40, 40, 120}} {
+		want := MomentsGrouped(x, groups, k, nil)
+		got := MomentsGroupedWS(x, groups, k, nil, ws)
+		if got.N != want.N {
+			t.Fatalf("groups %v: N %v != %v", groups, got.N, want.N)
+		}
+		for i := range want.Sum {
+			if got.Sum[i] != want.Sum[i] {
+				t.Fatalf("groups %v: Sum[%d] differs", groups, i)
+			}
+		}
+		if la.MaxAbsDiff(got.SumSq, want.SumSq) != 0 {
+			t.Fatalf("groups %v: SumSq differs", groups)
+		}
+	}
+	// Mismatched K must be rejected, not silently mis-sized.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("workspace K mismatch must panic")
+		}
+	}()
+	MomentsGroupedWS(x, []int{0, 120}, k+1, nil, ws)
+}
+
 // TestWorkspaceSharedArenaReuse checks that workspaces sharing one arena
 // lease from a common steady-state pool (the engines' configuration).
 func TestWorkspaceSharedArenaReuse(t *testing.T) {

@@ -87,13 +87,14 @@ func ResumeSampler(cfg Config, prob *Problem, c *Checkpoint) (*Sampler, error) {
 		pred:  NewPredictor(prob.Test, cfg.ClampMin, cfg.ClampMax),
 		ws:    NewWorkspace(cfg.K),
 		hws:   NewHyperWorkspace(cfg.K),
+		mws:   NewMomentsWorkspace(cfg.K),
 	}
 	s.pred.Alpha = cfg.Alpha
 	copy(s.pred.sum, c.PredSum)
 	copy(s.pred.sumSq, c.PredSumSq)
 	s.pred.nSamples = c.NSamples
-	s.res.SampleRMSE = append([]float64(nil), c.SampleRMSE...)
-	s.res.AvgRMSE = append([]float64(nil), c.AvgRMSE...)
+	s.res.SampleRMSE = append(make([]float64, 0, cfg.Iters), c.SampleRMSE...)
+	s.res.AvgRMSE = append(make([]float64, 0, cfg.Iters), c.AvgRMSE...)
 	s.res.KernelCounts = c.KernelCounts
 	s.res.ItemUpdates = c.ItemUpdates
 	return s, nil

@@ -116,28 +116,66 @@ func GroupBoundaries(groups []int, n int) []int {
 // once for every g in [0, nGroups) — in any order, on any goroutines — and
 // return only after all invocations complete; engines pass a parallel-for
 // here. nil runs the groups sequentially. Because the combine order is
-// fixed, the result is bit-identical either way.
+// fixed, the result is bit-identical either way. It is a convenience
+// wrapper over MomentsGroupedWS that allocates a fresh workspace per call;
+// engines hold one workspace per runner and call MomentsGroupedWS
+// directly, so their per-iteration steady state allocates nothing here.
 func MomentsGrouped(x *la.Matrix, groups []int, k int,
 	runAll func(nGroups int, run func(g int))) *Moments {
+	return MomentsGroupedWS(x, groups, k, runAll, NewMomentsWorkspace(k))
+}
+
+// MomentsWorkspace holds the reusable per-group partials and combined
+// total of a grouped moment reduction. One workspace must not be used by
+// two concurrent reductions (the groups *within* one reduction may run
+// concurrently — they touch disjoint partials).
+type MomentsWorkspace struct {
+	k        int
+	partials []*Moments
+	total    *Moments
+}
+
+// NewMomentsWorkspace allocates a moments workspace for K latent features;
+// the per-group partial pool grows on first use and is reused after.
+func NewMomentsWorkspace(k int) *MomentsWorkspace {
+	return &MomentsWorkspace{k: k, total: NewMoments(k)}
+}
+
+// MomentsGroupedWS is the allocation-free grouped moment reduction: the
+// partials and the returned total are leased from ws, so the result is
+// only valid until the workspace's next reduction (SampleHyperWS consumes
+// it immediately).
+func MomentsGroupedWS(x *la.Matrix, groups []int, k int,
+	runAll func(nGroups int, run func(g int)), ws *MomentsWorkspace) *Moments {
+	if ws.k != k {
+		panic("core: MomentsGroupedWS workspace built for a different K")
+	}
 	nb := len(groups) - 1
-	partials := make([]*Moments, nb)
-	run := func(g int) {
-		p := NewMoments(k)
-		p.AccumulateRows(x, groups[g], groups[g+1])
-		partials[g] = p
+	for len(ws.partials) < nb {
+		ws.partials = append(ws.partials, NewMoments(k))
 	}
 	if runAll == nil {
+		// Method call, not a closure: the inline path stays allocation-free.
 		for g := 0; g < nb; g++ {
-			run(g)
+			ws.runGroup(g, x, groups)
 		}
 	} else {
-		runAll(nb, run)
+		runAll(nb, func(g int) { ws.runGroup(g, x, groups) })
 	}
-	total := NewMoments(k)
-	for _, p := range partials {
-		total.Add(p)
+	total := ws.total
+	total.Zero()
+	for g := 0; g < nb; g++ {
+		total.Add(ws.partials[g])
 	}
 	return total
+}
+
+// runGroup accumulates group g's rows into its leased partial. Groups
+// touch disjoint partials, so any set of groups may run concurrently.
+func (ws *MomentsWorkspace) runGroup(g int, x *la.Matrix, groups []int) {
+	p := ws.partials[g]
+	p.Zero()
+	p.AccumulateRows(x, groups[g], groups[g+1])
 }
 
 // HyperStream returns the keyed stream for side's hyperparameter draw at

@@ -61,10 +61,12 @@ func (c Config) SelectKernel(nnz int) Kernel {
 }
 
 // accChunk is one chunk accumulator of the parallel kernel's reduction:
-// a partial precision and rhs leased from a worker-local arena.
+// a partial precision, rhs and gather panel leased from a worker-local
+// arena.
 type accChunk struct {
-	prec *la.Matrix
-	rhs  la.Vector
+	prec  *la.Matrix
+	rhs   la.Vector
+	panel *la.Matrix
 }
 
 // AccArena is a worker-local arena of chunk accumulators for the parallel
@@ -78,7 +80,11 @@ type AccArena struct {
 // NewAccArena creates an arena of K x K chunk accumulators.
 func NewAccArena(k int) *AccArena {
 	return &AccArena{a: sched.NewArena(func() *accChunk {
-		return &accChunk{prec: la.NewMatrix(k, k), rhs: la.NewVector(k)}
+		return &accChunk{
+			prec:  la.NewMatrix(k, k),
+			rhs:   la.NewVector(k),
+			panel: la.NewMatrix(la.GatherPanelRows, k),
+		}
 	})}
 }
 
@@ -93,11 +99,28 @@ type Workspace struct {
 	mu      la.Vector
 	scratch la.Vector
 	xtmp    la.Vector
+	// panel is the gather scratch of the panel-streamed serial-Cholesky
+	// accumulation (la.SyrkAxpyPanelLower).
+	panel *la.Matrix
 
 	// acc supplies chunk accumulators to the parallel kernel; parts is the
 	// reused per-item list of leased chunks (ascending chunk order).
 	acc   *AccArena
 	parts []*accChunk
+
+	// stream is the re-keyed scratch stream handed out by ItemStream.
+	stream rng.Stream
+}
+
+// ItemStream re-keys the workspace's embedded scratch stream in place to
+// the given item's keyed stream and returns it — byte-identical to the
+// allocating core.ItemStream, without the per-item allocation. The
+// returned stream is only valid until the workspace's next ItemStream
+// call, which is exactly the per-item lease discipline the engines
+// already follow.
+func (ws *Workspace) ItemStream(seed uint64, iter int, side Side, item int) *rng.Stream {
+	ws.stream.Reinit(rng.Mix(seed, keyItem, uint64(iter), uint64(side), uint64(item)))
+	return &ws.stream
 }
 
 // NewWorkspace allocates a workspace for K latent features with its own
@@ -117,6 +140,7 @@ func NewWorkspaceShared(k int, acc *AccArena) *Workspace {
 		mu:      la.NewVector(k),
 		scratch: la.NewVector(k),
 		xtmp:    la.NewVector(k),
+		panel:   la.NewMatrix(la.GatherPanelRows, k),
 		acc:     acc,
 	}
 }
@@ -165,11 +189,13 @@ func UpdateItem(
 
 	case KernelCholesky:
 		// Precision and rhs accumulate in one fused, register-blocked pass
-		// over the ratings (ascending index, so the sums are bit-identical
+		// over the ratings, gathered panel-wise into contiguous scratch so
+		// the accumulation streams instead of chasing row pointers into the
+		// partner matrix (ascending index, so the sums are bit-identical
 		// to the per-rating SyrLower/Axpy loop), then one factorization.
 		ws.prec.CopyFrom(hyper.Lambda)
 		copy(ws.rhs, hyper.LambdaMu)
-		la.SyrkAxpyBatchLower(alpha, other, cols, vals, ws.prec, ws.rhs)
+		la.SyrkAxpyPanelLower(alpha, other, cols, vals, ws.prec, ws.rhs, ws.panel)
 		if err := la.Cholesky(ws.prec, ws.precL); err != nil {
 			panic("core: item posterior precision not SPD: " + err.Error())
 		}
@@ -260,6 +286,6 @@ func (ws *Workspace) runAccChunk(w *sched.Worker, ci, grain int, alpha float64,
 	ch := ws.acc.a.Get(w)
 	ch.prec.Zero()
 	ch.rhs.Zero()
-	la.SyrkAxpyBatchLower(alpha, other, cols[lo:hi], vals[lo:hi], ch.prec, ch.rhs)
+	la.SyrkAxpyPanelLower(alpha, other, cols[lo:hi], vals[lo:hi], ch.prec, ch.rhs, ch.panel)
 	ws.parts[ci] = ch
 }

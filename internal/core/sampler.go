@@ -95,6 +95,7 @@ type Sampler struct {
 	pred *Predictor
 	ws   *Workspace
 	hws  *HyperWorkspace
+	mws  *MomentsWorkspace
 	res  Result
 }
 
@@ -116,8 +117,11 @@ func NewSampler(cfg Config, prob *Problem) (*Sampler, error) {
 		pred:  NewPredictor(prob.Test, cfg.ClampMin, cfg.ClampMax),
 		ws:    NewWorkspace(cfg.K),
 		hws:   NewHyperWorkspace(cfg.K),
+		mws:   NewMomentsWorkspace(cfg.K),
 	}
 	s.pred.Alpha = cfg.Alpha
+	s.res.SampleRMSE = make([]float64, 0, cfg.Iters)
+	s.res.AvgRMSE = make([]float64, 0, cfg.Iters)
 	return s, nil
 }
 
@@ -128,26 +132,26 @@ func (s *Sampler) Step(iter int) {
 
 	// Movies: hyperparameters from V, then every movie row.
 	groupsV := GroupBoundaries(cfg.MomentGroupsV, s.V.Rows)
-	mv := MomentsGrouped(s.V, groupsV, cfg.K, nil)
+	mv := MomentsGroupedWS(s.V, groupsV, cfg.K, nil, s.mws)
 	SampleHyperWS(s.Prior, mv, HyperStream(cfg.Seed, iter, SideV), s.HV, s.hws)
 	for j := 0; j < s.Prob.Rt.M; j++ {
 		cols, vals := s.Prob.Rt.Row(j)
 		kern := cfg.SelectKernel(len(cols))
 		s.res.KernelCounts[kern]++
 		UpdateItem(s.ws, kern, cfg, cols, vals, s.U, s.HV,
-			ItemStream(cfg.Seed, iter, SideV, j), nil, nil, s.V.Row(j))
+			s.ws.ItemStream(cfg.Seed, iter, SideV, j), nil, nil, s.V.Row(j))
 	}
 
 	// Users: hyperparameters from U, then every user row.
 	groupsU := GroupBoundaries(cfg.MomentGroupsU, s.U.Rows)
-	mu := MomentsGrouped(s.U, groupsU, cfg.K, nil)
+	mu := MomentsGroupedWS(s.U, groupsU, cfg.K, nil, s.mws)
 	SampleHyperWS(s.Prior, mu, HyperStream(cfg.Seed, iter, SideU), s.HU, s.hws)
 	for i := 0; i < s.Prob.R.M; i++ {
 		cols, vals := s.Prob.R.Row(i)
 		kern := cfg.SelectKernel(len(cols))
 		s.res.KernelCounts[kern]++
 		UpdateItem(s.ws, kern, cfg, cols, vals, s.V, s.HU,
-			ItemStream(cfg.Seed, iter, SideU, i), nil, nil, s.U.Row(i))
+			s.ws.ItemStream(cfg.Seed, iter, SideU, i), nil, nil, s.U.Row(i))
 	}
 
 	s.res.ItemUpdates += int64(s.Prob.R.M + s.Prob.R.N)

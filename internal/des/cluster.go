@@ -29,6 +29,12 @@ type ClusterWorkload struct {
 	RecordBytes int
 	// TotalItems is the number of item updates per iteration (M + N).
 	TotalItems int64
+	// TestEntries is the held-out test-set size whose end-of-iteration
+	// chunk-parallel evaluation the simulation models (split across ranks
+	// by row ownership, like the real engine's per-rank predictors).
+	// 0 omits the evaluation phase. Callers set it after
+	// BuildClusterWorkload — the plan does not carry the test set.
+	TestEntries int64
 }
 
 // BuildClusterWorkload derives the workload from a partition plan.
@@ -191,6 +197,24 @@ func SimulateCluster(w *ClusterWorkload, m Machine, cm CostModel, bufferBytes in
 		allreduceCost = 0
 	}
 
+	// Per-rank evaluation durations: the rank's row-ownership share of the
+	// test set, chunk-parallel on its cores (the real engine's
+	// Predictor.PartialUpdatePar).
+	evalDur := make([]float64, p)
+	if w.TestEntries > 0 {
+		var totalRows int64
+		for q := 0; q < p; q++ {
+			totalRows += int64(len(w.UserNNZ[q]))
+		}
+		for q := 0; q < p; q++ {
+			localTest := 0
+			if totalRows > 0 {
+				localTest = int(int64(len(w.UserNNZ[q])) * w.TestEntries / totalRows)
+			}
+			evalDur[q] = cm.EvalMakespan(localTest, m.CoresPerNode) / m.cacheFactor(w.WorkingSet[q])
+		}
+	}
+
 	// Simulation state.
 	now := 0.0
 	ghostReadyV := make([]float64, p) // when this rank's V ghosts arrived
@@ -247,16 +271,24 @@ func SimulateCluster(w *ClusterWorkload, m Machine, cm CostModel, bufferBytes in
 			ghostReadyU[q] = math.Max(endU[q], arriveU[q])
 		}
 
-		// Iteration ends when every rank finished its user compute (the
-		// RMSE allreduce is the next sync; ghost waits roll into the next
-		// iteration's movie phase).
-		var maxEndU float64
+		// Iteration ends when every rank finished its user compute plus —
+		// when a test set is modeled — the evaluation of its local test
+		// share, which starts only after the rank's U ghosts arrived (the
+		// real engine evaluates on the completed replica). The RMSE
+		// allreduce is the closing sync; with no evaluation, ghost waits
+		// roll into the next iteration's movie phase as before.
+		var maxEnd float64
 		for q := 0; q < p; q++ {
-			if endU[q] > maxEndU {
-				maxEndU = endU[q]
+			end := endU[q]
+			if evalDur[q] > 0 {
+				end = ghostReadyU[q] + evalDur[q]
+				computeIv[q].Add(ghostReadyU[q], end)
+			}
+			if end > maxEnd {
+				maxEnd = end
 			}
 		}
-		now = maxEndU + allreduceCost
+		now = maxEnd + allreduceCost
 
 		if it == iters-1 {
 			res.IterTime = now - iterStart

@@ -317,3 +317,47 @@ func TestPolicyNames(t *testing.T) {
 		t.Fatal("policy names must match the figure legend")
 	}
 }
+
+func TestEvalMakespan(t *testing.T) {
+	cm := DefaultCostModel(32)
+	if cm.EvalMakespan(0, 8) != 0 {
+		t.Fatal("no test set, no evaluation cost")
+	}
+	// Chunk granularity: one chunk cannot be split across cores, so a
+	// single-chunk test set costs the same at any thread count.
+	one := cm.EvalMakespan(core.EvalChunk, 1)
+	if got := cm.EvalMakespan(core.EvalChunk, 16); got != one {
+		t.Fatalf("one chunk on 16 threads costs %v, want the single-chunk cost %v", got, one)
+	}
+	// Whole chunks divide: 16 chunks on 4 threads take 4 chunk-spans.
+	if got, want := cm.EvalMakespan(16*core.EvalChunk, 4), 4*one; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("16 chunks on 4 threads = %v, want %v", got, want)
+	}
+	// More threads never slow evaluation down.
+	if cm.EvalMakespan(16*core.EvalChunk, 8) > cm.EvalMakespan(16*core.EvalChunk, 4) {
+		t.Fatal("evaluation makespan must be non-increasing in threads")
+	}
+}
+
+func TestNodeIterationTimeIncludesEval(t *testing.T) {
+	cm := DefaultCostModel(32)
+	cfg := core.DefaultConfig()
+	nnz := []int{10, 20, 30, 400, 5}
+	base := NodeIterationTime(nnz, nnz, 4, PolicyWorkSteal, cm, &cfg)
+	withEval := NodeIterationTimeEval(nnz, nnz, 10*core.EvalChunk, 4, PolicyWorkSteal, cm, &cfg)
+	if !(withEval > base) {
+		t.Fatalf("evaluation must add time: %v vs %v", withEval, base)
+	}
+	if got := NodeIterationTimeEval(nnz, nnz, 0, 4, PolicyWorkSteal, cm, &cfg); got != base {
+		t.Fatalf("nTest=0 must reproduce NodeIterationTime: %v vs %v", got, base)
+	}
+	// The simulated cluster slows down accordingly, and only then.
+	w := clusterWorkload(t, 4)
+	plain := SimulateCluster(w, BlueGeneQ(4), cm, 64<<10, 3)
+	w.TestEntries = int64(40 * core.EvalChunk)
+	eval := SimulateCluster(w, BlueGeneQ(4), cm, 64<<10, 3)
+	if !(eval.IterTime > plain.IterTime) {
+		t.Fatalf("modeled evaluation must lengthen the iteration: %v vs %v",
+			eval.IterTime, plain.IterTime)
+	}
+}

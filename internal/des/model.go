@@ -52,6 +52,11 @@ type CostModel struct {
 	GraphLabPerEdge   float64
 	// MomentPerRow is the hyperparameter moment cost per factor row.
 	MomentPerRow float64
+	// EvalPerEntry is the cost of scoring one held-out test entry (one
+	// K-length dot plus clamp and accumulate) in the end-of-iteration
+	// evaluation, which every engine now runs chunk-parallel over fixed
+	// core.EvalChunk chunks.
+	EvalPerEntry float64
 }
 
 // SerialItemCost returns the modeled cost of one item update with nnz
@@ -99,6 +104,25 @@ func (cm CostModel) HybridItemCost(cfg *core.Config, nnz, p int) float64 {
 	default:
 		return cm.ParallelItemCost(nnz, cfg.ParallelGrain, p)
 	}
+}
+
+// EvalMakespan returns the modeled duration of the chunk-parallel
+// evaluation of nTest held-out entries on `threads` cores: whole
+// core.EvalChunk chunks are list-scheduled (the decomposition is fixed,
+// so fewer chunks than cores leaves cores idle — the same granularity
+// floor the real engines have), with the tail chunk rounded up to a full
+// one.
+func (cm CostModel) EvalMakespan(nTest, threads int) float64 {
+	if nTest <= 0 {
+		return 0
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	chunks := (nTest + core.EvalChunk - 1) / core.EvalChunk
+	perThread := (chunks + threads - 1) / threads
+	chunkCost := cm.EvalPerEntry*float64(core.EvalChunk) + cm.TaskOverhead
+	return float64(perThread) * chunkCost
 }
 
 // CalibrateCostModel measures the kernel constants on the current machine
@@ -163,6 +187,18 @@ func CalibrateCostModel(k int) CostModel {
 	// Moments per row: Axpy + SyrLower, same as PerRating.
 	cm.MomentPerRow = cm.PerRating
 
+	// Evaluation per entry: one k-length dot plus clamp/accumulate.
+	y := la.NewVector(k)
+	r.FillNorm(y)
+	reps = 200000
+	var sink float64
+	start = time.Now()
+	for i := 0; i < reps; i++ {
+		sink += la.Dot(x, y)
+	}
+	cm.EvalPerEntry = time.Since(start).Seconds() / float64(reps)
+	rhs[0] += sink * 1e-300 // keep the measured loop observable
+
 	// Scheduling overheads: representative constants measured once on
 	// commodity hardware; they only set the small-item floor of the
 	// curves. Task spawn+steal ≈ 250 ns; barrier ≈ 5 µs per thread;
@@ -190,6 +226,7 @@ func DefaultCostModel(k int) CostModel {
 		GraphLabPerVertex: 2e-6,
 		GraphLabPerEdge:   60e-9 + 0.4e-6*scale,
 		MomentPerRow:      1.1e-6 * scale,
+		EvalPerEntry:      25e-9 * float64(k) / 32.0,
 	}
 }
 

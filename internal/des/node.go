@@ -170,20 +170,35 @@ func graphlabMakespan(nnz []int, threads int, cm CostModel, cfg *core.Config) fl
 
 // NodeIterationTime returns the modeled duration of one full Gibbs
 // iteration (movie phase + user phase + hyperparameter moments) on a
-// single node, in seconds.
+// single node, in seconds, without the evaluation phase (nTest = 0).
 func NodeIterationTime(movieNNZ, userNNZ []int, threads int, pol Policy, cm CostModel, cfg *core.Config) float64 {
+	return NodeIterationTimeEval(movieNNZ, userNNZ, 0, threads, pol, cm, cfg)
+}
+
+// NodeIterationTimeEval is NodeIterationTime including the
+// end-of-iteration chunk-parallel evaluation of nTest held-out entries —
+// the full iteration the real engines execute, Amdahl tail included.
+func NodeIterationTimeEval(movieNNZ, userNNZ []int, nTest, threads int, pol Policy, cm CostModel, cfg *core.Config) float64 {
 	t := PhaseMakespan(movieNNZ, threads, pol, cm, cfg)
 	t += PhaseMakespan(userNNZ, threads, pol, cm, cfg)
 	// Moments parallelize trivially; GraphLab runs them through its
 	// aggregate path with the same static split.
 	rows := float64(len(movieNNZ) + len(userNNZ))
 	t += cm.MomentPerRow * rows / float64(threads)
+	t += cm.EvalMakespan(nTest, threads)
 	return t
 }
 
 // Fig3Point computes the Figure 3 y-value (item updates per second) for
-// one engine at one thread count on the given per-side rating counts.
+// one engine at one thread count on the given per-side rating counts,
+// without the evaluation phase.
 func Fig3Point(movieNNZ, userNNZ []int, threads int, pol Policy, cm CostModel, cfg *core.Config) float64 {
-	t := NodeIterationTime(movieNNZ, userNNZ, threads, pol, cm, cfg)
+	return Fig3PointEval(movieNNZ, userNNZ, 0, threads, pol, cm, cfg)
+}
+
+// Fig3PointEval is Fig3Point over the full iteration including the
+// chunk-parallel evaluation of nTest entries.
+func Fig3PointEval(movieNNZ, userNNZ []int, nTest, threads int, pol Policy, cm CostModel, cfg *core.Config) float64 {
+	t := NodeIterationTimeEval(movieNNZ, userNNZ, nTest, threads, pol, cm, cfg)
 	return float64(len(movieNNZ)+len(userNNZ)) / t
 }

@@ -18,6 +18,7 @@ package dist
 import (
 	"repro/internal/comm"
 	"repro/internal/core"
+	"repro/internal/order"
 	"repro/internal/partition"
 	"repro/internal/sparse"
 	"time"
@@ -51,6 +52,12 @@ type Options struct {
 	// straight into the replicated factor memory instead of two-sided
 	// coalesced messages. Same chain, different transport ablation.
 	OneSided bool
+	// Schedule is the locality processing order of the plan's matrix,
+	// restricted per rank to its owned items. nil makes every node build
+	// the default order.Build schedule locally (deterministic in the plan,
+	// so all ranks still agree); RunInProc builds it once and shares it.
+	// The schedule cannot change the sampled chain — only cache behavior.
+	Schedule *order.Schedule
 }
 
 // normalized fills in defaulted fields.

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/la"
+	"repro/internal/order"
 	"repro/internal/sparse"
 )
 
@@ -93,6 +94,69 @@ func TestDistributedThreadsPerRankBitIdentical(t *testing.T) {
 	if la.MaxAbsDiff(base.U, threaded.U) != 0 || la.MaxAbsDiff(base.V, threaded.V) != 0 {
 		t.Fatal("per-rank threading changed the chain")
 	}
+	// The threaded rank evaluates chunk-parallel on its pool, the serial
+	// rank inline — same fixed chunk tree, so the traces must match bit
+	// for bit, not just within tolerance.
+	for i := range base.AvgRMSE {
+		if base.AvgRMSE[i] != threaded.AvgRMSE[i] || base.SampleRMSE[i] != threaded.SampleRMSE[i] {
+			t.Fatalf("RMSE trace not bit-identical at iter %d", i)
+		}
+	}
+}
+
+// TestDistributedScheduleIsChainInvariant drives the ranks over arbitrary
+// processing orders (the identity schedule and the default locality one):
+// the per-rank walk order must not change a sampled bit or the trace.
+func TestDistributedScheduleIsChainInvariant(t *testing.T) {
+	prob := problem(t, 12)
+	cfg := testConfig()
+	def, _, err := RunInProc(cfg, prob, Options{Ranks: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, n := prob.Dims()
+	identity := &order.Schedule{U: make([]int32, m), V: make([]int32, n)}
+	for i := range identity.U {
+		identity.U[i] = int32(i)
+	}
+	for j := range identity.V {
+		identity.V[j] = int32(j)
+	}
+	for name, sch := range map[string]*order.Schedule{
+		"identity": identity,
+		"reversed": {U: reversed(m), V: reversed(n)},
+	} {
+		got, _, err := RunInProc(cfg, prob, Options{Ranks: 3, Schedule: sch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if la.MaxAbsDiff(got.U, def.U) != 0 || la.MaxAbsDiff(got.V, def.V) != 0 {
+			t.Fatalf("schedule %q changed the chain", name)
+		}
+		for i := range def.AvgRMSE {
+			if got.AvgRMSE[i] != def.AvgRMSE[i] {
+				t.Fatalf("schedule %q changed the RMSE trace at iter %d", name, i)
+			}
+		}
+	}
+}
+
+func TestDistributedRejectsBadSchedule(t *testing.T) {
+	prob := problem(t, 14)
+	cfg := testConfig()
+	m, _ := prob.Dims()
+	bad := &order.Schedule{U: reversed(m - 1)} // wrong length
+	if _, _, err := RunInProc(cfg, prob, Options{Ranks: 2, Schedule: bad}); err == nil {
+		t.Fatal("truncated schedule must be rejected, not deadlock the ranks")
+	}
+}
+
+func reversed(n int) []int32 {
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(n - 1 - i)
+	}
+	return p
 }
 
 func TestDistributedOneSidedBitIdentical(t *testing.T) {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/core"
+	"repro/internal/order"
 )
 
 // RunInProc executes a distributed run as a virtual cluster inside this
@@ -17,6 +18,10 @@ func RunInProc(cfg core.Config, prob *core.Problem, opt Options) (*core.Result, 
 		return nil, nil, err
 	}
 	plan, test := BuildPlan(prob, opt)
+	if opt.Schedule == nil {
+		// One schedule build shared by all in-process ranks.
+		opt.Schedule = order.Build(plan.R, order.Options{HeavyThreshold: cfg.KernelThreshold})
+	}
 	fab := comm.NewFabric(opt.Ranks)
 	defer fab.Close()
 

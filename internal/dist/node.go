@@ -11,6 +11,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/la"
+	"repro/internal/order"
 	"repro/internal/partition"
 	"repro/internal/sched"
 	"repro/internal/sparse"
@@ -49,7 +50,19 @@ type Node struct {
 	sendU, sendV [][]int32
 	expU, expV   int
 
+	// ordU/ordV are the locality processing orders of the owned ranges
+	// (the shared schedule restricted to this rank's items). Within a
+	// phase every owned item's draw is keyed by its plan-space id and
+	// ghost waits count rows, not positions, so the walk order changes no
+	// sampled bit — only the cache behavior of the partner-row gathers.
+	ordU, ordV []int32
+
 	pred *core.Predictor // over the locally owned test entries
+
+	// momPart/momVec are the reused scratch of the per-iteration
+	// hyperparameter moment reduction.
+	momPart *core.Moments
+	momVec  []float64
 
 	pool    *sched.Pool
 	ws      *core.Workspace // single-thread update path
@@ -98,6 +111,32 @@ func NewNode(c *comm.Comm, cfg core.Config, plan *partition.Plan, test []sparse.
 	nd.colOwner = ownersArray(plan.ColBounds, n)
 	nd.recBuf = make([]byte, 4+8*nd.k)
 	nd.buildRouting()
+
+	// Locality schedule over the owned ranges: opt.Schedule if the launcher
+	// built one (RunInProc shares a single build across ranks), else built
+	// locally — Build is deterministic in plan.R, so either way every rank
+	// walks the same global order restricted to its own items. A supplied
+	// schedule must be a permutation of the plan's index space: a stale or
+	// truncated order would make this rank skip owned items, and its
+	// peers, whose expected ghost counts come from the routing table, not
+	// the schedule, would then block forever waiting for the missing rows.
+	sch := opt.Schedule
+	if sch == nil {
+		sch = order.Build(plan.R, order.Options{HeavyThreshold: cfg.KernelThreshold})
+	} else {
+		if sch.U != nil && !order.IsPermutation(sch.U, m) {
+			return nil, fmt.Errorf("dist: schedule U order is not a permutation of [0,%d)", m)
+		}
+		if sch.V != nil && !order.IsPermutation(sch.V, n) {
+			return nil, fmt.Errorf("dist: schedule V order is not a permutation of [0,%d)", n)
+		}
+	}
+	nd.ordU = order.Restrict(sch.U, plan.RowBounds[nd.rank], plan.RowBounds[nd.rank+1])
+	nd.ordV = order.Restrict(sch.V, plan.ColBounds[nd.rank], plan.ColBounds[nd.rank+1])
+	nd.momPart = core.NewMoments(cfg.K)
+	nd.momVec = make([]float64, 1+cfg.K+cfg.K*cfg.K)
+	nd.res.SampleRMSE = make([]float64, 0, cfg.Iters)
+	nd.res.AvgRMSE = make([]float64, 0, cfg.Iters)
 
 	var localTest []sparse.Entry
 	for _, e := range test {
@@ -222,10 +261,11 @@ func (nd *Node) allreduce(v []float64) []float64 {
 // reference.
 func (nd *Node) sampleHyper(iter int, side core.Side, x *la.Matrix, bounds []int, h *core.Hyper) {
 	lo, hi := bounds[nd.rank], bounds[nd.rank+1]
-	part := core.NewMoments(nd.k)
+	part := nd.momPart
+	part.Zero()
 	part.AccumulateRows(x, lo, hi)
 
-	vec := make([]float64, 1+nd.k+nd.k*nd.k)
+	vec := nd.momVec
 	vec[0] = part.N
 	copy(vec[1:1+nd.k], part.Sum)
 	copy(vec[1+nd.k:], part.SumSq.Data)
@@ -250,14 +290,17 @@ func (nd *Node) updateSide(iter int, side core.Side) {
 	var send [][]int32
 	var exp, seg int
 	var hyper *core.Hyper
+	var ord []int32
 	if side == core.SideV {
 		lo, hi = nd.plan.ColBounds[nd.rank], nd.plan.ColBounds[nd.rank+1]
 		self, other, hyper = nd.v, nd.u, nd.hv
 		ratings, send, exp, seg = nd.rt, nd.sendV, nd.expV, segV
+		ord = nd.ordV
 	} else {
 		lo, hi = nd.plan.RowBounds[nd.rank], nd.plan.RowBounds[nd.rank+1]
 		self, other, hyper = nd.u, nd.v, nd.hu
 		ratings, send, exp, seg = nd.r, nd.sendU, nd.expU, segU
+		ord = nd.ordU
 	}
 	tag := itemTag(iter, side)
 
@@ -302,18 +345,20 @@ func (nd *Node) updateSide(iter int, side core.Side) {
 		kern := cfg.SelectKernel(len(cols))
 		nd.kernelCounts[kern].Add(1)
 		core.UpdateItem(ws, kern, cfg, cols, vals, other, hyper,
-			core.ItemStream(cfg.Seed, iter, side, item), nd.pool, w, self.Row(item))
+			ws.ItemStream(cfg.Seed, iter, side, item), nd.pool, w, self.Row(item))
 	}
 
 	computeStart := time.Now()
 	if nd.pool != nil {
 		// Threaded path: all updates finish before the send sweep, so the
 		// sweep is exposed communication, not compute — it counts toward
-		// neither ComputeTime nor OverlapTime.
-		nd.pool.ParallelFor(lo, hi, itemGrain, func(w *sched.Worker, a, b int) {
-			for item := a; item < b; item++ {
+		// neither ComputeTime nor OverlapTime. Workers walk schedule
+		// positions; a contiguous position block holds locality-adjacent
+		// items.
+		nd.pool.ParallelFor(0, len(ord), itemGrain, func(w *sched.Worker, a, b int) {
+			for pos := a; pos < b; pos++ {
 				ws := nd.wsArena.Get(w)
-				update(ws, w, item)
+				update(ws, w, int(ord[pos]))
 				nd.wsArena.Put(w, ws)
 			}
 		})
@@ -324,8 +369,11 @@ func (nd *Node) updateSide(iter int, side core.Side) {
 		nd.flushAll(coals)
 	} else {
 		// Interleaved path: sends overlap the remaining item updates;
-		// OverlapTime is the compute tail spent with sends in flight.
-		for item := lo; item < hi; item++ {
+		// OverlapTime is the compute tail spent with sends in flight. Each
+		// item is sent right after its update, so the walk order also
+		// spreads the sends of locality-adjacent items across the phase.
+		for _, it32 := range ord {
+			item := int(it32)
 			update(nd.ws, nil, item)
 			sendItem(item)
 		}
@@ -378,12 +426,23 @@ func (nd *Node) recvGhosts(tag, expected int, dst *la.Matrix) {
 	nd.stats.GhostsRecv += int64(got)
 }
 
-// evaluate scores the test set: per-rank partial squared errors combined
-// with the deterministic allreduce, so every rank records the identical
-// RMSE trace.
+// evaluate scores the test set: per-rank partial squared errors — chunked
+// over the rank's thread pool through the fixed EvalChunk tree when one
+// exists — combined with the deterministic allreduce, so every rank
+// records the identical RMSE trace at any thread count.
 func (nd *Node) evaluate(iter int) {
 	collect := iter >= nd.cfg.Burnin
-	seS, seA, n := nd.pred.PartialUpdate(nd.u, nd.v, collect)
+	var runAll func(n int, run func(c int))
+	if nd.pool != nil {
+		runAll = func(n int, run func(c int)) {
+			nd.pool.ParallelFor(0, n, 1, func(_ *sched.Worker, lo, hi int) {
+				for c := lo; c < hi; c++ {
+					run(c)
+				}
+			})
+		}
+	}
+	seS, seA, n := nd.pred.PartialUpdatePar(nd.u, nd.v, collect, runAll)
 	t0 := time.Now()
 	tot := nd.allreduce([]float64{seS, seA, n})
 	nd.stats.WaitTime += time.Since(t0)

@@ -24,11 +24,13 @@
 package graphlab
 
 import (
+	"fmt"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/la"
+	"repro/internal/order"
 	"repro/internal/sched"
 	"repro/internal/sparse"
 )
@@ -109,14 +111,23 @@ func NewEngine(g *Graph, threads int) *Engine {
 // Superstep activates every vertex of one side, running gather over all
 // edges and then apply, with a barrier at the end (implicit in StaticFor).
 // factors is the side's own factor matrix (written); other the partner
-// side's (read).
-func (e *Engine) Superstep(side core.Side, prog Program, factors, other *la.Matrix) {
+// side's (read). ord is the vertex activation order (nil = vertex-id
+// order): a locality schedule keeps the gathered neighbor rows of
+// consecutive activations cache-resident, and because every activation
+// reads only the frozen partner side and writes only its own vertex, the
+// order changes no sampled bit — GraphLab's own engines make the same
+// no-ordering promise to vertex programs.
+func (e *Engine) Superstep(side core.Side, prog Program, factors, other *la.Matrix, ord []int32) {
 	n := factors.Rows
 	var activations, gathers int64
 	type counter struct{ a, g int64 }
 	perThread := make([]counter, e.Threads)
 	sched.StaticFor(e.Threads, 0, n, func(t, lo, hi int) {
-		for v := lo; v < hi; v++ {
+		for pos := lo; pos < hi; pos++ {
+			v := pos
+			if ord != nil {
+				v = int(ord[pos])
+			}
 			cols, vals := e.G.Edges(side, v)
 			acc := prog.InitAcc(len(cols)) // per-activation allocation
 			for k, c := range cols {
@@ -148,14 +159,34 @@ type bpmfAcc struct {
 }
 
 // Run executes BPMF on prob with the GraphLab-style engine and returns
-// the result plus engine statistics.
+// the result plus engine statistics, activating each superstep's vertices
+// in the default locality schedule (pure RCM — no heavy-first binning,
+// which would hand every heavy vertex to the static split's first
+// thread).
 func Run(cfg core.Config, prob *core.Problem, threads int) (*core.Result, *Stats, error) {
+	return RunScheduled(cfg, prob, threads, order.Build(prob.R, order.Options{}))
+}
+
+// RunScheduled is Run with an explicit activation schedule (nil sch or nil
+// sides mean vertex-id order). Any permutation yields the bit-identical
+// chain; a non-permutation order is rejected — it would silently skip
+// some vertices and activate others twice.
+func RunScheduled(cfg core.Config, prob *core.Problem, threads int, sch *order.Schedule) (*core.Result, *Stats, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
 	}
+	if sch == nil {
+		sch = &order.Schedule{}
+	}
+	m, n := prob.Dims()
+	if sch.U != nil && !order.IsPermutation(sch.U, m) {
+		return nil, nil, fmt.Errorf("graphlab: schedule U order is not a permutation of [0,%d)", m)
+	}
+	if sch.V != nil && !order.IsPermutation(sch.V, n) {
+		return nil, nil, fmt.Errorf("graphlab: schedule V order is not a permutation of [0,%d)", n)
+	}
 	g := NewGraph(prob)
 	e := NewEngine(g, threads)
-	m, n := prob.Dims()
 	u := core.InitFactors(cfg.Seed, core.SideU, m, cfg.K)
 	v := core.InitFactors(cfg.Seed, core.SideV, n, cfg.K)
 	hu, hv := core.NewHyper(cfg.K), core.NewHyper(cfg.K)
@@ -163,7 +194,11 @@ func Run(cfg core.Config, prob *core.Problem, threads int) (*core.Result, *Stats
 	prior := core.DefaultNWPrior(cfg.K)
 	pred := core.NewPredictor(prob.Test, cfg.ClampMin, cfg.ClampMax)
 	pred.Alpha = cfg.Alpha
-	res := &core.Result{}
+	mws := core.NewMomentsWorkspace(cfg.K)
+	res := &core.Result{
+		SampleRMSE: make([]float64, 0, cfg.Iters),
+		AvgRMSE:    make([]float64, 0, cfg.Iters),
+	}
 	// The kernel scratch (our substrate, not part of the vertex-program
 	// abstraction) is leased per activation from a shared arena; the
 	// GraphLab productivity tax Figure 3 measures — per-activation gather
@@ -185,25 +220,27 @@ func Run(cfg core.Config, prob *core.Problem, threads int) (*core.Result, *Stats
 	for it := 0; it < cfg.Iters; it++ {
 		// Movies superstep.
 		groupsV := core.GroupBoundaries(cfg.MomentGroupsV, v.Rows)
-		mv := core.MomentsGrouped(v, groupsV, cfg.K, sfor)
+		mv := core.MomentsGroupedWS(v, groupsV, cfg.K, sfor, mws)
 		core.SampleHyperWS(prior, mv, core.HyperStream(cfg.Seed, it, core.SideV), hv, hws)
 		pv := &program{cfg: &cfg, iter: it, side: core.SideV, hyper: hv, res: res, ws: wsArena}
-		e.Superstep(core.SideV, pv, v, u)
+		e.Superstep(core.SideV, pv, v, u, sch.V)
 		for k := range res.KernelCounts {
 			res.KernelCounts[k] += pv.counts[k].Load()
 		}
 
 		// Users superstep.
 		groupsU := core.GroupBoundaries(cfg.MomentGroupsU, u.Rows)
-		mu := core.MomentsGrouped(u, groupsU, cfg.K, sfor)
+		mu := core.MomentsGroupedWS(u, groupsU, cfg.K, sfor, mws)
 		core.SampleHyperWS(prior, mu, core.HyperStream(cfg.Seed, it, core.SideU), hu, hws)
 		pu := &program{cfg: &cfg, iter: it, side: core.SideU, hyper: hu, res: res, ws: wsArena}
-		e.Superstep(core.SideU, pu, u, v)
+		e.Superstep(core.SideU, pu, u, v, sch.U)
 		for k := range res.KernelCounts {
 			res.KernelCounts[k] += pu.counts[k].Load()
 		}
 
-		sr, ar := pred.Update(u, v, it >= cfg.Burnin)
+		// Evaluation runs through the engine's static split over the fixed
+		// chunk tree — an aggregate in GraphLab's vocabulary.
+		sr, ar := pred.UpdatePar(u, v, it >= cfg.Burnin, sfor)
 		res.SampleRMSE = append(res.SampleRMSE, sr)
 		res.AvgRMSE = append(res.AvgRMSE, ar)
 	}
@@ -255,7 +292,7 @@ func (p *program) Apply(side core.Side, local, thread int, acc any, out la.Vecto
 	kern := p.cfg.SelectKernel(len(a.cols))
 	p.counts[kern].Add(1)
 	core.UpdateItem(ws, kern, p.cfg, a.cols, a.vals, view.matrix(), p.hyper,
-		core.ItemStream(p.cfg.Seed, p.iter, side, local), nil, nil, out)
+		ws.ItemStream(p.cfg.Seed, p.iter, side, local), nil, nil, out)
 	p.ws.PutShard(thread, ws)
 }
 

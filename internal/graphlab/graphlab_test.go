@@ -6,6 +6,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/la"
+	"repro/internal/order"
+	"repro/internal/rng"
 	"repro/internal/sparse"
 )
 
@@ -68,6 +70,48 @@ func TestGraphLabMatchesSequentialBitwise(t *testing.T) {
 		for i := range want.AvgRMSE {
 			if got.AvgRMSE[i] != want.AvgRMSE[i] {
 				t.Fatalf("threads=%d: RMSE trace differs at %d", threads, i)
+			}
+		}
+	}
+}
+
+// TestActivationOrderIsChainInvariant drives the engine over random
+// vertex activation orders: any permutation must reproduce the sequential
+// chain and RMSE trace bit for bit (the ordering freedom the locality
+// schedule exploits).
+func TestActivationOrderIsChainInvariant(t *testing.T) {
+	prob := problem(t, datagen.Small(13))
+	cfg := testConfig()
+	seq, err := core.NewSampler(cfg, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := seq.Run()
+	m, n := prob.Dims()
+	r := rng.New(55)
+	perm := func(size int) []int32 {
+		p := make([]int32, size)
+		for i := range p {
+			p[i] = int32(i)
+		}
+		for i := size - 1; i > 0; i-- {
+			j := r.Intn(i + 1)
+			p[i], p[j] = p[j], p[i]
+		}
+		return p
+	}
+	for trial := 0; trial < 3; trial++ {
+		sch := &order.Schedule{U: perm(m), V: perm(n)}
+		got, _, err := RunScheduled(cfg, prob, 2, sch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if la.MaxAbsDiff(got.U, want.U) != 0 || la.MaxAbsDiff(got.V, want.V) != 0 {
+			t.Fatalf("trial %d: random activation order changed the chain", trial)
+		}
+		for i := range want.AvgRMSE {
+			if got.AvgRMSE[i] != want.AvgRMSE[i] || got.SampleRMSE[i] != want.SampleRMSE[i] {
+				t.Fatalf("trial %d: RMSE trace not bit-identical at iter %d", trial, i)
 			}
 		}
 	}

@@ -154,6 +154,103 @@ func TestSyrkBatchLowerLeavesUpperTriangleUntouched(t *testing.T) {
 	}
 }
 
+// Panel sizes worth covering: empty, sub-panel, exactly one panel, one
+// panel plus tails of 1–3 (the four-wide blocking inside a panel), and
+// several panels.
+var panelNNZ = []int{0, 1, 3, 63, 64, 65, 66, 67, 128, 200}
+
+func TestSyrkAxpyPanelLowerBitMatchesUnpanelled(t *testing.T) {
+	r := rng.New(51)
+	for _, k := range []int{1, 5, 16, 32} {
+		for _, nnz := range panelNNZ {
+			src, cols, vals := gatherProblem(r, nnz, nnz+3, k)
+			a := NewMatrix(k, k)
+			r.FillNorm(a.Data)
+			y := NewVector(k)
+			r.FillNorm(y)
+			wantA, wantY := a.Clone(), y.Clone()
+			SyrkAxpyBatchLower(1.7, src, cols, vals, wantA, wantY)
+			panel := NewMatrix(GatherPanelRows, k)
+			r.FillNorm(panel.Data) // stale panel contents must not matter
+			SyrkAxpyPanelLower(1.7, src, cols, vals, a, y, panel)
+			if MaxAbsDiff(a, wantA) != 0 {
+				t.Fatalf("k=%d nnz=%d: panel precision does not bit-match", k, nnz)
+			}
+			for i := range y {
+				if y[i] != wantY[i] {
+					t.Fatalf("k=%d nnz=%d: panel rhs[%d] %v != %v", k, nnz, i, y[i], wantY[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSyrkPanelLowerBitMatchesNaive(t *testing.T) {
+	r := rng.New(52)
+	k := 8
+	for _, nnz := range panelNNZ {
+		src, cols, _ := gatherProblem(r, nnz, nnz+2, k)
+		a := NewMatrix(k, k)
+		r.FillNorm(a.Data)
+		want := a.Clone()
+		for _, c := range cols {
+			SyrLower(0.6, src.Row(int(c)), want)
+		}
+		panel := NewMatrix(GatherPanelRows, k)
+		SyrkPanelLower(0.6, src, cols, a, panel)
+		if MaxAbsDiff(a, want) != 0 {
+			t.Fatalf("nnz=%d: SyrkPanelLower does not bit-match nnz SyrLower calls", nnz)
+		}
+	}
+}
+
+func TestGatherRows(t *testing.T) {
+	r := rng.New(53)
+	src, cols, _ := gatherProblem(r, 7, 11, 5)
+	dst := NewMatrix(GatherPanelRows, 5)
+	r.FillNorm(dst.Data)
+	GatherRows(src, cols, dst)
+	for p, c := range cols {
+		for j := 0; j < 5; j++ {
+			if dst.At(p, j) != src.At(int(c), j) {
+				t.Fatalf("panel row %d differs from src row %d at col %d", p, c, j)
+			}
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("undersized panel must panic")
+			}
+		}()
+		GatherRows(src, cols, NewMatrix(len(cols)-1, 5))
+	}()
+}
+
+func TestGemvGatheredBitMatchesPerRowDot(t *testing.T) {
+	r := rng.New(54)
+	for _, k := range []int{1, 8, 32} {
+		for _, nnz := range panelNNZ {
+			src, cols, _ := gatherProblem(r, nnz, nnz+4, k)
+			x := NewVector(k)
+			r.FillNorm(x)
+			y := NewVector(nnz)
+			r.FillNorm(y)
+			want := y.Clone()
+			for p, c := range cols {
+				want[p] = 1.1*Dot(src.Row(int(c)), x) + 0.4*want[p]
+			}
+			panel := NewMatrix(GatherPanelRows, k)
+			GemvGathered(1.1, src, cols, x, 0.4, y, panel)
+			for p := range y {
+				if y[p] != want[p] {
+					t.Fatalf("k=%d nnz=%d: GemvGathered[%d] %v != %v", k, nnz, p, y[p], want[p])
+				}
+			}
+		}
+	}
+}
+
 func TestTransposeIntoMatchesTranspose(t *testing.T) {
 	r := rng.New(47)
 	m := NewMatrix(5, 8)

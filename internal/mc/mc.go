@@ -9,18 +9,33 @@
 //     equal-count chunk per thread (OpenMP schedule(static)); no nested
 //     parallelism, no rebalancing.
 //
-// Both engines draw every sample from the same keyed streams and perform
+// Both engines walk the items of each phase in a locality schedule
+// (package order): consecutive positions hold items whose rating sets
+// overlap, so the gathered partner rows of one update are still
+// cache-resident for the next. The work-stealing engine additionally
+// leads with the heavy items so the pool never ends a phase on a
+// straggler; the static engine keeps the pure RCM order, since its
+// contiguous per-thread chunks would pin a heavy-first bin to thread 0.
+// Because within-phase updates are independent and every draw comes from
+// a stream keyed by the item's original id, the processing order changes
+// no sampled bit.
+//
+// Both engines draw every sample from the same keyed streams, perform
 // per-item and moment arithmetic in the same canonical order as the
-// sequential core.Sampler, so their chains are bit-identical to it (and to
-// each other) for any thread count.
+// sequential core.Sampler, and score the test set through the same fixed
+// chunk tree (core.EvalChunk, combined ascending), so their chains and
+// RMSE traces are bit-identical to it (and to each other) for any thread
+// count and any processing order.
 package mc
 
 import (
+	"fmt"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/la"
+	"repro/internal/order"
 	"repro/internal/sched"
 )
 
@@ -47,16 +62,40 @@ func (e Engine) String() string {
 }
 
 // Run executes BPMF on prob with the given engine and thread count and
-// returns the result. The sampled chain is bit-identical to
-// core.Sampler's for the same Config.
+// returns the result, walking each phase in the engine's default locality
+// schedule (heavy-first binning only for the work-stealing engine). The
+// sampled chain is bit-identical to core.Sampler's for the same Config.
 func Run(engine Engine, cfg core.Config, prob *core.Problem, threads int) (*core.Result, error) {
+	var opt order.Options
+	if engine == WorkSteal {
+		opt.HeavyThreshold = cfg.KernelThreshold
+	}
+	return RunScheduled(engine, cfg, prob, threads, order.Build(prob.R, opt))
+}
+
+// RunScheduled is Run with an explicit processing schedule (nil sch or nil
+// sides mean storage order). Any permutation yields the bit-identical
+// chain; the schedule only decides cache behavior, which is what lets the
+// differential tests drive the engines over random permutations. A
+// non-permutation order is rejected: it would silently skip some items
+// and update others twice.
+func RunScheduled(engine Engine, cfg core.Config, prob *core.Problem, threads int, sch *order.Schedule) (*core.Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if threads < 1 {
 		threads = 1
 	}
+	if sch == nil {
+		sch = &order.Schedule{}
+	}
 	m, n := prob.Dims()
+	if sch.U != nil && !order.IsPermutation(sch.U, m) {
+		return nil, fmt.Errorf("mc: schedule U order is not a permutation of [0,%d)", m)
+	}
+	if sch.V != nil && !order.IsPermutation(sch.V, n) {
+		return nil, fmt.Errorf("mc: schedule V order is not a permutation of [0,%d)", n)
+	}
 	// All workspaces share one chunk-accumulator arena, and workspaces are
 	// leased per item from a worker-local arena: a worker that helps
 	// execute other items while blocked inside a nested Sync must not
@@ -67,19 +106,24 @@ func Run(engine Engine, cfg core.Config, prob *core.Problem, threads int) (*core
 	r := &runner{
 		cfg:   cfg,
 		prob:  prob,
+		sch:   sch,
 		prior: core.DefaultNWPrior(cfg.K),
 		u:     core.InitFactors(cfg.Seed, core.SideU, m, cfg.K),
 		v:     core.InitFactors(cfg.Seed, core.SideV, n, cfg.K),
 		hu:    core.NewHyper(cfg.K),
 		hv:    core.NewHyper(cfg.K),
 		hws:   core.NewHyperWorkspace(cfg.K),
+		mws:   core.NewMomentsWorkspace(cfg.K),
 		pred:  core.NewPredictor(prob.Test, cfg.ClampMin, cfg.ClampMax),
 		wsPool: sched.NewArena(func() *core.Workspace {
 			return core.NewWorkspaceShared(cfg.K, acc)
 		}),
 	}
 	r.pred.Alpha = cfg.Alpha
-	res := &core.Result{}
+	res := &core.Result{
+		SampleRMSE: make([]float64, 0, cfg.Iters),
+		AvgRMSE:    make([]float64, 0, cfg.Iters),
+	}
 	start := time.Now()
 	switch engine {
 	case WorkSteal:
@@ -109,10 +153,12 @@ func Run(engine Engine, cfg core.Config, prob *core.Problem, threads int) (*core
 type runner struct {
 	cfg    core.Config
 	prob   *core.Problem
+	sch    *order.Schedule
 	prior  core.NWPrior
 	u, v   *la.Matrix
 	hu, hv *core.Hyper
 	hws    *core.HyperWorkspace
+	mws    *core.MomentsWorkspace
 	pred   *core.Predictor
 	wsPool *sched.Arena[*core.Workspace]
 
@@ -123,29 +169,37 @@ type runner struct {
 // rebalance skew, large enough to amortize task overhead on cheap items.
 const itemGrain = 8
 
-// updateRange samples items [lo, hi) of one side. other is the partner
-// factor matrix; rt indexes the side's ratings (rows = items of this
-// side). pool/pw enable the nested parallel kernel (nil for the static
-// engine, which has no nested parallelism — the sample stays bit-identical
-// because the kernel's task DAG is schedule-independent).
+// updateRange samples the items at schedule positions [lo, hi) of one
+// side. other is the partner factor matrix; rt indexes the side's ratings
+// (rows = items of this side). pool/pw enable the nested parallel kernel
+// (nil for the static engine, which has no nested parallelism — the sample
+// stays bit-identical because the kernel's task DAG is
+// schedule-independent).
 func (r *runner) updateRange(side core.Side, iter, lo, hi int, pool *sched.Pool, pw *sched.Worker) {
 	cfg := &r.cfg
 	var rt = r.prob.R
 	var self, other *la.Matrix
 	var hyper *core.Hyper
+	var ord []int32
 	if side == core.SideV {
 		rt = r.prob.Rt
 		self, other, hyper = r.v, r.u, r.hv
+		ord = r.sch.V
 	} else {
 		self, other, hyper = r.u, r.v, r.hu
+		ord = r.sch.U
 	}
-	for item := lo; item < hi; item++ {
+	for pos := lo; pos < hi; pos++ {
+		item := pos
+		if ord != nil {
+			item = int(ord[pos])
+		}
 		cols, vals := rt.Row(item)
 		kern := cfg.SelectKernel(len(cols))
 		r.kernelCounts[kern].Add(1)
 		ws := r.wsPool.Get(pw)
 		core.UpdateItem(ws, kern, cfg, cols, vals, other, hyper,
-			core.ItemStream(cfg.Seed, iter, side, item), pool, pw, self.Row(item))
+			ws.ItemStream(cfg.Seed, iter, side, item), pool, pw, self.Row(item))
 		r.wsPool.Put(pw, ws)
 	}
 }
@@ -155,19 +209,21 @@ func (r *runner) updateRange(side core.Side, iter, lo, hi int, pool *sched.Pool,
 func (r *runner) sampleHypers(iter int, parallelFor func(n int, run func(g int))) {
 	cfg := &r.cfg
 	groupsV := core.GroupBoundaries(cfg.MomentGroupsV, r.v.Rows)
-	mv := core.MomentsGrouped(r.v, groupsV, cfg.K, parallelFor)
+	mv := core.MomentsGroupedWS(r.v, groupsV, cfg.K, parallelFor, r.mws)
 	core.SampleHyperWS(r.prior, mv, core.HyperStream(cfg.Seed, iter, core.SideV), r.hv, r.hws)
 }
 
 func (r *runner) sampleHyperU(iter int, parallelFor func(n int, run func(g int))) {
 	cfg := &r.cfg
 	groupsU := core.GroupBoundaries(cfg.MomentGroupsU, r.u.Rows)
-	mu := core.MomentsGrouped(r.u, groupsU, cfg.K, parallelFor)
+	mu := core.MomentsGroupedWS(r.u, groupsU, cfg.K, parallelFor, r.mws)
 	core.SampleHyperWS(r.prior, mu, core.HyperStream(cfg.Seed, iter, core.SideU), r.hu, r.hws)
 }
 
-func (r *runner) score(iter int, res *core.Result) {
-	sr, ar := r.pred.Update(r.u, r.v, iter >= r.cfg.Burnin)
+// score runs the chunk-parallel evaluation through the given runAll (the
+// same fixed chunk tree the sequential sampler executes inline).
+func (r *runner) score(iter int, res *core.Result, runAll func(n int, run func(c int))) {
+	sr, ar := r.pred.UpdatePar(r.u, r.v, iter >= r.cfg.Burnin, runAll)
 	res.SampleRMSE = append(res.SampleRMSE, sr)
 	res.AvgRMSE = append(res.AvgRMSE, ar)
 }
@@ -190,7 +246,7 @@ func (r *runner) stepWorkSteal(pool *sched.Pool, iter int, res *core.Result) {
 	pool.ParallelFor(0, r.prob.R.M, itemGrain, func(w *sched.Worker, lo, hi int) {
 		r.updateRange(core.SideU, iter, lo, hi, pool, w)
 	})
-	r.score(iter, res)
+	r.score(iter, res, pfor)
 }
 
 // stepStatic runs one Gibbs iteration with OpenMP-style static chunks and
@@ -211,5 +267,5 @@ func (r *runner) stepStatic(threads, iter int, res *core.Result) {
 	sched.StaticFor(threads, 0, r.prob.R.M, func(_, lo, hi int) {
 		r.updateRange(core.SideU, iter, lo, hi, nil, nil)
 	})
-	r.score(iter, res)
+	r.score(iter, res, sfor)
 }

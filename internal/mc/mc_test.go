@@ -7,6 +7,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/la"
+	"repro/internal/order"
+	"repro/internal/rng"
 	"repro/internal/sparse"
 )
 
@@ -111,6 +113,107 @@ func TestKernelCountsAccumulate(t *testing.T) {
 		if c == 0 {
 			t.Fatalf("kernel %v never used; thresholds not exercising hybrid path", core.Kernel(k))
 		}
+	}
+}
+
+// randomSchedule draws an arbitrary permutation per side — no locality,
+// no heavy bin, just some order an adversarial scheduler might pick.
+func randomSchedule(seed uint64, m, n int) *order.Schedule {
+	r := rng.New(seed)
+	perm := func(size int) []int32 {
+		p := make([]int32, size)
+		for i := range p {
+			p[i] = int32(i)
+		}
+		for i := size - 1; i > 0; i-- {
+			j := r.Intn(i + 1)
+			p[i], p[j] = p[j], p[i]
+		}
+		return p
+	}
+	return &order.Schedule{U: perm(m), V: perm(n)}
+}
+
+// TestScheduledOrderIsChainInvariant is the processing-order property
+// test: for random permutations (and the degenerate nil schedule), both
+// engines at several thread counts reproduce the sequential sampler's
+// chain bit for bit — factors AND the full RMSE trace, which now runs
+// through the same fixed evaluation chunk tree everywhere.
+func TestScheduledOrderIsChainInvariant(t *testing.T) {
+	prob := problem(t, datagen.Small(17))
+	cfg := testConfig()
+	seq, err := core.NewSampler(cfg, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := seq.Run()
+	m, n := prob.Dims()
+	schedules := []*order.Schedule{
+		nil, // storage order
+		order.Build(prob.R, order.Options{HeavyThreshold: cfg.KernelThreshold}),
+	}
+	for seed := uint64(0); seed < 3; seed++ {
+		schedules = append(schedules, randomSchedule(100+seed, m, n))
+	}
+	for si, sch := range schedules {
+		for _, engine := range []Engine{WorkSteal, Static} {
+			for _, threads := range []int{1, 3} {
+				got, err := RunScheduled(engine, cfg, prob, threads, sch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if la.MaxAbsDiff(got.U, want.U) != 0 || la.MaxAbsDiff(got.V, want.V) != 0 {
+					t.Fatalf("schedule %d %v threads=%d: chain differs from sequential", si, engine, threads)
+				}
+				for i := range want.AvgRMSE {
+					if got.AvgRMSE[i] != want.AvgRMSE[i] || got.SampleRMSE[i] != want.SampleRMSE[i] {
+						t.Fatalf("schedule %d %v threads=%d: RMSE trace not bit-identical at iter %d",
+							si, engine, threads, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRMSETraceBitIdenticalToSequential tightens the old 1e-12 tolerance:
+// with the shared evaluation chunk tree the parallel engines' RMSE traces
+// equal the sequential sampler's exactly.
+func TestRMSETraceBitIdenticalToSequential(t *testing.T) {
+	prob := problem(t, datagen.Small(21))
+	cfg := testConfig()
+	seq, err := core.NewSampler(cfg, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := seq.Run()
+	got, err := Run(WorkSteal, cfg, prob, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.AvgRMSE {
+		if got.AvgRMSE[i] != want.AvgRMSE[i] || got.SampleRMSE[i] != want.SampleRMSE[i] {
+			t.Fatalf("RMSE trace differs at iter %d: %v vs %v", i, got.AvgRMSE[i], want.AvgRMSE[i])
+		}
+	}
+}
+
+// TestRunScheduledRejectsBadOrder pins the schedule contract: an order
+// that skips or repeats items must be an error, never a silently
+// corrupted chain.
+func TestRunScheduledRejectsBadOrder(t *testing.T) {
+	prob := problem(t, datagen.Tiny(2))
+	cfg := testConfig()
+	m, n := prob.Dims()
+	good := randomSchedule(7, m, n)
+	bad := &order.Schedule{U: append([]int32(nil), good.U...), V: good.V}
+	bad.U[0] = bad.U[1] // duplicate -> not a permutation
+	if _, err := RunScheduled(WorkSteal, cfg, prob, 2, bad); err == nil {
+		t.Fatal("duplicate-item schedule must be rejected")
+	}
+	short := &order.Schedule{U: good.U[:m-1]}
+	if _, err := RunScheduled(Static, cfg, prob, 2, short); err == nil {
+		t.Fatal("short schedule must be rejected")
 	}
 }
 

@@ -1,0 +1,131 @@
+package order
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/sparse"
+)
+
+func testMatrix(seed uint64) *sparse.CSR {
+	return datagen.Generate(datagen.Small(seed)).R
+}
+
+func TestBuildYieldsPermutations(t *testing.T) {
+	r := testMatrix(3)
+	for _, thr := range []int{0, 1, 8, 50, 1 << 30} {
+		s := Build(r, Options{HeavyThreshold: thr})
+		if !IsPermutation(s.U, r.M) {
+			t.Fatalf("threshold=%d: U order is not a permutation of [0,%d)", thr, r.M)
+		}
+		if !IsPermutation(s.V, r.N) {
+			t.Fatalf("threshold=%d: V order is not a permutation of [0,%d)", thr, r.N)
+		}
+	}
+}
+
+func TestHeavyBinLeadsInDescendingDegree(t *testing.T) {
+	r := testMatrix(5)
+	const thr = 30
+	s := Build(r, Options{HeavyThreshold: thr})
+	colDeg := make([]int, r.N)
+	for _, c := range r.Col {
+		colDeg[c]++
+	}
+	nHeavy := 0
+	for _, d := range colDeg {
+		if d >= thr {
+			nHeavy++
+		}
+	}
+	if nHeavy == 0 {
+		t.Fatal("spec does not produce heavy items at this threshold; pick a lower one")
+	}
+	for pos, it := range s.V {
+		d := colDeg[it]
+		switch {
+		case pos < nHeavy:
+			if d < thr {
+				t.Fatalf("position %d holds light item %d (deg %d) inside the heavy bin", pos, it, d)
+			}
+			if pos > 0 && colDeg[s.V[pos-1]] < d {
+				t.Fatalf("heavy bin not in descending degree at position %d", pos)
+			}
+		default:
+			if d >= thr {
+				t.Fatalf("heavy item %d (deg %d) found at position %d after the heavy bin", it, d, pos)
+			}
+		}
+	}
+}
+
+func TestBuildIsDeterministic(t *testing.T) {
+	r := testMatrix(7)
+	a := Build(r, Options{HeavyThreshold: 20})
+	b := Build(r, Options{HeavyThreshold: 20})
+	for i := range a.U {
+		if a.U[i] != b.U[i] {
+			t.Fatal("U schedules differ between identical builds")
+		}
+	}
+	for i := range a.V {
+		if a.V[i] != b.V[i] {
+			t.Fatal("V schedules differ between identical builds")
+		}
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	r := testMatrix(9)
+	s := Build(r, Options{HeavyThreshold: 16})
+	lo, hi := r.M/4, 3*r.M/4
+	sub := Restrict(s.U, lo, hi)
+	if len(sub) != hi-lo {
+		t.Fatalf("restricted order has %d items, want %d", len(sub), hi-lo)
+	}
+	seen := make(map[int32]bool, len(sub))
+	for _, it := range sub {
+		if int(it) < lo || int(it) >= hi {
+			t.Fatalf("item %d outside [%d,%d)", it, lo, hi)
+		}
+		if seen[it] {
+			t.Fatalf("item %d repeated", it)
+		}
+		seen[it] = true
+	}
+	// Relative order must match the full schedule's.
+	pos := make(map[int32]int, len(s.U))
+	for p, it := range s.U {
+		pos[it] = p
+	}
+	for i := 1; i < len(sub); i++ {
+		if pos[sub[i-1]] > pos[sub[i]] {
+			t.Fatal("Restrict does not preserve relative order")
+		}
+	}
+	// Nil order: identity.
+	id := Restrict(nil, 3, 7)
+	for i, it := range id {
+		if int(it) != 3+i {
+			t.Fatalf("nil-order restrict not identity: %v", id)
+		}
+	}
+	if Restrict(s.U, 5, 5) != nil {
+		t.Fatal("empty range must yield nil")
+	}
+}
+
+func TestIsPermutationRejectsBadOrders(t *testing.T) {
+	if IsPermutation([]int32{0, 1, 1}, 3) {
+		t.Fatal("duplicate accepted")
+	}
+	if IsPermutation([]int32{0, 1}, 3) {
+		t.Fatal("short order accepted")
+	}
+	if IsPermutation([]int32{0, 1, 3}, 3) {
+		t.Fatal("out-of-range accepted")
+	}
+	if !IsPermutation([]int32{2, 0, 1}, 3) {
+		t.Fatal("valid permutation rejected")
+	}
+}

@@ -50,14 +50,7 @@ type Stream struct {
 // recommended by the xoshiro authors.
 func New(seed uint64) *Stream {
 	st := &Stream{}
-	sm := seed
-	for i := range st.s {
-		st.s[i] = splitMix64(&sm)
-	}
-	// xoshiro must not start from the all-zero state.
-	if st.s[0]|st.s[1]|st.s[2]|st.s[3] == 0 {
-		st.s[0] = 0x9e3779b97f4a7c15
-	}
+	st.Reinit(seed)
 	return st
 }
 
@@ -65,6 +58,23 @@ func New(seed uint64) *Stream {
 // give byte-identical streams; distinct keys give independent streams.
 func NewKeyed(seed uint64, keys ...uint64) *Stream {
 	return New(Mix(seed, keys...))
+}
+
+// Reinit resets r in place to exactly the state New(seed) creates,
+// discarding any cached spare deviate. Hot loops that draw from one
+// stream per work item re-key a scratch stream instead of allocating a
+// fresh one (the engines draw ~M+N item streams per Gibbs iteration).
+func (r *Stream) Reinit(seed uint64) {
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitMix64(&sm)
+	}
+	// xoshiro must not start from the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	r.haveSpare = false
+	r.spare = 0
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

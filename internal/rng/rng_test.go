@@ -192,3 +192,29 @@ func TestStreamStateIndependence(t *testing.T) {
 		}
 	}
 }
+
+func TestReinitMatchesNew(t *testing.T) {
+	// Reinit must leave the stream byte-identical to a fresh New — after
+	// arbitrary prior use, including a cached spare deviate.
+	s := New(77)
+	s.Norm() // leaves a spare cached
+	for _, seed := range []uint64{0, 1, 77, 0xdeadbeef} {
+		s.Reinit(seed)
+		ref := New(seed)
+		for i := 0; i < 100; i++ {
+			if got, want := s.Norm(), ref.Norm(); got != want {
+				t.Fatalf("seed %d draw %d: Reinit stream %v != New stream %v", seed, i, got, want)
+			}
+		}
+	}
+}
+
+func TestReinitZeroAllocs(t *testing.T) {
+	s := New(1)
+	if allocs := testing.AllocsPerRun(100, func() {
+		s.Reinit(42)
+		s.Norm()
+	}); allocs != 0 {
+		t.Fatalf("Reinit allocates %v/op, want 0", allocs)
+	}
+}
