@@ -13,16 +13,24 @@
 //	bpmf-dist -rank 0 -peers host0:9000,host1:9000 -synthetic small
 //	bpmf-dist -rank 1 -peers host0:9000,host1:9000 -synthetic small
 //
-// All ranks must use identical data/sampler flags: each rank regenerates
-// the dataset (or loads the same -data file — MatrixMarket or .bcsr,
-// sniffed) and derives the partition plan deterministically from the
-// shared seed, so only factor updates travel over the network.
+// All ranks must use identical data/sampler flags. With a synthetic
+// benchmark or a MatrixMarket file, each rank regenerates or reloads the
+// full dataset and derives the partition plan deterministically from the
+// shared seed. With a .bcsr shard file, each rank instead maps the file
+// and decodes only the shards covering its own row range — the row
+// panels are assigned to ranks straight from the shard table — and the
+// pieces it cannot read locally (split cursor, column ghosts, test set)
+// travel over the fabric once at startup. The sampled chain is
+// bit-identical either way; -full-load forces the old
+// every-rank-decodes-everything behavior for comparison.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/exec"
 	"strconv"
@@ -33,6 +41,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/dist"
+	"repro/internal/partition"
 	"repro/internal/sparse"
 )
 
@@ -45,8 +54,9 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated rank addresses (host:port per rank)")
 	basePort := flag.Int("baseport", 9800, "first port for -launch mode")
 	dataPath := flag.String("data", "", "rating matrix file (MatrixMarket .mtx or binary .bcsr); overrides -synthetic")
+	fullLoad := flag.Bool("full-load", false, "decode the whole .bcsr on every rank instead of shard-native per-rank loading")
 	synthetic := flag.String("synthetic", "small", "benchmark: chembl | ml-20m | small")
-	scale := flag.Float64("scale", 1.0, "synthetic scale factor")
+	scale := flag.Float64("scale", 1.0, "synthetic scale factor (> 1 scales up)")
 	k := flag.Int("k", 16, "latent features")
 	iters := flag.Int("iters", 10, "Gibbs iterations")
 	burnin := flag.Int("burnin", 5, "burn-in iterations")
@@ -63,15 +73,14 @@ func main() {
 		}
 		return
 	}
-	addrs := strings.Split(*peers, ",")
-	if *rank < 0 || *peers == "" || *rank >= len(addrs) {
-		log.Fatal("worker mode needs -rank and -peers (or use -launch N)")
+	addrs, err := parsePeers(*peers)
+	if err != nil {
+		log.Fatalf("%v (worker mode needs -rank and -peers; or use -launch N)", err)
+	}
+	if *rank < 0 || *rank >= len(addrs) {
+		log.Fatalf("-rank %d outside the %d addresses in -peers", *rank, len(addrs))
 	}
 
-	prob, err := buildProblem(*dataPath, *synthetic, *scale, *testFrac, *seed)
-	if err != nil {
-		log.Fatal(err)
-	}
 	cfg := core.DefaultConfig()
 	cfg.K = *k
 	cfg.Iters = *iters
@@ -83,17 +92,64 @@ func main() {
 		BufferSize:     *bufBytes,
 		Reorder:        *reorder,
 	}
-	plan, test := dist.BuildPlan(prob, opt)
 
-	c, err := comm.DialTCP(*rank, addrs, 30*time.Second)
+	useShards, err := shardNative(*dataPath, *fullLoad, *reorder)
 	if err != nil {
-		log.Fatalf("rank %d: %v", *rank, err)
+		log.Fatal(err)
 	}
-	defer c.Close()
-	node, err := dist.NewNode(c, cfg, plan, test, opt)
-	if err != nil {
-		log.Fatalf("rank %d: %v", *rank, err)
+
+	var node *dist.Node
+	var c *comm.Comm
+	if useShards {
+		// Open (and validate) the file before joining the cluster:
+		// OpenBinary checks the header, shard table and framing eagerly,
+		// so a corrupt file fails here instead of wedging the collective
+		// load — and the same mapping then feeds the load itself.
+		mp, err := sparse.OpenBinary(*dataPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer mp.Close()
+		if c, err = comm.DialTCP(*rank, addrs, 30*time.Second); err != nil {
+			log.Fatalf("rank %d: %v", *rank, err)
+		}
+		defer c.Close()
+		sp, err := dist.LoadShards(c, mp, *testFrac, *seed, opt)
+		if err != nil {
+			log.Fatalf("rank %d: %v", *rank, err)
+		}
+		fmt.Printf("rank %d: mapped %d of %d shards (%.2f MB payload + %.2f KB metadata)\n",
+			*rank, sp.Shards, sp.TotalShards,
+			float64(sp.Load.PayloadBytesTouched)/1e6, float64(sp.Load.HeaderBytes)/1e3)
+		node, err = dist.NewNodeLocal(c, cfg, sp.Plan, sp.RT, sp.Test, opt)
+		if err != nil {
+			log.Fatalf("rank %d: %v", *rank, err)
+		}
+	} else {
+		prob, panels, err := buildProblem(*dataPath, *synthetic, *scale, *testFrac, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var plan *partition.Plan
+		var test []sparse.Entry
+		if panels != nil && !*reorder {
+			// Full-load .bcsr still takes the panel-aligned plan so the
+			// chain matches the shard-native path bit for bit.
+			if plan, test, err = dist.BuildPlanPanels(prob, *panels, opt); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			plan, test = dist.BuildPlan(prob, opt)
+		}
+		if c, err = comm.DialTCP(*rank, addrs, 30*time.Second); err != nil {
+			log.Fatalf("rank %d: %v", *rank, err)
+		}
+		defer c.Close()
+		if node, err = dist.NewNode(c, cfg, plan, test, opt); err != nil {
+			log.Fatalf("rank %d: %v", *rank, err)
+		}
 	}
+
 	res, stats, err := node.Run()
 	if err != nil {
 		log.Fatalf("rank %d: %v", *rank, err)
@@ -110,7 +166,58 @@ func main() {
 		stats.WaitTime.Round(time.Millisecond))
 }
 
+// shardNative decides whether this run takes the shard-native .bcsr
+// path, logging loudly when a flag forces the fallback.
+func shardNative(dataPath string, fullLoad, reorder bool) (bool, error) {
+	if dataPath == "" {
+		return false, nil
+	}
+	isB, err := sparse.IsBCSR(dataPath)
+	if err != nil || !isB {
+		return false, err
+	}
+	if fullLoad {
+		return false, nil
+	}
+	if reorder {
+		log.Printf("-reorder needs the full matrix on every rank; falling back to -full-load for %s", dataPath)
+		return false, nil
+	}
+	return true, nil
+}
+
+// parsePeers validates the -peers list up front: empty entries (stray
+// commas), whitespace, malformed host:port pairs and duplicate
+// addresses all produce a clear error here instead of a cluster that
+// dials itself into a deadlock.
+func parsePeers(peers string) ([]string, error) {
+	if strings.TrimSpace(peers) == "" {
+		return nil, errors.New("missing -peers")
+	}
+	addrs := strings.Split(peers, ",")
+	seen := make(map[string]int, len(addrs))
+	for i, a := range addrs {
+		if strings.TrimSpace(a) == "" {
+			return nil, fmt.Errorf("-peers entry %d is empty (stray comma in %q)", i, peers)
+		}
+		if a != strings.TrimSpace(a) {
+			return nil, fmt.Errorf("-peers entry %d %q has surrounding whitespace", i, a)
+		}
+		if _, _, err := net.SplitHostPort(a); err != nil {
+			return nil, fmt.Errorf("-peers entry %d %q is not host:port: %v", i, a, err)
+		}
+		if prev, dup := seen[a]; dup {
+			return nil, fmt.Errorf("-peers lists %q for both rank %d and rank %d; every rank needs its own listen address", a, prev, i)
+		}
+		seen[a] = i
+	}
+	return addrs, nil
+}
+
 // launchLocal forks n worker copies of this binary on localhost ports.
+// If any rank exits with an error, the remaining ranks are killed —
+// a failed collective otherwise leaves the survivors blocked forever
+// on receives that will never arrive.
 func launchLocal(n, basePort int) error {
 	addrs := make([]string, n)
 	for r := 0; r < n; r++ {
@@ -129,21 +236,41 @@ func launchLocal(n, basePort int) error {
 	if err != nil {
 		return err
 	}
-	procs := make([]*exec.Cmd, n)
+	procs := make([]*exec.Cmd, 0, n)
+	killAll := func() {
+		for _, p := range procs {
+			if p.Process != nil {
+				_ = p.Process.Kill()
+			}
+		}
+	}
+	type exit struct {
+		rank int
+		err  error
+	}
+	done := make(chan exit, n)
 	for r := 0; r < n; r++ {
 		args := append([]string{"-rank", strconv.Itoa(r), "-peers", peerList}, common...)
 		cmd := exec.Command(exe, args...)
 		cmd.Stdout = os.Stdout
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {
+			killAll()
+			for range procs {
+				<-done
+			}
 			return fmt.Errorf("start rank %d: %w", r, err)
 		}
-		procs[r] = cmd
+		procs = append(procs, cmd)
+		rr := r
+		go func() { done <- exit{rr, cmd.Wait()} }()
 	}
 	var firstErr error
-	for r, cmd := range procs {
-		if err := cmd.Wait(); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("rank %d: %w", r, err)
+	for i := 0; i < n; i++ {
+		e := <-done
+		if e.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("rank %d: %w (remaining ranks killed)", e.rank, e.err)
+			killAll()
 		}
 	}
 	return firstErr
@@ -151,15 +278,38 @@ func launchLocal(n, basePort int) error {
 
 // buildProblem loads -data when given (every rank reads the same file,
 // so the deterministic split and partition plan agree across ranks) and
-// falls back to regenerating the named synthetic benchmark.
-func buildProblem(dataPath, name string, scale, testFrac float64, seed uint64) (*core.Problem, error) {
+// falls back to regenerating the named synthetic benchmark. For .bcsr
+// input it also returns the file's panel table so the planner can align
+// rank boundaries to shards.
+func buildProblem(dataPath, name string, scale, testFrac float64, seed uint64) (*core.Problem, *partition.Panels, error) {
 	if dataPath != "" {
+		isB, err := sparse.IsBCSR(dataPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		if isB {
+			mp, err := sparse.OpenBinary(dataPath)
+			if err != nil {
+				return nil, nil, err
+			}
+			defer mp.Close()
+			full, err := mp.Matrix()
+			if err != nil {
+				return nil, nil, err
+			}
+			panels := partition.PanelsOf(mp)
+			train, test := sparse.SplitTrainTest(full, testFrac, seed)
+			return core.NewProblem(train, test), &panels, nil
+		}
 		full, err := sparse.Load(dataPath)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		train, test := sparse.SplitTrainTest(full, testFrac, seed)
-		return core.NewProblem(train, test), nil
+		return core.NewProblem(train, test), nil, nil
+	}
+	if scale <= 0 {
+		return nil, nil, fmt.Errorf("-scale must be positive, got %g", scale)
 	}
 	var spec datagen.Spec
 	switch strings.ToLower(name) {
@@ -170,12 +320,12 @@ func buildProblem(dataPath, name string, scale, testFrac float64, seed uint64) (
 	case "small":
 		spec = datagen.Small(seed)
 	default:
-		return nil, fmt.Errorf("unknown benchmark %q", name)
+		return nil, nil, fmt.Errorf("unknown benchmark %q", name)
 	}
-	if scale < 1 {
+	if scale != 1 {
 		spec = datagen.Scaled(spec, scale)
 	}
 	ds := datagen.Generate(spec)
 	train, test := sparse.SplitTrainTest(ds.R, testFrac, seed)
-	return core.NewProblem(train, test), nil
+	return core.NewProblem(train, test), nil, nil
 }

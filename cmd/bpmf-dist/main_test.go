@@ -1,0 +1,144 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/sparse"
+)
+
+func TestParsePeers(t *testing.T) {
+	good := []string{
+		"127.0.0.1:9800",
+		"127.0.0.1:9800,127.0.0.1:9801",
+		"host0:9000,host1:9000", // same port, different hosts: fine
+	}
+	for _, p := range good {
+		addrs, err := parsePeers(p)
+		if err != nil {
+			t.Errorf("parsePeers(%q): %v", p, err)
+		}
+		if len(addrs) != strings.Count(p, ",")+1 {
+			t.Errorf("parsePeers(%q) returned %d addrs", p, len(addrs))
+		}
+	}
+	bad := map[string]string{
+		"":                               "missing",
+		"  ":                             "missing",
+		"127.0.0.1:9800,":                "empty",
+		",127.0.0.1:9800":                "empty",
+		"127.0.0.1:9800,,127.0.0.1:9801": "empty",
+		"127.0.0.1:9800, 127.0.0.1:9801": "whitespace",
+		"localhost":                      "host:port",
+		"127.0.0.1:9800,127.0.0.1:9800":  "own listen address",
+		"h:1,h:2,h:1":                    "own listen address",
+	}
+	for p, wantSub := range bad {
+		if _, err := parsePeers(p); err == nil {
+			t.Errorf("parsePeers(%q) accepted", p)
+		} else if !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("parsePeers(%q) error %q does not mention %q", p, err, wantSub)
+		}
+	}
+}
+
+// TestBuildProblemScale pins the -scale contract: != 1 is applied
+// (upscales included), <= 0 fails loudly.
+func TestBuildProblemScale(t *testing.T) {
+	base, _, err := buildProblem("", "small", 1, 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, _, err := buildProblem("", "small", 2, 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.R.M <= base.R.M || up.R.N <= base.R.N {
+		t.Fatalf("-scale 2 did not upscale: %dx%d vs %dx%d", up.R.M, up.R.N, base.R.M, base.R.N)
+	}
+	down, _, err := buildProblem("", "small", 0.5, 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if down.R.M >= base.R.M {
+		t.Fatalf("-scale 0.5 did not downscale: %d vs %d", down.R.M, base.R.M)
+	}
+	for _, s := range []float64{0, -1} {
+		if _, _, err := buildProblem("", "small", s, 0.2, 7); err == nil {
+			t.Fatalf("-scale %g accepted", s)
+		}
+	}
+}
+
+// TestBuildProblemReturnsPanelsForBCSR: the full-load .bcsr path must
+// surface the shard table so the plan aligns with the shard-native one.
+func TestBuildProblemReturnsPanelsForBCSR(t *testing.T) {
+	ds := datagen.Generate(datagen.Tiny(5))
+	dir := t.TempDir()
+	bc := filepath.Join(dir, "r.bcsr")
+	f, err := os.Create(bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sparse.WriteBinarySharded(f, ds.R, 50); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	prob, panels, err := buildProblem(bc, "", 1, 0.2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if panels == nil || len(panels.Lo) < 2 {
+		t.Fatalf("no panel table for .bcsr input (panels=%v)", panels)
+	}
+	if prob.R.M != ds.R.M {
+		t.Fatalf("train matrix has %d rows, want %d", prob.R.M, ds.R.M)
+	}
+
+	mm := filepath.Join(dir, "r.mtx")
+	g, err := os.Create(mm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sparse.WriteMatrixMarket(g, ds.R); err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+	_, panels, err = buildProblem(mm, "", 1, 0.2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if panels != nil {
+		t.Fatal("MatrixMarket input produced a panel table")
+	}
+}
+
+func TestShardNativeDecision(t *testing.T) {
+	ds := datagen.Generate(datagen.Tiny(9))
+	bc := filepath.Join(t.TempDir(), "r.bcsr")
+	f, err := os.Create(bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sparse.WriteBinary(f, ds.R); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if on, err := shardNative(bc, false, false); err != nil || !on {
+		t.Fatalf("bcsr input must default to shard-native (on=%v err=%v)", on, err)
+	}
+	if on, _ := shardNative(bc, true, false); on {
+		t.Fatal("-full-load did not disable shard-native loading")
+	}
+	if on, _ := shardNative(bc, false, true); on {
+		t.Fatal("-reorder did not force full load")
+	}
+	if on, err := shardNative("", false, false); err != nil || on {
+		t.Fatalf("synthetic run classified as shard-native (on=%v err=%v)", on, err)
+	}
+}

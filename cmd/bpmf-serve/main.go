@@ -71,16 +71,42 @@ func main() {
 		opts.Pool = pool
 	}
 	if *dataPath != "" {
-		excl, test, seed, err := loadExclusions(*dataPath, *testFrac, *ckptPath)
+		isB, err := sparse.IsBCSR(*dataPath)
 		if err != nil {
 			log.Fatal(err)
 		}
-		opts.Exclude, opts.Test = excl, test
-		if test != nil {
-			// The test split was derived from this checkpoint's seed; pin
-			// it so a hot reload of a chain retrained under another seed
-			// cannot serve misaligned posterior accumulators.
-			opts.PinSeed, opts.Seed = true, seed
+		if isB && *testFrac <= 0 {
+			// Exclusion-only mode over binary shards: map the file instead
+			// of decoding it. Restarts touch no payload bytes up front;
+			// each user's shard is verified the first time that user asks
+			// for a recommendation, and co-located servers share the page
+			// cache. (-test > 0 needs the decoded matrix for the split.)
+			mp, err := sparse.OpenBinary(*dataPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer mp.Close()
+			opts.ExcludeSource = mp
+			if *topn > 0 {
+				// The top-N precompute sweeps every user, so all shards get
+				// verified at load time anyway; the mapping still avoids
+				// retaining a decoded copy of the matrix.
+				log.Printf("exclusions mapped from %s (%d shards; -topn precompute verifies all of them at load)", *dataPath, mp.Shards())
+			} else {
+				log.Printf("exclusions mapped from %s (%d shards, verified lazily per first query)", *dataPath, mp.Shards())
+			}
+		} else {
+			excl, test, seed, err := loadExclusions(*dataPath, *testFrac, *ckptPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			opts.Exclude, opts.Test = excl, test
+			if test != nil {
+				// The test split was derived from this checkpoint's seed; pin
+				// it so a hot reload of a chain retrained under another seed
+				// cannot serve misaligned posterior accumulators.
+				opts.PinSeed, opts.Seed = true, seed
+			}
 		}
 	}
 

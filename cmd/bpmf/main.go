@@ -131,7 +131,12 @@ func loadData(path, synthetic string, scale, testFrac float64, seed uint64) (*bp
 		default:
 			return nil, fmt.Errorf("unknown synthetic benchmark %q", synthetic)
 		}
-		if scale < 1 {
+		// Any scale other than 1 is applied — upscales included — and a
+		// non-positive scale is an error, not a silently unscaled run.
+		if scale <= 0 {
+			return nil, fmt.Errorf("-scale must be positive, got %g", scale)
+		}
+		if scale != 1 {
 			spec = datagen.Scaled(spec, scale)
 		}
 		ds := datagen.Generate(spec)

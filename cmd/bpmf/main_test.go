@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+// TestLoadDataScale pins the -scale contract (the silent-ignore bug
+// where only downscales were applied): != 1 is applied in both
+// directions, <= 0 fails loudly.
+func TestLoadDataScale(t *testing.T) {
+	base, err := loadData("", "small", 1, 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := loadData("", "small", 2, 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.NumUsers() <= base.NumUsers() || up.NumItems() <= base.NumItems() {
+		t.Fatalf("-scale 2 did not upscale: %dx%d vs %dx%d",
+			up.NumUsers(), up.NumItems(), base.NumUsers(), base.NumItems())
+	}
+	down, err := loadData("", "small", 0.5, 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if down.NumUsers() >= base.NumUsers() {
+		t.Fatalf("-scale 0.5 did not downscale: %d vs %d", down.NumUsers(), base.NumUsers())
+	}
+	for _, s := range []float64{0, -0.5} {
+		if _, err := loadData("", "small", s, 0.2, 7); err == nil {
+			t.Fatalf("-scale %g accepted", s)
+		}
+	}
+}

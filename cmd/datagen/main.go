@@ -26,6 +26,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "scale factor for rows, cols and nnz (values > 1 scale up)")
 	seed := flag.Uint64("seed", 42, "random seed")
 	out := flag.String("out", "", "output file: *.bcsr writes binary shards, anything else MatrixMarket (default stdout)")
+	shardNNZ := flag.Int("shard-nnz", 0, "target entries per .bcsr shard (0 = library default; small values make many shards for multi-rank loading)")
 	stats := flag.Bool("stats", false, "print degree statistics instead of the matrix")
 	flag.Parse()
 
@@ -44,7 +45,7 @@ func main() {
 		return
 	}
 
-	if err := writeMatrix(*out, ds.R); err != nil {
+	if err := writeMatrix(*out, ds.R, *shardNNZ); err != nil {
 		log.Fatal(err)
 	}
 	if *out != "" {
@@ -80,9 +81,9 @@ func buildSpec(name string, scale float64, seed uint64) (datagen.Spec, error) {
 }
 
 // writeMatrix writes r to path, picking the format from the extension:
-// .bcsr binary shards, MatrixMarket otherwise. An empty path streams
-// MatrixMarket to stdout.
-func writeMatrix(path string, r *sparse.CSR) error {
+// .bcsr binary shards (shardNNZ entries per shard, 0 = default),
+// MatrixMarket otherwise. An empty path streams MatrixMarket to stdout.
+func writeMatrix(path string, r *sparse.CSR, shardNNZ int) error {
 	if path == "" {
 		return sparse.WriteMatrixMarket(os.Stdout, r)
 	}
@@ -91,7 +92,7 @@ func writeMatrix(path string, r *sparse.CSR) error {
 		return err
 	}
 	if filepath.Ext(path) == ".bcsr" {
-		err = sparse.WriteBinary(f, r)
+		err = sparse.WriteBinarySharded(f, r, shardNNZ)
 	} else {
 		err = sparse.WriteMatrixMarket(f, r)
 	}

@@ -55,7 +55,7 @@ func TestWriteMatrixPicksFormat(t *testing.T) {
 	dir := t.TempDir()
 	for _, name := range []string{"t.mtx", "t.bcsr", "t.dat"} {
 		path := filepath.Join(dir, name)
-		if err := writeMatrix(path, ds.R); err != nil {
+		if err := writeMatrix(path, ds.R, 0); err != nil {
 			t.Fatal(err)
 		}
 		got, err := sparse.Load(path)

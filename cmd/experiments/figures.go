@@ -133,10 +133,12 @@ func fig4(cfg core.Config, cm des.CostModel, scale float64) {
 		w := des.BuildClusterWorkload(plan, cfg)
 		w.TestEntries = int64(ds.R.NNZ() / 20)
 		m := des.BlueGeneQ(nodes)
-		if scale < 1 {
+		if scale != 1 {
 			// Scale the cache with the workload so the working-set /
 			// cache crossover (the super-linear region) falls at the same
-			// node count as the full-size run.
+			// node count as the full-size run — for upscaled workloads as
+			// much as downscaled ones (scale > 1 was silently ignored
+			// here, shifting the crossover).
 			m.CacheBytes *= scale
 		}
 		res := des.SimulateCluster(w, m, cm, dist.DefaultBufferSize, 3)
@@ -162,7 +164,7 @@ func fig5(cfg core.Config, cm des.CostModel, scale float64) {
 		w := des.BuildClusterWorkload(plan, cfg)
 		w.TestEntries = int64(ds.R.NNZ() / 20)
 		m := des.BlueGeneQ(nodes)
-		if scale < 1 {
+		if scale != 1 {
 			m.CacheBytes *= scale
 		}
 		res := des.SimulateCluster(w, m, cm, dist.DefaultBufferSize, 3)

@@ -41,6 +41,11 @@ func main() {
 	calibrate := flag.Bool("calibrate", false, "calibrate the cost model on this machine")
 	flag.Parse()
 
+	if *scale <= 0 {
+		fmt.Fprintf(os.Stderr, "experiments: -scale must be positive, got %g\n", *scale)
+		os.Exit(2)
+	}
+
 	cfg := core.DefaultConfig()
 	var cm des.CostModel
 	if *calibrate {
@@ -88,9 +93,11 @@ func main() {
 }
 
 // chemblData generates the ChEMBL-shaped workload at the given scale.
+// Any scale other than 1 is applied — upscaled DES workloads included
+// (main rejects non-positive scales up front).
 func chemblData(scale float64) *datagen.Dataset {
 	spec := datagen.ChEMBL(20)
-	if scale < 1 {
+	if scale != 1 {
 		spec = datagen.Scaled(spec, scale)
 	}
 	return datagen.Generate(spec)
@@ -99,7 +106,7 @@ func chemblData(scale float64) *datagen.Dataset {
 // ml20mData generates the MovieLens-shaped workload at the given scale.
 func ml20mData(scale float64) *datagen.Dataset {
 	spec := datagen.ML20M(20)
-	if scale < 1 {
+	if scale != 1 {
 		spec = datagen.Scaled(spec, scale)
 	}
 	return datagen.Generate(spec)

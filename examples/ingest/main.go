@@ -48,7 +48,7 @@ func main() {
 	// Convert to row-panel binary shards (CRC32 per shard). The converter
 	// streams: its memory is bounded by the largest shard, not the file.
 	start := time.Now()
-	stats, err := sparse.Converter{ShardNNZ: 1 << 16}.Convert(mmPath, bcsrPath)
+	stats, err := sparse.Converter{ShardNNZ: 1 << 13}.Convert(mmPath, bcsrPath)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -75,6 +75,43 @@ func main() {
 	}
 	fmt.Printf("load: MatrixMarket %v, bcsr %v — identical matrices\n",
 		textTime.Round(time.Millisecond), shardTime.Round(time.Millisecond))
+
+	// A serving restart doesn't need the decoded matrix at all: map the
+	// shards and read single rows on demand. Only the touched rows'
+	// shards are CRC-verified, and co-located processes mapping the
+	// same file share page cache instead of private decoded copies.
+	mp, err := sparse.OpenBinary(bcsrPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cols, err := mp.AppendRowCols(nil, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := mp.Stats()
+	fmt.Printf("mapped: user 0 has %d ratings; touched %d of %d shards (%.1f kB of %.1f MB)\n",
+		len(cols), st.ShardsTouched, mp.Shards(),
+		float64(st.PayloadBytesTouched)/1e3, float64(bi.Size())/1e6)
+	mp.Close()
+
+	// And a matrix larger than RAM streams panel by panel: peak memory
+	// is one shard, not the file.
+	it, err := sparse.LoadStream(bcsrPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	panels, maxPanel := 0, 0
+	for it.Next() {
+		panels++
+		if nnz := it.Panel().A.NNZ(); nnz > maxPanel {
+			maxPanel = nnz
+		}
+	}
+	if err := it.Err(); err != nil {
+		log.Fatal(err)
+	}
+	it.Close()
+	fmt.Printf("streamed %d panels in bounded memory (largest holds %d entries)\n", panels, maxPanel)
 
 	// Train straight off the shards via the public API.
 	data, err := bpmf.DataFromFile(bcsrPath, 0.2, 3)

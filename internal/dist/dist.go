@@ -116,6 +116,21 @@ func BuildPlan(prob *core.Problem, opt Options) (*partition.Plan, []sparse.Entry
 	return plan, test
 }
 
+// BuildPlanPanels is BuildPlan for .bcsr input: row bounds snap to the
+// file's shard panels (so a shard-native rank can read whole shards)
+// while the column side keeps the workload-model split. The full-load
+// and shard-native paths of cmd/bpmf-dist both derive this plan, which
+// is what makes their chains bit-comparable. Reordering is rejected —
+// an RCM permutation scatters the shard rows (use BuildPlan).
+func BuildPlanPanels(prob *core.Problem, panels partition.Panels, opt Options) (*partition.Plan, []sparse.Entry, error) {
+	opt = opt.normalized()
+	plan, err := partition.BuildWithPanels(prob.R, panels, partition.Options{Ranks: opt.Ranks, Reorder: opt.Reorder})
+	if err != nil {
+		return nil, nil, err
+	}
+	return plan, prob.Test, nil
+}
+
 // MomentGroupsOf returns the moment-group boundary lists (users, movies)
 // induced by a plan's ownership ranges. A sequential sampler configured
 // with these groups performs its hyperparameter moment reduction in

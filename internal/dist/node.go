@@ -80,6 +80,29 @@ type Node struct {
 // NewNode builds rank c.Rank() of a distributed run. plan and test must be
 // the (identical) outputs of BuildPlan on every rank.
 func NewNode(c *comm.Comm, cfg core.Config, plan *partition.Plan, test []sparse.Entry, opt Options) (*Node, error) {
+	return newNode(c, cfg, plan, plan.R.Transpose(), test, opt, false)
+}
+
+// NewNodeLocal builds a rank from shard-native per-rank data: plan.R
+// holds only this rank's owned rows (all other rows empty, full-size
+// row pointers) and rt only its owned columns with their complete
+// rater lists — exactly what LoadShardsLocal assembles from a rank's
+// own .bcsr shards plus the column-ghost exchange. test must still be
+// the global test set (routing and interval gathering need every
+// rank's test identities). The sampled chain is bit-identical to a
+// full-data NewNode under the same plan: every quantity a rank
+// computes — its item updates, moment partials, routing table and
+// local predictor — reads only the owned slices.
+func NewNodeLocal(c *comm.Comm, cfg core.Config, plan *partition.Plan, rt *sparse.CSR, test []sparse.Entry, opt Options) (*Node, error) {
+	return newNode(c, cfg, plan, rt, test, opt, true)
+}
+
+// newNode is the shared constructor; partial marks plan.R/rt as
+// owned-slices-only, which only changes the default schedule (a
+// partial rank walks its owned items in natural order — chain-
+// invariant, see package order — instead of building a locality order
+// from a matrix it doesn't fully hold).
+func newNode(c *comm.Comm, cfg core.Config, plan *partition.Plan, rt *sparse.CSR, test []sparse.Entry, opt Options, partial bool) (*Node, error) {
 	opt = opt.normalized()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -99,7 +122,7 @@ func NewNode(c *comm.Comm, cfg core.Config, plan *partition.Plan, test []sparse.
 	nd := &Node{
 		c: c, cfg: cfg, opt: opt, plan: plan, test: test,
 		rank: c.Rank(), ranks: opt.Ranks, k: cfg.K,
-		r: plan.R, rt: plan.R.Transpose(),
+		r: plan.R, rt: rt,
 		u:     core.InitFactors(cfg.Seed, core.SideU, m, cfg.K),
 		v:     core.InitFactors(cfg.Seed, core.SideV, n, cfg.K),
 		hu:    core.NewHyper(cfg.K),
@@ -122,7 +145,13 @@ func NewNode(c *comm.Comm, cfg core.Config, plan *partition.Plan, test []sparse.
 	// the schedule, would then block forever waiting for the missing rows.
 	sch := opt.Schedule
 	if sch == nil {
-		sch = order.Build(plan.R, order.Options{HeavyThreshold: cfg.KernelThreshold})
+		if partial {
+			// A shard-native rank holds only its owned slices, so it takes
+			// the natural order (nil orders restrict to the identity).
+			sch = &order.Schedule{}
+		} else {
+			sch = order.Build(plan.R, order.Options{HeavyThreshold: cfg.KernelThreshold})
+		}
 	} else {
 		if sch.U != nil && !order.IsPermutation(sch.U, m) {
 			return nil, fmt.Errorf("dist: schedule U order is not a permutation of [0,%d)", m)
@@ -171,18 +200,26 @@ func ownersArray(bounds []int, n int) []int32 {
 
 // buildRouting derives, for every owned item, the destination ranks of its
 // updated factor row, and the total ghost rows this rank expects per
-// iteration. All ranks compute the full (deterministic) table from the
-// shared plan, so no routing metadata ever travels over the network.
+// iteration. All ranks compute the (deterministic) table from the shared
+// plan, so no routing metadata ever travels over the network — and the
+// computation reads only this rank's owned slices (its own rows of R,
+// its own columns of Rᵀ with their complete rater lists, and the global
+// test set), so a shard-native rank that never loaded the other panels
+// builds the identical table a full-data rank would.
 //
 // A movie row j goes to every rank owning a user that rated j, plus every
 // rank owning a user with a held-out test entry on j (so evaluation always
 // sees fresh factors). A user row i goes to every rank owning a movie i
-// rated (those ranks read it in the next movie phase).
+// rated (those ranks read it in the next movie phase). Conversely, the
+// expected ghost counts are the distinct foreign users rating an owned
+// movie (expU) and the distinct foreign movies an owned user rated or
+// holds a test entry on (expV).
 func (nd *Node) buildRouting() {
 	rowLo, rowHi := nd.plan.RowBounds[nd.rank], nd.plan.RowBounds[nd.rank+1]
 	colLo, colHi := nd.plan.ColBounds[nd.rank], nd.plan.ColBounds[nd.rank+1]
 	nd.sendU = make([][]int32, rowHi-rowLo)
 	nd.sendV = make([][]int32, colHi-colLo)
+	self := int32(nd.rank)
 
 	// Ranks that need each movie for test evaluation, beyond its raters.
 	testNeedV := make(map[int32][]int32)
@@ -211,32 +248,40 @@ func (nd *Node) buildRouting() {
 		sort.Slice(dests, func(a, b int) bool { return dests[a] < dests[b] })
 		return dests
 	}
-	contains := func(dests []int32, r int32) bool {
-		for _, d := range dests {
-			if d == r {
-				return true
-			}
-		}
-		return false
+
+	for j := colLo; j < colHi; j++ {
+		raters, _ := nd.rt.Row(j)
+		nd.sendV[j-colLo] = destsOf(self, raters, nd.rowOwner, testNeedV[int32(j)])
+	}
+	for i := rowLo; i < rowHi; i++ {
+		rated, _ := nd.r.Row(i)
+		nd.sendU[i-rowLo] = destsOf(self, rated, nd.colOwner, nil)
 	}
 
-	self := int32(nd.rank)
-	for j := 0; j < nd.rt.M; j++ {
+	visRow := make([]bool, nd.r.M)
+	for j := colLo; j < colHi; j++ {
 		raters, _ := nd.rt.Row(j)
-		dests := destsOf(nd.colOwner[j], raters, nd.rowOwner, testNeedV[int32(j)])
-		if nd.colOwner[j] == self {
-			nd.sendV[j-colLo] = dests
-		} else if contains(dests, self) {
-			nd.expV++
+		for _, i := range raters {
+			if nd.rowOwner[i] != self && !visRow[i] {
+				visRow[i] = true
+				nd.expU++
+			}
 		}
 	}
-	for i := 0; i < nd.r.M; i++ {
+	visCol := make([]bool, nd.rt.M)
+	for i := rowLo; i < rowHi; i++ {
 		rated, _ := nd.r.Row(i)
-		dests := destsOf(nd.rowOwner[i], rated, nd.colOwner, nil)
-		if nd.rowOwner[i] == self {
-			nd.sendU[i-rowLo] = dests
-		} else if contains(dests, self) {
-			nd.expU++
+		for _, j := range rated {
+			if nd.colOwner[j] != self && !visCol[j] {
+				visCol[j] = true
+				nd.expV++
+			}
+		}
+	}
+	for _, e := range nd.test {
+		if nd.rowOwner[e.Row] == self && nd.colOwner[e.Col] != self && !visCol[e.Col] {
+			visCol[e.Col] = true
+			nd.expV++
 		}
 	}
 }

@@ -1,0 +1,265 @@
+package dist
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+)
+
+// shard_test.go pins the shard-native data plane: a virtual cluster
+// whose ranks load only their own .bcsr shards (plus the startup
+// exchanges) must sample the exact chain of a cluster where every rank
+// decodes the whole file — and must actually touch only its own shards
+// while doing it.
+
+// writeShardedFile renders the Small benchmark as a many-shard .bcsr.
+func writeShardedFile(t *testing.T, seed uint64, shardNNZ int) (path string, full *sparse.CSR) {
+	t.Helper()
+	ds := datagen.Generate(datagen.Small(seed))
+	path = filepath.Join(t.TempDir(), "r.bcsr")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sparse.WriteBinarySharded(f, ds.R, shardNNZ); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, ds.R
+}
+
+// runFullLoad runs a virtual cluster where every rank holds the whole
+// matrix, under the panel-aligned plan (the .bcsr full-load path).
+func runFullLoad(t *testing.T, cfg core.Config, path string, testFrac float64, seed uint64, opt Options) (*core.Result, *partition.Plan, []sparse.Entry) {
+	t.Helper()
+	opt = opt.normalized()
+	mp, err := sparse.OpenBinary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mp.Close()
+	fullR, err := mp.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := sparse.SplitTrainTest(fullR, testFrac, seed)
+	prob := core.NewProblem(train, test)
+	plan, planTest, err := BuildPlanPanels(prob, partition.PanelsOf(mp), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab := comm.NewFabric(opt.Ranks)
+	defer fab.Close()
+	results := make([]*core.Result, opt.Ranks)
+	errs := make([]error, opt.Ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < opt.Ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			node, err := NewNode(fab.Comms()[r], cfg, plan, planTest, opt)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			results[r], _, errs[r] = node.Run()
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("full-load rank %d: %v", r, err)
+		}
+	}
+	return results[0], plan, planTest
+}
+
+// runShardNative runs the virtual cluster through LoadShardsLocal +
+// NewNodeLocal and returns rank 0's result plus each rank's problem.
+func runShardNative(t *testing.T, cfg core.Config, path string, testFrac float64, seed uint64, opt Options) (*core.Result, []*ShardProblem) {
+	t.Helper()
+	opt = opt.normalized()
+	fab := comm.NewFabric(opt.Ranks)
+	defer fab.Close()
+	results := make([]*core.Result, opt.Ranks)
+	probs := make([]*ShardProblem, opt.Ranks)
+	errs := make([]error, opt.Ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < opt.Ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c := fab.Comms()[r]
+			sp, err := LoadShardsLocal(c, path, testFrac, seed, opt)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			probs[r] = sp
+			node, err := NewNodeLocal(c, cfg, sp.Plan, sp.RT, sp.Test, opt)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			results[r], _, errs[r] = node.Run()
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("shard-native rank %d: %v", r, err)
+		}
+	}
+	return results[0], probs
+}
+
+func TestShardNativeChainBitIdenticalToFullLoad(t *testing.T) {
+	path, _ := writeShardedFile(t, 17, 400) // ~30 shards for Small's 12k ratings
+	cfg := testConfig()
+	for _, ranks := range []int{1, 2, 4} {
+		opt := Options{Ranks: ranks}
+		want, _, _ := runFullLoad(t, cfg, path, 0.2, 17, opt)
+		got, _ := runShardNative(t, cfg, path, 0.2, 17, opt)
+
+		if len(got.SampleRMSE) != len(want.SampleRMSE) {
+			t.Fatalf("ranks=%d: trace lengths differ", ranks)
+		}
+		for i := range want.SampleRMSE {
+			if got.SampleRMSE[i] != want.SampleRMSE[i] || got.AvgRMSE[i] != want.AvgRMSE[i] {
+				t.Fatalf("ranks=%d iter %d: RMSE (%v, %v) != full-load (%v, %v)",
+					ranks, i, got.SampleRMSE[i], got.AvgRMSE[i], want.SampleRMSE[i], want.AvgRMSE[i])
+			}
+		}
+		for i := range want.U.Data {
+			if got.U.Data[i] != want.U.Data[i] {
+				t.Fatalf("ranks=%d: U[%d] differs", ranks, i)
+			}
+		}
+		for i := range want.V.Data {
+			if got.V.Data[i] != want.V.Data[i] {
+				t.Fatalf("ranks=%d: V[%d] differs", ranks, i)
+			}
+		}
+	}
+}
+
+// TestShardNativeReadsOnlyOwnShards is the acceptance counter: each
+// rank's mapped reader must have touched exactly the shards covering
+// its own row range — not the whole file.
+func TestShardNativeReadsOnlyOwnShards(t *testing.T) {
+	path, full := writeShardedFile(t, 23, 400)
+	cfg := testConfig()
+	cfg.Iters, cfg.Burnin = 2, 1
+	const ranks = 4
+	_, probs := runShardNative(t, cfg, path, 0.2, 23, Options{Ranks: ranks})
+
+	mp, err := sparse.OpenBinary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mp.Close()
+	totalShards := mp.Shards()
+	if totalShards < 2*ranks {
+		t.Fatalf("test needs several shards per rank, got %d for %d ranks", totalShards, ranks)
+	}
+	panels := partition.PanelsOf(mp)
+
+	var touchedSum int64
+	for r, sp := range probs {
+		rowLo, rowHi := sp.Plan.RowBounds[r], sp.Plan.RowBounds[r+1]
+		ownShards := 0
+		var ownBytes int64
+		for s := range panels.Lo {
+			if panels.Lo[s] >= rowLo && panels.Hi[s] <= rowHi {
+				ownShards++
+				ownBytes += int64(panels.Hi[s]-panels.Lo[s]+1)*8 + panels.NNZ[s]*12
+			}
+		}
+		if sp.Shards != ownShards {
+			t.Errorf("rank %d decoded %d shards, owns %d", r, sp.Shards, ownShards)
+		}
+		if sp.Load.ShardsTouched != int64(ownShards) {
+			t.Errorf("rank %d touched %d shards, owns %d (of %d total)", r, sp.Load.ShardsTouched, ownShards, totalShards)
+		}
+		if sp.Load.PayloadBytesTouched != ownBytes {
+			t.Errorf("rank %d touched %d payload bytes, own shards hold %d", r, sp.Load.PayloadBytesTouched, ownBytes)
+		}
+		touchedSum += sp.Load.ShardsTouched
+	}
+	if touchedSum != int64(totalShards) {
+		t.Errorf("ranks together touched %d shards, file has %d", touchedSum, totalShards)
+	}
+
+	// And the reassembled per-rank slices must equal the global split's.
+	train, test := sparse.SplitTrainTest(full, 0.2, 23)
+	rt := train.Transpose()
+	for r, sp := range probs {
+		if len(sp.Test) != len(test) {
+			t.Fatalf("rank %d has %d test entries, want %d", r, len(sp.Test), len(test))
+		}
+		for i := range test {
+			if sp.Test[i] != test[i] {
+				t.Fatalf("rank %d test entry %d differs", r, i)
+			}
+		}
+		rowLo, rowHi := sp.Plan.RowBounds[r], sp.Plan.RowBounds[r+1]
+		for i := rowLo; i < rowHi; i++ {
+			gc, gv := sp.Plan.R.Row(i)
+			wc, wv := train.Row(i)
+			if len(gc) != len(wc) {
+				t.Fatalf("rank %d train row %d: %d entries, want %d", r, i, len(gc), len(wc))
+			}
+			for k := range gc {
+				if gc[k] != wc[k] || gv[k] != wv[k] {
+					t.Fatalf("rank %d train row %d entry %d differs", r, i, k)
+				}
+			}
+		}
+		colLo, colHi := sp.Plan.ColBounds[r], sp.Plan.ColBounds[r+1]
+		for j := colLo; j < colHi; j++ {
+			gc, gv := sp.RT.Row(j)
+			wc, wv := rt.Row(j)
+			if len(gc) != len(wc) {
+				t.Fatalf("rank %d rt col %d: %d raters, want %d", r, j, len(gc), len(wc))
+			}
+			for k := range gc {
+				if gc[k] != wc[k] || gv[k] != wv[k] {
+					t.Fatalf("rank %d rt col %d rater %d differs", r, j, k)
+				}
+			}
+		}
+	}
+}
+
+// TestShardNativeThreadedRanksBitIdentical: the shard-native path must
+// compose with per-rank thread pools like the full path does.
+func TestShardNativeThreadedRanksBitIdentical(t *testing.T) {
+	path, _ := writeShardedFile(t, 29, 700)
+	cfg := testConfig()
+	base, _ := runShardNative(t, cfg, path, 0.2, 29, Options{Ranks: 2})
+	threaded, _ := runShardNative(t, cfg, path, 0.2, 29, Options{Ranks: 2, ThreadsPerRank: 3})
+	for i := range base.AvgRMSE {
+		if base.AvgRMSE[i] != threaded.AvgRMSE[i] {
+			t.Fatalf("iter %d: threaded shard-native diverges", i)
+		}
+	}
+}
+
+// TestLoadShardsLocalRejectsReorder: reordering needs the full matrix.
+func TestLoadShardsLocalRejectsReorder(t *testing.T) {
+	path, _ := writeShardedFile(t, 31, 500)
+	fab := comm.NewFabric(1)
+	defer fab.Close()
+	if _, err := LoadShardsLocal(fab.Comms()[0], path, 0.2, 31, Options{Ranks: 1, Reorder: true}); err == nil {
+		t.Fatal("reorder accepted by the shard-native loader")
+	}
+}

@@ -1,0 +1,120 @@
+// panels.go teaches the partitioner to consume a .bcsr file's shard
+// table as the row-panel source: rank boundaries snap to shard
+// boundaries, so a distributed rank's owned rows are exactly a run of
+// whole shards and it can read (or map) just those. The panel weights
+// come from the shard headers alone — row count and pre-split entry
+// count — which is what makes the assignment computable by every rank
+// before anyone has decoded a single payload byte.
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/sparse"
+)
+
+// Panels describes the row panels of a sharded matrix: panel s covers
+// rows [Lo[s], Hi[s]) and holds NNZ[s] stored entries (as written,
+// i.e. before any train/test split).
+type Panels struct {
+	Lo, Hi []int
+	NNZ    []int64
+}
+
+// PanelsOf extracts the panel table from any sharded source exposing
+// the Mapped reader's Shard accessors.
+func PanelsOf(src interface {
+	Shards() int
+	Shard(s int) (rowLo, rowHi int, nnz int64)
+}) Panels {
+	n := src.Shards()
+	p := Panels{Lo: make([]int, n), Hi: make([]int, n), NNZ: make([]int64, n)}
+	for s := 0; s < n; s++ {
+		p.Lo[s], p.Hi[s], p.NNZ[s] = src.Shard(s)
+	}
+	return p
+}
+
+// Rows returns the total row count the panels cover.
+func (p Panels) Rows() int {
+	if len(p.Hi) == 0 {
+		return 0
+	}
+	return p.Hi[len(p.Hi)-1]
+}
+
+// Validate checks that the panels are contiguous over [0, rows).
+func (p Panels) Validate(rows int) error {
+	if len(p.Lo) != len(p.Hi) || len(p.Lo) != len(p.NNZ) {
+		return fmt.Errorf("partition: ragged panel table (%d/%d/%d)", len(p.Lo), len(p.Hi), len(p.NNZ))
+	}
+	prev := 0
+	for s := range p.Lo {
+		if p.Lo[s] != prev || p.Hi[s] < p.Lo[s] {
+			return fmt.Errorf("partition: panel %d covers [%d, %d), want contiguous from %d", s, p.Lo[s], p.Hi[s], prev)
+		}
+		prev = p.Hi[s]
+	}
+	if prev != rows {
+		return fmt.Errorf("partition: panels cover [0, %d) of %d rows", prev, rows)
+	}
+	return nil
+}
+
+// AssignPanels splits the panels into ranks contiguous groups,
+// balancing the workload model's panel costs (Fixed per row plus
+// PerRating per entry) with the same chains-on-chains machinery the
+// per-row partitioner uses, and returns the row boundary list —
+// always aligned to panel boundaries. It is a pure function of the
+// shard table, so every rank derives the identical assignment locally.
+func AssignPanels(p Panels, ranks int, model CostModel) []int {
+	if model == (CostModel{}) {
+		model = DefaultCostModel()
+	}
+	w := make([]float64, len(p.Lo))
+	for s := range w {
+		w[s] = model.Fixed*float64(p.Hi[s]-p.Lo[s]) + model.PerRating*float64(p.NNZ[s])
+	}
+	cut := ChainsOnChains(w, ranks)
+	rows := p.Rows()
+	bounds := make([]int, ranks+1)
+	for i, c := range cut {
+		if c == len(p.Lo) {
+			bounds[i] = rows
+		} else {
+			bounds[i] = p.Lo[c]
+		}
+	}
+	return bounds
+}
+
+// BuildWithPanels produces a plan whose row boundaries are aligned to
+// the given panels (AssignPanels over the pre-split shard weights)
+// while the column side keeps the per-item workload-model split over
+// the training matrix r. This is the plan both the full-load and the
+// shard-native .bcsr paths of cmd/bpmf-dist build, which is what makes
+// their sampled chains comparable bit for bit: the plan — and with it
+// the moment-group summation order — is a pure function of (file,
+// ranks), not of which loading strategy a rank chose. Reordering is
+// incompatible with panel alignment (an RCM permutation scatters the
+// shard rows), so opt.Reorder is rejected.
+func BuildWithPanels(r *sparse.CSR, panels Panels, opt Options) (*Plan, error) {
+	if opt.Ranks < 1 {
+		return nil, fmt.Errorf("partition: need at least one rank")
+	}
+	if opt.Reorder {
+		return nil, fmt.Errorf("partition: reordering is incompatible with panel-aligned row bounds")
+	}
+	if err := panels.Validate(r.M); err != nil {
+		return nil, err
+	}
+	model := opt.Model
+	if model == (CostModel{}) {
+		model = DefaultCostModel()
+	}
+	plan := &Plan{R: r}
+	plan.RowBounds = AssignPanels(panels, opt.Ranks, model)
+	colW := model.Weights(r.Transpose().RowDegrees())
+	plan.ColBounds = ChainsOnChains(colW, opt.Ranks)
+	return plan, nil
+}

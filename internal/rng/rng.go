@@ -79,6 +79,22 @@ func (r *Stream) Reinit(seed uint64) {
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
+// State returns the raw xoshiro state words, for resumable sequential
+// scans that hand a stream across process boundaries (the distributed
+// train/test split pipeline). The cached spare normal deviate is NOT
+// part of the state: capture/restore is exact only for consumers that
+// never draw normals (Float64/Uint64/Intn), which is what the split
+// uses.
+func (r *Stream) State() [4]uint64 { return r.s }
+
+// SetState restores a state captured with State, discarding any cached
+// spare deviate (see State for the exactness contract).
+func (r *Stream) SetState(s [4]uint64) {
+	r.s = s
+	r.haveSpare = false
+	r.spare = 0
+}
+
 // Uint64 returns the next 64 uniformly distributed bits (xoshiro256**).
 func (r *Stream) Uint64() uint64 {
 	result := rotl(r.s[1]*5, 7) * 9

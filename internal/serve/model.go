@@ -49,6 +49,12 @@ type Options struct {
 	// Exclude lists each user's already-rated items (the training
 	// matrix); Recommend skips them. nil excludes nothing.
 	Exclude *sparse.CSR
+	// ExcludeSource serves the same per-user exclusion lists lazily —
+	// e.g. a .bcsr training matrix mapped with sparse.OpenBinary, so a
+	// serving restart maps shards instead of decoding them and only
+	// the shards behind actually-queried users are ever verified.
+	// Ignored when Exclude is set.
+	ExcludeSource Excluder
 	// Test aligns the checkpoint's PredSum/PredSumSq accumulators with
 	// their (user, item) identities — the held-out entries of the
 	// training run, in split order. When given, Predict serves the exact
@@ -105,11 +111,25 @@ type Model struct {
 	clampMin float64
 	clampMax float64
 	exclude  *sparse.CSR
+	exclSrc  Excluder
 	post     map[uint64]postStat
 	table    *Table
 
-	ws     sync.Pool // *core.Workspace for fold-in draws
-	scores sync.Pool // *[]float64 NumItems-sized buffers for live ranking
+	ws      sync.Pool // *core.Workspace for fold-in draws
+	scores  sync.Pool // *[]float64 NumItems-sized buffers for live ranking
+	exclBuf sync.Pool // *[]int32 scratch for lazily-decoded exclusion rows
+}
+
+// Excluder serves per-user exclusion lists without materializing the
+// whole training matrix. Implementations may verify and decode lazily
+// (sparse.Mapped does, shard by shard); an error means the user's list
+// could not be read — Recommend fails the request rather than silently
+// recommending already-rated items.
+type Excluder interface {
+	// Dims returns (users, items) of the underlying matrix.
+	Dims() (m, n int)
+	// AppendRowCols appends user's ascending rated-item ids to dst.
+	AppendRowCols(dst []int32, user int) ([]int32, error)
 }
 
 // NewModel validates a checkpoint and builds an immutable serving
@@ -133,6 +153,12 @@ func NewModel(ckpt *core.Checkpoint, opts Options) (*Model, error) {
 	if opts.Exclude != nil && (opts.Exclude.M != ckpt.U.Rows || opts.Exclude.N != ckpt.V.Rows) {
 		return nil, fmt.Errorf("%w: exclusion matrix %dx%d does not match model %dx%d",
 			ErrBadInput, opts.Exclude.M, opts.Exclude.N, ckpt.U.Rows, ckpt.V.Rows)
+	}
+	if opts.Exclude == nil && opts.ExcludeSource != nil {
+		if em, en := opts.ExcludeSource.Dims(); em != ckpt.U.Rows || en != ckpt.V.Rows {
+			return nil, fmt.Errorf("%w: exclusion source %dx%d does not match model %dx%d",
+				ErrBadInput, em, en, ckpt.U.Rows, ckpt.V.Rows)
+		}
 	}
 	if opts.Test != nil && len(opts.Test) != len(ckpt.PredSum) {
 		return nil, fmt.Errorf("%w: %d test entries do not match %d checkpointed accumulators",
@@ -166,9 +192,13 @@ func NewModel(ckpt *core.Checkpoint, opts Options) (*Model, error) {
 		clampMax: opts.ClampMax,
 		exclude:  opts.Exclude,
 	}
+	if opts.Exclude == nil {
+		m.exclSrc = opts.ExcludeSource
+	}
 	m.ws.New = func() any { return core.NewWorkspace(k) }
 	nItems := m.v.Rows
 	m.scores.New = func() any { s := make([]float64, nItems); return &s }
+	m.exclBuf.New = func() any { s := make([]int32, 0, 64); return &s }
 
 	// User-side hyperparameters for fold-in: the single-group moment
 	// reduction over the checkpointed U, drawn from the keyed stream of
@@ -195,7 +225,10 @@ func NewModel(ckpt *core.Checkpoint, opts Options) (*Model, error) {
 	}
 
 	if opts.TopN > 0 {
-		m.table = precomputeTopN(m, opts.Pool, opts.TopN)
+		var err error
+		if m.table, err = precomputeTopN(m, opts.Pool, opts.TopN); err != nil {
+			return nil, err
+		}
 	}
 	return m, nil
 }
@@ -294,7 +327,15 @@ func (m *Model) Recommend(user, n int) ([]rank.Item, error) {
 	if err := m.ScoreUser(user, *scores); err != nil {
 		return nil, err
 	}
-	return m.clampItems(rank.TopNScoresExcluding(*scores, m.excludeRow(user), n)), nil
+	excl, release, err := m.excludeList(user)
+	if err != nil {
+		return nil, err
+	}
+	items := m.clampItems(rank.TopNScoresExcluding(*scores, excl, n))
+	if release != nil {
+		release()
+	}
+	return items, nil
 }
 
 // RecommendVector ranks every item for an explicit factor vector,
@@ -332,14 +373,27 @@ func (m *Model) clampItems(items []rank.Item) []rank.Item {
 	return items
 }
 
-// excludeRow returns the user's sorted already-rated item list (nil when
-// no exclusion matrix was configured).
-func (m *Model) excludeRow(user int) []int32 {
-	if m.exclude == nil {
-		return nil
+// excludeList returns the user's sorted already-rated item list. The
+// CSR-backed path hands out a view (release is nil); the lazy Excluder
+// path decodes into pooled scratch and returns its release func. An
+// error fails the request — recommending items the user already rated
+// because an exclusion shard went bad would be silent misbehavior.
+func (m *Model) excludeList(user int) (excl []int32, release func(), err error) {
+	if m.exclude != nil {
+		cols, _ := m.exclude.Row(user)
+		return cols, nil, nil
 	}
-	cols, _ := m.exclude.Row(user)
-	return cols
+	if m.exclSrc == nil {
+		return nil, nil, nil
+	}
+	buf := m.exclBuf.Get().(*[]int32)
+	lst, err := m.exclSrc.AppendRowCols((*buf)[:0], user)
+	if err != nil {
+		m.exclBuf.Put(buf)
+		return nil, nil, fmt.Errorf("serve: exclusion row %d: %w", user, err)
+	}
+	*buf = lst
+	return lst, func() { m.exclBuf.Put(buf) }, nil
 }
 
 // FoldIn samples a factor row for a user that was not in the training

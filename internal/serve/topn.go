@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"sync"
+
 	"repro/internal/rank"
 	"repro/internal/sched"
 )
@@ -23,17 +25,29 @@ const tableGrain = 64
 // its score buffer from an arena, so the sweep allocates only the result
 // lists. The per-user work is identical to the live Recommend path —
 // same scoring, same ranking core — so table and live answers agree
-// exactly.
-func precomputeTopN(m *Model, pool *sched.Pool, n int) *Table {
+// exactly. A lazily-decoded exclusion source (sparse.Mapped) can fail
+// mid-sweep; the first error aborts the load rather than shipping a
+// table with silently-missing exclusions.
+func precomputeTopN(m *Model, pool *sched.Pool, n int) (*Table, error) {
 	t := &Table{n: n, lists: make([][]rank.Item, m.u.Rows)}
 	buffers := sched.NewArena(func() []float64 { return make([]float64, m.v.Rows) })
+	var errOnce sync.Once
+	var firstErr error
 	fill := func(w *sched.Worker, lo, hi int) {
 		scores := buffers.Get(w)
 		for user := lo; user < hi; user++ {
+			excl, release, err := m.excludeList(user)
+			if err != nil {
+				errOnce.Do(func() { firstErr = err })
+				break
+			}
 			// ScoreUser cannot fail here: user is in range by loop bounds
 			// and the buffer was sized off the model.
 			_ = m.ScoreUser(user, scores)
-			t.lists[user] = rank.TopNScoresExcluding(scores, m.excludeRow(user), n)
+			t.lists[user] = rank.TopNScoresExcluding(scores, excl, n)
+			if release != nil {
+				release()
+			}
 		}
 		buffers.Put(w, scores)
 	}
@@ -42,7 +56,10 @@ func precomputeTopN(m *Model, pool *sched.Pool, n int) *Table {
 	} else {
 		fill(nil, 0, m.u.Rows)
 	}
-	return t
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return t, nil
 }
 
 // get returns a copy of the first n entries of the user's list (the

@@ -116,14 +116,26 @@ func encodePanel(dst []byte, a *CSR, lo, hi int) []byte {
 	return dst
 }
 
-// ReadBinary reads a .bcsr matrix. Corrupt input — truncated streams,
-// shard CRC mismatches, implausible dimensions, non-monotonic row
-// pointers, out-of-range columns, non-finite values — is reported as an
-// error before it can poison a sampler; no input panics, and no header
-// field is trusted for an allocation larger than the bytes actually
-// present (reads grow in bounded chunks).
-func ReadBinary(r io.Reader) (*CSR, error) {
-	br := bufio.NewReaderSize(r, 1<<20)
+// bcsrLayout is a .bcsr stream's validated header and shard table: the
+// dimensions plus the contiguous row panels covering [0, M). It is the
+// part of the format every reader — streaming, mapped, one-shot — must
+// agree on, so all three parse it through readBCSRLayout and report
+// byte-identical errors for the same corruption.
+type bcsrLayout struct {
+	m, n, nnz, shards uint64
+	lo, hi            []uint64 // per-shard row panel bounds
+}
+
+// headerSize returns the byte length of the magic + header + shard
+// table region preceding the first shard.
+func (l *bcsrLayout) headerSize() int64 {
+	return int64(len(bcsrMagic)) + 32 + int64(l.shards)*16
+}
+
+// readBCSRLayout reads and validates the magic, header and shard table
+// from the front of a .bcsr stream. No header field is trusted for an
+// allocation larger than the bytes actually present.
+func readBCSRLayout(br io.Reader) (*bcsrLayout, error) {
 	magic := make([]byte, len(bcsrMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("sparse: reading bcsr magic: %w", err)
@@ -180,42 +192,85 @@ func ReadBinary(r io.Reader) (*CSR, error) {
 	if shards > 0 && hi[shards-1] != m {
 		return nil, fmt.Errorf("sparse: bcsr shards cover rows [0, %d) of %d", hi[shards-1], m)
 	}
+	return &bcsrLayout{m: m, n: n, nnz: nnz, shards: shards, lo: lo, hi: hi}, nil
+}
 
-	a := &CSR{M: int(m), N: int(n), RowPtr: make([]int64, m+1)}
+// shardMeta validates one shard's 16-byte header against the layout and
+// running entry total, returning the panel's payload byte length.
+func (l *bcsrLayout) shardMeta(s int, snnz uint64, total uint64) (payloadLen int64, err error) {
+	if snnz > l.nnz-total {
+		return 0, fmt.Errorf("sparse: bcsr shard %d claims %d entries, only %d remain of the %d declared", s, snnz, l.nnz-total, l.nnz)
+	}
+	rows := l.hi[s] - l.lo[s]
+	return int64(rows+1)*8 + int64(snnz)*12, nil
+}
+
+// ReadBinary reads a .bcsr matrix. Corrupt input — truncated streams,
+// shard CRC mismatches, implausible dimensions, non-monotonic row
+// pointers, out-of-range columns, non-finite values — is reported as an
+// error before it can poison a sampler; no input panics, and no header
+// field is trusted for an allocation larger than the bytes actually
+// present (reads grow in bounded chunks).
+func ReadBinary(r io.Reader) (*CSR, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	lay, err := readBCSRLayout(br)
+	if err != nil {
+		return nil, err
+	}
+
+	a := &CSR{M: int(lay.m), N: int(lay.n), RowPtr: make([]int64, lay.m+1)}
 	var payload []byte
 	var total uint64
-	for s := range lo {
-		snnz := readU64()
-		scrc := readU64()
-		if err != nil {
-			return nil, fmt.Errorf("sparse: reading bcsr shard %d header: %w", s, err)
+	for s := range lay.lo {
+		snnz, scrc, herr := readShardHeader(br)
+		if herr != nil {
+			return nil, fmt.Errorf("sparse: reading bcsr shard %d header: %w", s, herr)
 		}
-		rows := hi[s] - lo[s]
-		if snnz > nnz-total {
-			return nil, fmt.Errorf("sparse: bcsr shard %d claims %d entries, only %d remain of the %d declared", s, snnz, nnz-total, nnz)
+		want, merr := lay.shardMeta(s, snnz, total)
+		if merr != nil {
+			return nil, merr
 		}
-		want := int64(rows+1)*8 + int64(snnz)*12
 		payload, err = readChunked(br, payload[:0], want)
 		if err != nil {
 			return nil, fmt.Errorf("sparse: reading bcsr shard %d payload: %w", s, err)
 		}
-		if got := uint64(crc32.ChecksumIEEE(payload)); got != scrc {
-			return nil, fmt.Errorf("sparse: bcsr shard %d CRC mismatch (file %08x, computed %08x)", s, scrc, got)
+		if verr := verifyShardCRC(s, payload, scrc); verr != nil {
+			return nil, verr
 		}
-		if derr := decodePanel(a, payload, int(lo[s]), int(hi[s]), int64(total), int64(snnz)); derr != nil {
+		if derr := decodePanel(a, payload, int(lay.lo[s]), int(lay.hi[s]), int64(total), int64(snnz)); derr != nil {
 			return nil, fmt.Errorf("sparse: bcsr shard %d: %w", s, derr)
 		}
 		total += snnz
 	}
-	if total != nnz {
-		return nil, fmt.Errorf("sparse: bcsr header promised %d entries, shards hold %d", nnz, total)
+	if total != lay.nnz {
+		return nil, fmt.Errorf("sparse: bcsr header promised %d entries, shards hold %d", lay.nnz, total)
 	}
 	return a, nil
 }
 
+// readShardHeader reads one shard's (nnz, crc) pair.
+func readShardHeader(br io.Reader) (snnz, scrc uint64, err error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, 0, err
+	}
+	return binary.LittleEndian.Uint64(hdr[:]), binary.LittleEndian.Uint64(hdr[8:]), nil
+}
+
+// verifyShardCRC checks a shard payload against its declared CRC32.
+func verifyShardCRC(s int, payload []byte, scrc uint64) error {
+	if got := uint64(crc32.ChecksumIEEE(payload)); got != scrc {
+		return fmt.Errorf("sparse: bcsr shard %d CRC mismatch (file %08x, computed %08x)", s, scrc, got)
+	}
+	return nil
+}
+
 // readChunked fills dst with want bytes from br, growing in bounded
 // chunks so a shard header that promises more data than the stream
-// holds over-allocates by at most one chunk before the read error.
+// holds over-allocates by at most one chunk before the read error. On a
+// short read it returns dst truncated to the bytes actually received —
+// callers keep their scratch allocation for retries — together with an
+// error that wraps io.ErrUnexpectedEOF and states both byte counts.
 func readChunked(br io.Reader, dst []byte, want int64) ([]byte, error) {
 	const chunk = 1 << 20
 	for int64(len(dst)) < want {
@@ -225,11 +280,24 @@ func readChunked(br io.Reader, dst []byte, want int64) ([]byte, error) {
 		}
 		start := len(dst)
 		dst = append(dst, make([]byte, c)...)
-		if _, err := io.ReadFull(br, dst[start:]); err != nil {
-			return nil, err
+		n, err := io.ReadFull(br, dst[start:])
+		if err != nil {
+			dst = dst[:start+n]
+			return dst, shortReadError(want, int64(len(dst)), err)
 		}
 	}
 	return dst, nil
+}
+
+// shortReadError normalizes a truncated read into a byte-accurate
+// io.ErrUnexpectedEOF wrap: want bytes were promised, got arrived. A
+// clean io.EOF after partial progress is still an unexpected EOF for
+// the structure being decoded.
+func shortReadError(want, got int64, cause error) error {
+	if cause == io.EOF && got > 0 {
+		cause = io.ErrUnexpectedEOF
+	}
+	return fmt.Errorf("sparse: short read: want %d bytes, got %d: %w", want, got, cause)
 }
 
 // decodePanel validates and appends one shard's rows to the CSR under

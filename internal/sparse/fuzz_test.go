@@ -62,8 +62,10 @@ func FuzzReadMatrixMarket(f *testing.F) {
 	})
 }
 
-// FuzzReadBinary hammers the bcsr reader: arbitrary bytes must error or
-// yield a matrix that survives a write/read round trip.
+// FuzzReadBinary hammers the bcsr readers differentially: arbitrary
+// bytes must error or yield a matrix that survives a write/read round
+// trip, and the streaming, mapped and stream-iterator readers must
+// agree on accept/reject (with identical matrices on accept).
 func FuzzReadBinary(f *testing.F) {
 	r := rand.New(rand.NewSource(1))
 	a := randomCSR(r, 12, 40)
@@ -86,8 +88,47 @@ func FuzzReadBinary(f *testing.F) {
 			return
 		}
 		got, err := ReadBinary(bytes.NewReader(data))
+
+		// Mapped reader: open (eager framing checks) + full lazy decode
+		// must reach the same verdict as the streaming read.
+		var mapGot *CSR
+		mapErr := error(nil)
+		if mp, oerr := openBinaryBytes(data); oerr != nil {
+			mapErr = oerr
+		} else {
+			mapGot, mapErr = mp.Matrix()
+		}
+		if (err == nil) != (mapErr == nil) {
+			t.Fatalf("readers disagree: ReadBinary err=%v, mapped err=%v", err, mapErr)
+		}
+
+		// Stream iterator: panel-at-a-time decode, same verdict again.
+		var itGot *CSR
+		itErr := error(nil)
+		if it, oerr := NewShardIter(bytes.NewReader(data)); oerr != nil {
+			itErr = oerr
+		} else {
+			m, n, _, _ := it.Dims()
+			itGot = &CSR{M: m, N: n, RowPtr: make([]int64, m+1)}
+			for it.Next() {
+				p := it.Panel()
+				base := int64(len(itGot.Col))
+				itGot.Col = append(itGot.Col, p.A.Col...)
+				itGot.Val = append(itGot.Val, p.A.Val...)
+				for r := 0; r <= p.A.M; r++ {
+					itGot.RowPtr[p.RowLo+r] = base + p.A.RowPtr[r]
+				}
+			}
+			itErr = it.Err()
+		}
+		if (err == nil) != (itErr == nil) {
+			t.Fatalf("readers disagree: ReadBinary err=%v, stream err=%v", err, itErr)
+		}
 		if err != nil {
 			return
+		}
+		if !Equal(got, mapGot) || !Equal(got, itGot) {
+			t.Fatal("readers accept but matrices differ")
 		}
 		var rt bytes.Buffer
 		if err := WriteBinary(&rt, got); err != nil {

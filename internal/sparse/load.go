@@ -20,6 +20,23 @@ const autoPoolMin = 4 << 20
 // mmMagic is the MatrixMarket banner prefix Load sniffs on.
 const mmMagic = "%%MatrixMarket"
 
+// IsBCSR reports whether path starts with the .bcsr magic — the same
+// sniff Load uses, for callers that pick a shard-aware code path (the
+// distributed launcher, the serving exclusion loader) before opening.
+func IsBCSR(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	head := make([]byte, len(bcsrMagic))
+	n, err := io.ReadFull(f, head)
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		return false, fmt.Errorf("sparse: reading %s: %w", path, err)
+	}
+	return string(head[:n]) == bcsrMagic, nil
+}
+
 // Load reads a rating matrix from path, sniffing the format from the
 // file's leading bytes: .bcsr binary shards (streamed through
 // ReadBinary, so peak memory is the matrix, not matrix + file) or

@@ -1,0 +1,34 @@
+//go:build unix
+
+package sparse
+
+import (
+	"os"
+	"syscall"
+)
+
+// openMapSource mmaps the file read-only and releases the descriptor —
+// the mapping outlives it, and co-located processes mapping the same
+// shards share page cache. A zero-length file (legal for M=0 matrices
+// only in principle; the format always has a header) and any mmap
+// failure fall back to pread so OpenBinary never fails just because
+// the platform refused a mapping.
+func openMapSource(f *os.File, size int64) (mapSource, error) {
+	if size > 0 {
+		data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+		if err == nil {
+			f.Close()
+			return mmapSource{data: data}, nil
+		}
+	}
+	return fileSource{f: f}, nil
+}
+
+// mmapSource serves a .bcsr file straight from its mapping.
+type mmapSource struct{ data []byte }
+
+func (s mmapSource) ReadAt(p []byte, off int64) (int, error) {
+	return bytesSource{data: s.data}.ReadAt(p, off)
+}
+func (s mmapSource) View(off, n int64) ([]byte, bool) { return s.data[off : off+n], true }
+func (s mmapSource) Close() error                     { return syscall.Munmap(s.data) }

@@ -1,0 +1,81 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSplitRowsResumeMatchesGlobalSplit is the property the shard-native
+// distributed loader rests on: splitting a matrix panel-by-panel with
+// carried state reproduces SplitTrainTest's global decisions exactly,
+// for any panel decomposition.
+func TestSplitRowsResumeMatchesGlobalSplit(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 12; trial++ {
+		a := randomCSR(r, 40+r.Intn(30), 400)
+		seed := uint64(r.Int63())
+		frac := 0.1 + 0.4*r.Float64()
+		wantTrain, wantTest := SplitTrainTest(a, frac, seed)
+
+		// Random contiguous panel decomposition, plus one deliberately
+		// empty panel (a rank that owns no rows must pass the state
+		// through unchanged).
+		cuts := []int{0}
+		for cuts[len(cuts)-1] < a.M {
+			next := cuts[len(cuts)-1] + 1 + r.Intn(a.M/3+1)
+			if next > a.M {
+				next = a.M
+			}
+			cuts = append(cuts, next)
+		}
+		dup := 1 + r.Intn(len(cuts)-1)
+		cuts = append(cuts[:dup], append([]int{cuts[dup]}, cuts[dup:]...)...)
+
+		st := NewSplitState(a.N)
+		var gotTest []Entry
+		train := NewCOO(a.M, a.N, a.NNZ())
+		for p := 0; p+1 < len(cuts); p++ {
+			// Round-trip the state through its wire encoding each panel,
+			// as the rank pipeline does, and resume from a fresh stream.
+			enc := st.Encode()
+			dec, err := DecodeSplitState(enc, a.N)
+			if err != nil {
+				t.Fatal(err)
+			}
+			SplitRowsResume(a, cuts[p], cuts[p+1], frac, seed, dec,
+				func(e Entry) { train.Add(int(e.Row), int(e.Col), e.Val) },
+				func(e Entry) { gotTest = append(gotTest, e) })
+			st = dec
+		}
+		gotTrain := train.ToCSR()
+
+		if !Equal(wantTrain, gotTrain) {
+			t.Fatalf("trial %d: resumed train matrix differs (panels %v)", trial, cuts)
+		}
+		if len(gotTest) != len(wantTest) {
+			t.Fatalf("trial %d: %d test entries, want %d", trial, len(gotTest), len(wantTest))
+		}
+		for i := range gotTest {
+			if gotTest[i] != wantTest[i] {
+				t.Fatalf("trial %d: test entry %d = %+v, want %+v", trial, i, gotTest[i], wantTest[i])
+			}
+		}
+	}
+}
+
+func TestDecodeSplitStateRejectsWrongLength(t *testing.T) {
+	if _, err := DecodeSplitState(make([]byte, 12), 10); err == nil {
+		t.Fatal("wrong-length state accepted")
+	}
+	st := NewSplitState(6)
+	st.Started = true
+	st.RNG = [4]uint64{1, 1 << 60, 42, ^uint64(0)}
+	st.ColSeen[2] = true
+	back, err := DecodeSplitState(st.Encode(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Started || back.RNG != st.RNG || !back.ColSeen[2] || back.ColSeen[3] {
+		t.Fatalf("state round trip broken: %+v vs %+v", back, st)
+	}
+}

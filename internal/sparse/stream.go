@@ -1,0 +1,143 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+)
+
+// stream.go is the bounded-memory read path of the .bcsr format: a
+// ShardIter yields one validated row panel at a time, so a matrix
+// larger than RAM can be split, counted, or fed shard-by-shard to the
+// distributed planner without ever materializing the full CSR. Peak
+// memory is one shard's payload plus its decoded panel.
+
+// Panel is one validated row panel of a sharded matrix: rows
+// [RowLo, RowHi) of the full matrix, held as a standalone
+// (RowHi-RowLo) × N CSR whose row 0 is global row RowLo.
+type Panel struct {
+	RowLo, RowHi int
+	A            *CSR
+}
+
+// ShardIter iterates a .bcsr stream panel by panel. Use:
+//
+//	it, err := sparse.LoadStream(path)
+//	for it.Next() {
+//	    p := it.Panel() // valid until the next Next call
+//	}
+//	if err := it.Err(); err != nil { ... }
+//	it.Close()
+type ShardIter struct {
+	br      *bufio.Reader
+	closer  io.Closer
+	lay     *bcsrLayout
+	s       int
+	total   uint64
+	payload []byte // reused scratch across panels
+	cur     Panel
+	err     error
+	done    bool
+}
+
+// LoadStream opens path as a .bcsr shard stream. Unlike Load it does
+// not decode anything up front: the header and shard table are
+// validated, then panels arrive one Next at a time in bounded memory.
+// MatrixMarket input is rejected — text parsing needs the whole byte
+// stream; convert first (sparse.Converter) to stream it.
+func LoadStream(path string) (*ShardIter, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	it, err := NewShardIter(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	it.closer = f
+	return it, nil
+}
+
+// NewShardIter wraps an io.Reader positioned at the start of a .bcsr
+// stream. The caller owns the reader's lifetime unless it arrives via
+// LoadStream.
+func NewShardIter(r io.Reader) (*ShardIter, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	lay, err := readBCSRLayout(br)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardIter{br: br, lay: lay}, nil
+}
+
+// Dims returns the stream's declared shape: rows, cols, total entries
+// and shard count.
+func (it *ShardIter) Dims() (m, n int, nnz int64, shards int) {
+	return int(it.lay.m), int(it.lay.n), int64(it.lay.nnz), int(it.lay.shards)
+}
+
+// Next advances to the next panel, returning false at the end of the
+// stream or on the first error (see Err). The previous Panel's CSR is
+// not reused, but the undecoded scratch behind it is, so callers that
+// retain panels keep only decoded data.
+func (it *ShardIter) Next() bool {
+	if it.err != nil || it.done {
+		return false
+	}
+	if it.s == int(it.lay.shards) {
+		it.done = true
+		if it.total != it.lay.nnz {
+			it.err = fmt.Errorf("sparse: bcsr header promised %d entries, shards hold %d", it.lay.nnz, it.total)
+		}
+		return false
+	}
+	s := it.s
+	snnz, scrc, herr := readShardHeader(it.br)
+	if herr != nil {
+		it.err = fmt.Errorf("sparse: reading bcsr shard %d header: %w", s, herr)
+		return false
+	}
+	want, merr := it.lay.shardMeta(s, snnz, it.total)
+	if merr != nil {
+		it.err = merr
+		return false
+	}
+	var rerr error
+	it.payload, rerr = readChunked(it.br, it.payload[:0], want)
+	if rerr != nil {
+		it.err = fmt.Errorf("sparse: reading bcsr shard %d payload: %w", s, rerr)
+		return false
+	}
+	if verr := verifyShardCRC(s, it.payload, scrc); verr != nil {
+		it.err = verr
+		return false
+	}
+	rows := int(it.lay.hi[s] - it.lay.lo[s])
+	a := &CSR{M: rows, N: int(it.lay.n), RowPtr: make([]int64, rows+1)}
+	if derr := decodePanel(a, it.payload, 0, rows, 0, int64(snnz)); derr != nil {
+		it.err = fmt.Errorf("sparse: bcsr shard %d: %w", s, derr)
+		return false
+	}
+	it.cur = Panel{RowLo: int(it.lay.lo[s]), RowHi: int(it.lay.hi[s]), A: a}
+	it.total += snnz
+	it.s++
+	return true
+}
+
+// Panel returns the current panel after a true Next.
+func (it *ShardIter) Panel() Panel { return it.cur }
+
+// Err returns the first error the iteration hit, if any. A stream that
+// ends cleanly but holds fewer entries than its header promised is an
+// error too.
+func (it *ShardIter) Err() error { return it.err }
+
+// Close releases the underlying file when the iterator owns one.
+func (it *ShardIter) Close() error {
+	if it.closer != nil {
+		return it.closer.Close()
+	}
+	return nil
+}

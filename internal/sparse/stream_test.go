@@ -1,0 +1,160 @@
+package sparse
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// collectStream drains an iterator into a full CSR for comparison.
+func collectStream(t *testing.T, it *ShardIter) (*CSR, error) {
+	t.Helper()
+	m, n, _, _ := it.Dims()
+	a := &CSR{M: m, N: n, RowPtr: make([]int64, m+1)}
+	for it.Next() {
+		p := it.Panel()
+		base := int64(len(a.Col))
+		pc, pv := p.A.Col, p.A.Val
+		a.Col = append(a.Col, pc...)
+		a.Val = append(a.Val, pv...)
+		for r := 0; r <= p.A.M; r++ {
+			a.RowPtr[p.RowLo+r] = base + p.A.RowPtr[r]
+		}
+	}
+	return a, it.Err()
+}
+
+func TestShardIterMatchesReadBinary(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 8; trial++ {
+		a := randomCSR(r, 45, 350)
+		for _, shardNNZ := range []int{1, 20, DefaultShardNNZ} {
+			var buf bytes.Buffer
+			if err := WriteBinarySharded(&buf, a, shardNNZ); err != nil {
+				t.Fatal(err)
+			}
+			it, err := NewShardIter(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := collectStream(t, it)
+			if err != nil {
+				t.Fatalf("trial %d shardNNZ=%d: %v", trial, shardNNZ, err)
+			}
+			if !Equal(a, got) {
+				t.Fatalf("trial %d shardNNZ=%d: streamed panels differ from source", trial, shardNNZ)
+			}
+		}
+	}
+}
+
+func TestShardIterPanelsAreValidatedAndBounded(t *testing.T) {
+	r := rand.New(rand.NewSource(37))
+	a := randomCSR(r, 50, 600)
+	var buf bytes.Buffer
+	if err := WriteBinarySharded(&buf, a, 64); err != nil {
+		t.Fatal(err)
+	}
+	it, err := NewShardIter(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevHi, panels := 0, 0
+	for it.Next() {
+		p := it.Panel()
+		if p.RowLo != prevHi {
+			t.Fatalf("panel %d starts at %d, want %d", panels, p.RowLo, prevHi)
+		}
+		if p.A.M != p.RowHi-p.RowLo {
+			t.Fatalf("panel CSR has %d rows for range [%d,%d)", p.A.M, p.RowLo, p.RowHi)
+		}
+		for i := 0; i < p.A.M; i++ {
+			wc, wv := a.Row(p.RowLo + i)
+			gc, gv := p.A.Row(i)
+			if len(gc) != len(wc) {
+				t.Fatalf("panel row %d has %d entries, want %d", p.RowLo+i, len(gc), len(wc))
+			}
+			for k := range gc {
+				if gc[k] != wc[k] || gv[k] != wv[k] {
+					t.Fatalf("panel row %d entry %d differs", p.RowLo+i, k)
+				}
+			}
+		}
+		prevHi = p.RowHi
+		panels++
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if prevHi != a.M || panels < 2 {
+		t.Fatalf("panels cover [0,%d) in %d shards, want [0,%d) in >= 2", prevHi, panels, a.M)
+	}
+}
+
+func TestShardIterRejectsCorrupt(t *testing.T) {
+	valid := validBCSR(t)
+	drain := func(data []byte) error {
+		it, err := NewShardIter(bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
+		for it.Next() {
+		}
+		return it.Err()
+	}
+	if err := drain(valid); err != nil {
+		t.Fatalf("baseline stream must drain cleanly: %v", err)
+	}
+	for _, cut := range []int{1, len(bcsrMagic) + 8, len(valid) / 2, len(valid) - 3} {
+		if err := drain(valid[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted by the stream reader", cut)
+		}
+	}
+	// Bit flips anywhere must surface exactly like ReadBinary.
+	for off := 0; off < len(valid); off += 23 {
+		mut := append([]byte(nil), valid...)
+		mut[off] ^= 0x10
+		if bytes.Equal(mut, valid) {
+			continue
+		}
+		sErr := drain(mut)
+		rErr := readBinaryErr(mut)
+		if (sErr == nil) != (rErr == nil) {
+			t.Errorf("flip at %d: stream err=%v, ReadBinary err=%v", off, sErr, rErr)
+		}
+	}
+}
+
+func TestLoadStreamSniffsAndCloses(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	a := randomCSR(r, 30, 250)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	path := writeTempBCSR(t, buf.Bytes())
+	it, err := LoadStream(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := collectStream(t, it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(a, got) {
+		t.Fatal("LoadStream differs from source")
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// MatrixMarket input is not streamable; the error must say so
+	// rather than pretending the file is corrupt.
+	var mm bytes.Buffer
+	if err := WriteMatrixMarket(&mm, a); err != nil {
+		t.Fatal(err)
+	}
+	mmPath := writeTempBCSR(t, mm.Bytes())
+	if _, err := LoadStream(mmPath); err == nil {
+		t.Fatal("LoadStream accepted MatrixMarket input")
+	}
+}
