@@ -23,18 +23,30 @@
 // travel over the fabric once at startup. The sampled chain is
 // bit-identical either way; -full-load forces the old
 // every-rank-decodes-everything behavior for comparison.
+//
+// With -elastic (plus -ckpt-dir and -ckpt-every), the cluster survives
+// rank failures: a heartbeat detector declares a silent peer dead after
+// -suspicion, the survivors renumber themselves over the remaining
+// addresses, rebuild the partition plan, and resume from the latest
+// sealed checkpoint manifest — producing the same chain, bit for bit, as
+// a clean restart of the smaller cluster from that checkpoint. Recovery
+// handles one failure burst at a time and needs -ckpt-dir on storage all
+// ranks share. -die-rank/-die-iter inject a deterministic self-kill for
+// smoke tests, and -resume-iter pins a restart to a specific manifest.
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"os"
 	"os/exec"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/comm"
@@ -65,10 +77,17 @@ func main() {
 	bufBytes := flag.Int("buffer", dist.DefaultBufferSize, "coalescing buffer bytes")
 	reorder := flag.Bool("reorder", false, "communication-minimizing reordering")
 	testFrac := flag.Float64("test", 0.2, "held-out fraction")
+	elastic := flag.Bool("elastic", false, "survive rank failures: detect dead peers, shrink the cluster, resume from the latest checkpoint")
+	ckptDir := flag.String("ckpt-dir", "", "directory for coordinated checkpoints (must be shared storage across ranks)")
+	ckptEvery := flag.Int("ckpt-every", 0, "checkpoint every N iterations (0 disables)")
+	suspicion := flag.Duration("suspicion", 3*time.Second, "failure-detector timeout: a silent peer is declared dead after this long")
+	resumeIter := flag.Int("resume-iter", 0, "resume from the sealed manifest of this iteration instead of the latest (0 = latest)")
+	dieRank := flag.Int("die-rank", -1, "fault injection: the rank that kills itself (requires -die-iter)")
+	dieIter := flag.Int("die-iter", -1, "fault injection: the iteration after which -die-rank exits")
 	flag.Parse()
 
 	if *launch > 0 {
-		if err := launchLocal(*launch, *basePort); err != nil {
+		if err := launchLocal(*launch, *basePort, *elastic); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -80,6 +99,17 @@ func main() {
 	if *rank < 0 || *rank >= len(addrs) {
 		log.Fatalf("-rank %d outside the %d addresses in -peers", *rank, len(addrs))
 	}
+	if *elastic {
+		if *ckptDir == "" || *ckptEvery <= 0 {
+			log.Fatal("-elastic needs -ckpt-dir and -ckpt-every (recovery resumes from the latest sealed manifest)")
+		}
+		if *reorder {
+			log.Fatal("-elastic is incompatible with -reorder (checkpoints live in the unpermuted index space)")
+		}
+	}
+	if *resumeIter > 0 && *ckptDir == "" {
+		log.Fatal("-resume-iter needs -ckpt-dir")
+	}
 
 	cfg := core.DefaultConfig()
 	cfg.K = *k
@@ -87,10 +117,14 @@ func main() {
 	cfg.Burnin = *burnin
 	cfg.Seed = *seed
 	opt := dist.Options{
-		Ranks:          len(addrs),
-		ThreadsPerRank: *threads,
-		BufferSize:     *bufBytes,
-		Reorder:        *reorder,
+		ThreadsPerRank:  *threads,
+		BufferSize:      *bufBytes,
+		Reorder:         *reorder,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
+	}
+	if *elastic {
+		opt.SuspicionTimeout = *suspicion
 	}
 
 	useShards, err := shardNative(*dataPath, *fullLoad, *reorder)
@@ -98,72 +132,188 @@ func main() {
 		log.Fatal(err)
 	}
 
-	var node *dist.Node
-	var c *comm.Comm
+	// Load whatever is rank-count-independent once; each round (one round,
+	// unless -elastic recovers from failures) rebuilds the plan over the
+	// live rank set.
+	w := &worker{
+		cfg: cfg, opt: opt, testFrac: *testFrac, reorder: *reorder,
+		synthetic: *synthetic, scale: *scale,
+		elastic: *elastic, origRank: *rank, dieRank: *dieRank, dieIter: *dieIter,
+	}
 	if useShards {
 		// Open (and validate) the file before joining the cluster:
 		// OpenBinary checks the header, shard table and framing eagerly,
 		// so a corrupt file fails here instead of wedging the collective
 		// load — and the same mapping then feeds the load itself.
-		mp, err := sparse.OpenBinary(*dataPath)
-		if err != nil {
+		if w.mp, err = sparse.OpenBinary(*dataPath); err != nil {
 			log.Fatal(err)
 		}
-		defer mp.Close()
-		if c, err = comm.DialTCP(*rank, addrs, 30*time.Second); err != nil {
-			log.Fatalf("rank %d: %v", *rank, err)
-		}
-		defer c.Close()
-		sp, err := dist.LoadShards(c, mp, *testFrac, *seed, opt)
-		if err != nil {
-			log.Fatalf("rank %d: %v", *rank, err)
-		}
-		fmt.Printf("rank %d: mapped %d of %d shards (%.2f MB payload + %.2f KB metadata)\n",
-			*rank, sp.Shards, sp.TotalShards,
-			float64(sp.Load.PayloadBytesTouched)/1e6, float64(sp.Load.HeaderBytes)/1e3)
-		node, err = dist.NewNodeLocal(c, cfg, sp.Plan, sp.RT, sp.Test, opt)
-		if err != nil {
-			log.Fatalf("rank %d: %v", *rank, err)
-		}
+		defer w.mp.Close()
 	} else {
-		prob, panels, err := buildProblem(*dataPath, *synthetic, *scale, *testFrac, *seed)
-		if err != nil {
+		if w.prob, w.panels, err = buildProblem(*dataPath, *synthetic, *scale, *testFrac, *seed); err != nil {
 			log.Fatal(err)
-		}
-		var plan *partition.Plan
-		var test []sparse.Entry
-		if panels != nil && !*reorder {
-			// Full-load .bcsr still takes the panel-aligned plan so the
-			// chain matches the shard-native path bit for bit.
-			if plan, test, err = dist.BuildPlanPanels(prob, *panels, opt); err != nil {
-				log.Fatal(err)
-			}
-		} else {
-			plan, test = dist.BuildPlan(prob, opt)
-		}
-		if c, err = comm.DialTCP(*rank, addrs, 30*time.Second); err != nil {
-			log.Fatalf("rank %d: %v", *rank, err)
-		}
-		defer c.Close()
-		if node, err = dist.NewNode(c, cfg, plan, test, opt); err != nil {
-			log.Fatalf("rank %d: %v", *rank, err)
 		}
 	}
 
-	res, stats, err := node.Run()
-	if err != nil {
-		log.Fatalf("rank %d: %v", *rank, err)
+	// live holds the original rank numbers still believed alive, in rank
+	// order; each round renumbers survivors by position. One process can
+	// only be sure of failures its own detector (or a reset connection)
+	// reported, so recovery handles one failure burst at a time — see
+	// PERF.md for the semantics.
+	myOrig := *rank
+	live := make([]int, len(addrs))
+	for i := range live {
+		live[i] = i
 	}
-	if *rank == 0 {
-		for i, r := range res.AvgRMSE {
-			fmt.Printf("iter %3d  RMSE %.6f\n", i+1, r)
+	pin := *resumeIter
+	for {
+		me := -1
+		cur := make([]string, len(live))
+		for i, o := range live {
+			cur[i] = addrs[o]
+			if o == myOrig {
+				me = i
+			}
 		}
-		fmt.Printf("final RMSE %.6f  %.0f updates/s\n", res.FinalRMSE(), res.UpdatesPerSec())
+		res, stats, err := w.round(me, cur, pin)
+		if err == nil {
+			if me == 0 {
+				for i, r := range res.AvgRMSE {
+					fmt.Printf("iter %3d  RMSE %.6f\n", i+1, r)
+				}
+				fmt.Printf("final RMSE %.6f  %.0f updates/s\n", res.FinalRMSE(), res.UpdatesPerSec())
+			}
+			fmt.Printf("rank %d: sent %d items in %d msgs (%d flushes), received %d ghosts, compute %v, wait %v\n",
+				myOrig, stats.ItemsSent, stats.Comm.MsgsSent, stats.Flushes,
+				stats.GhostsRecv, stats.ComputeTime.Round(time.Millisecond),
+				stats.WaitTime.Round(time.Millisecond))
+			return
+		}
+		var rf *comm.RankFailedError
+		if !*elastic || !errors.As(err, &rf) || rf.Rank < 0 || rf.Rank >= len(live) || live[rf.Rank] == myOrig {
+			log.Fatalf("rank %d: %v", myOrig, err)
+		}
+		dead := live[rf.Rank]
+		log.Printf("rank %d: peer rank %d (original rank %d) failed: %v — resuming with %d survivors from the latest checkpoint",
+			myOrig, rf.Rank, dead, rf.Err, len(live)-1)
+		next := make([]int, 0, len(live)-1)
+		for _, o := range live {
+			if o != dead {
+				next = append(next, o)
+			}
+		}
+		live = next
+		pin = 0
+		// Let every survivor unwind, close its sockets, and free its listen
+		// port before the re-dial.
+		time.Sleep(2 * *suspicion)
 	}
-	fmt.Printf("rank %d: sent %d items in %d msgs (%d flushes), received %d ghosts, compute %v, wait %v\n",
-		*rank, stats.ItemsSent, stats.Comm.MsgsSent, stats.Flushes,
-		stats.GhostsRecv, stats.ComputeTime.Round(time.Millisecond),
-		stats.WaitTime.Round(time.Millisecond))
+}
+
+// worker bundles a process's rank-count-independent state; round() runs
+// one attempt over the currently live rank set.
+type worker struct {
+	cfg              core.Config
+	opt              dist.Options // Ranks is overwritten per round
+	mp               *sparse.Mapped
+	prob             *core.Problem
+	panels           *partition.Panels
+	testFrac         float64
+	scale            float64
+	synthetic        string
+	reorder          bool
+	elastic          bool
+	origRank         int
+	dieRank, dieIter int
+}
+
+// round dials the live mesh (renumbered so survivors are 0..len(cur)-1),
+// rebuilds the partition plan over the current rank count, resumes from a
+// sealed checkpoint when one exists, and runs the sampler until it
+// finishes or a peer failure unwinds it.
+func (w *worker) round(me int, cur []string, pin int) (*core.Result, *dist.Stats, error) {
+	opt := w.opt
+	opt.Ranks = len(cur)
+	if w.dieRank == w.origRank && w.dieIter >= 0 {
+		// Deterministic self-kill for fault-injection smoke tests: exit
+		// hard (no cleanup) right after the configured iteration — from
+		// the survivors' side this is indistinguishable from a crash.
+		opt.OnIteration = func(_, iter int) {
+			if iter == w.dieIter {
+				fmt.Fprintf(os.Stderr, "rank %d: injected crash after iteration %d\n", w.origRank, iter)
+				os.Exit(3)
+			}
+		}
+	}
+
+	c, err := comm.DialTCP(me, cur, 30*time.Second)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer c.Close()
+
+	var node *dist.Node
+	var test []sparse.Entry
+	if w.mp != nil {
+		sp, err := dist.LoadShards(c, w.mp, w.testFrac, w.cfg.Seed, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		fmt.Printf("rank %d: mapped %d of %d shards (%.2f MB payload + %.2f KB metadata)\n",
+			w.origRank, sp.Shards, sp.TotalShards,
+			float64(sp.Load.PayloadBytesTouched)/1e6, float64(sp.Load.HeaderBytes)/1e3)
+		if node, err = dist.NewNodeLocal(c, w.cfg, sp.Plan, sp.RT, sp.Test, opt); err != nil {
+			return nil, nil, err
+		}
+		test = sp.Test
+	} else {
+		var plan *partition.Plan
+		if w.panels != nil && !w.reorder {
+			// Full-load .bcsr still takes the panel-aligned plan so the
+			// chain matches the shard-native path bit for bit.
+			if plan, test, err = dist.BuildPlanPanels(w.prob, *w.panels, opt); err != nil {
+				return nil, nil, err
+			}
+		} else {
+			plan, test = dist.BuildPlan(w.prob, opt)
+		}
+		if node, err = dist.NewNode(c, w.cfg, plan, test, opt); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	if opt.CheckpointDir != "" && (w.elastic || pin > 0) {
+		var man *dist.Manifest
+		if pin > 0 {
+			if man, err = dist.ReadManifest(opt.CheckpointDir, pin); err != nil {
+				return nil, nil, err
+			}
+		} else if man, err = dist.LatestManifest(opt.CheckpointDir); err != nil {
+			return nil, nil, err
+		}
+		if man != nil {
+			base, err := dist.LoadDistCheckpoint(opt.CheckpointDir, man, test)
+			if err != nil {
+				return nil, nil, err
+			}
+			if err := node.Resume(base); err != nil {
+				return nil, nil, err
+			}
+			if me == 0 {
+				log.Printf("resuming from the iteration-%d checkpoint (written by %d ranks)", man.Iter, man.Ranks)
+			}
+		}
+	}
+	res, stats, rerr := node.Run()
+	var rf *comm.RankFailedError
+	if w.elastic && errors.As(rerr, &rf) {
+		// Our verdict on the dead rank is in, but peers relying on
+		// heartbeat silence need up to a full suspicion window to convict
+		// the same rank — keep proving we are alive until they have, or
+		// the survivors disagree about who died and cannot re-mesh.
+		comm.Keepalive(c, 0, w.opt.SuspicionTimeout*3/2)
+	}
+	return res, stats, rerr
 }
 
 // shardNative decides whether this run takes the shard-native .bcsr
@@ -214,17 +364,9 @@ func parsePeers(peers string) ([]string, error) {
 	return addrs, nil
 }
 
-// launchLocal forks n worker copies of this binary on localhost ports.
-// If any rank exits with an error, the remaining ranks are killed —
-// a failed collective otherwise leaves the survivors blocked forever
-// on receives that will never arrive.
-func launchLocal(n, basePort int) error {
-	addrs := make([]string, n)
-	for r := 0; r < n; r++ {
-		addrs[r] = fmt.Sprintf("127.0.0.1:%d", basePort+r)
-	}
-	peerList := strings.Join(addrs, ",")
-	// Forward every flag except the launch controls.
+// launchLocal forks n worker copies of this binary on localhost ports,
+// forwarding every set flag except the launch controls.
+func launchLocal(n, basePort int, elastic bool) error {
 	var common []string
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "launch" || f.Name == "baseport" {
@@ -236,7 +378,50 @@ func launchLocal(n, basePort int) error {
 	if err != nil {
 		return err
 	}
+	return launchWorkers(exe, n, basePort, common, elastic, os.Stdout, os.Stderr)
+}
+
+// tailBuffer keeps the last max bytes written through it, so a failed
+// worker's diagnostic survives into the launcher's error even though the
+// full stream already scrolled past on the terminal.
+type tailBuffer struct {
+	mu  sync.Mutex
+	buf []byte
+	max int
+}
+
+func (t *tailBuffer) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.buf = append(t.buf, p...)
+	if len(t.buf) > t.max {
+		t.buf = append(t.buf[:0], t.buf[len(t.buf)-t.max:]...)
+	}
+	return len(p), nil
+}
+
+func (t *tailBuffer) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return strings.TrimSpace(string(t.buf))
+}
+
+// launchWorkers starts n worker processes on consecutive localhost ports
+// and waits for all of them. Without -elastic, the first rank that exits
+// with an error gets the remaining ranks killed — a failed collective
+// otherwise leaves the survivors blocked forever on receives that will
+// never arrive — and the returned error names the failed rank, its exit
+// code, and the tail of its stderr. With -elastic, a worker exit may be
+// an injected death the survivors recover from, so the others run on and
+// the launch fails only when no rank finishes cleanly.
+func launchWorkers(exe string, n, basePort int, common []string, elastic bool, stdout, stderr io.Writer) error {
+	addrs := make([]string, n)
+	for r := 0; r < n; r++ {
+		addrs[r] = fmt.Sprintf("127.0.0.1:%d", basePort+r)
+	}
+	peerList := strings.Join(addrs, ",")
 	procs := make([]*exec.Cmd, 0, n)
+	tails := make([]*tailBuffer, n)
 	killAll := func() {
 		for _, p := range procs {
 			if p.Process != nil {
@@ -252,8 +437,9 @@ func launchLocal(n, basePort int) error {
 	for r := 0; r < n; r++ {
 		args := append([]string{"-rank", strconv.Itoa(r), "-peers", peerList}, common...)
 		cmd := exec.Command(exe, args...)
-		cmd.Stdout = os.Stdout
-		cmd.Stderr = os.Stderr
+		tails[r] = &tailBuffer{max: 4096}
+		cmd.Stdout = stdout
+		cmd.Stderr = io.MultiWriter(stderr, tails[r])
 		if err := cmd.Start(); err != nil {
 			killAll()
 			for range procs {
@@ -266,12 +452,33 @@ func launchLocal(n, basePort int) error {
 		go func() { done <- exit{rr, cmd.Wait()} }()
 	}
 	var firstErr error
+	clean := 0
 	for i := 0; i < n; i++ {
 		e := <-done
-		if e.err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("rank %d: %w (remaining ranks killed)", e.rank, e.err)
+		if e.err == nil {
+			clean++
+			continue
+		}
+		code := -1
+		var ee *exec.ExitError
+		if errors.As(e.err, &ee) {
+			code = ee.ExitCode()
+		}
+		if elastic {
+			fmt.Fprintf(stderr, "bpmf-dist: rank %d exited with code %d (elastic run continues)\n", e.rank, code)
+			continue
+		}
+		if firstErr == nil {
+			msg := fmt.Sprintf("rank %d exited with code %d (remaining ranks killed)", e.rank, code)
+			if tail := tails[e.rank].String(); tail != "" {
+				msg += "\nstderr tail:\n" + tail
+			}
+			firstErr = errors.New(msg)
 			killAll()
 		}
+	}
+	if elastic && clean == 0 && firstErr == nil {
+		firstErr = errors.New("elastic launch: no rank finished cleanly")
 	}
 	return firstErr
 }

@@ -10,6 +10,18 @@ import (
 	"repro/internal/sparse"
 )
 
+// TestMain lets this test binary impersonate a bpmf-dist worker: when the
+// gate variable is set, the process plays a worker that crashes with a
+// diagnostic on stderr instead of running the test suite. launchWorkers
+// re-executes the test binary itself, so no separate build is needed.
+func TestMain(m *testing.M) {
+	if os.Getenv("BPMF_DIST_TEST_WORKER") == "crash" {
+		os.Stderr.WriteString("synthetic worker failure: cannot reach peers\n")
+		os.Exit(7)
+	}
+	os.Exit(m.Run())
+}
+
 func TestParsePeers(t *testing.T) {
 	good := []string{
 		"127.0.0.1:9800",
@@ -140,5 +152,67 @@ func TestShardNativeDecision(t *testing.T) {
 	}
 	if on, err := shardNative("", false, false); err != nil || on {
 		t.Fatalf("synthetic run classified as shard-native (on=%v err=%v)", on, err)
+	}
+}
+
+// TestLaunchWorkersReportsFailedRank pins the launcher's failure report:
+// the error must name the failed rank, its exit code, and carry the tail
+// of its stderr — the three things someone debugging a dead cluster
+// actually needs.
+func TestLaunchWorkersReportsFailedRank(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv("BPMF_DIST_TEST_WORKER", "crash")
+	// tailBuffer doubles as the concurrency-safe sink for both workers'
+	// streams (a plain bytes.Buffer would race between the pipe copiers).
+	stdout, stderr := &tailBuffer{max: 1 << 20}, &tailBuffer{max: 1 << 20}
+	lerr := launchWorkers(exe, 2, 19840, nil, false, stdout, stderr)
+	if lerr == nil {
+		t.Fatal("a crashing worker must fail the launch")
+	}
+	msg := lerr.Error()
+	if !strings.Contains(msg, "rank 0") && !strings.Contains(msg, "rank 1") {
+		t.Fatalf("error does not name the failed rank: %q", msg)
+	}
+	if !strings.Contains(msg, "exited with code 7") {
+		t.Fatalf("error does not name the exit code: %q", msg)
+	}
+	if !strings.Contains(msg, "synthetic worker failure: cannot reach peers") {
+		t.Fatalf("error does not carry the worker's stderr tail: %q", msg)
+	}
+}
+
+// TestLaunchWorkersElasticNoCleanFinish pins the elastic launch's only
+// failure condition: worker exits are tolerated (they may be injected
+// deaths the survivors recover from), but a run where no rank finishes
+// cleanly is still an error.
+func TestLaunchWorkersElasticNoCleanFinish(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv("BPMF_DIST_TEST_WORKER", "crash")
+	stdout, stderr := &tailBuffer{max: 1 << 20}, &tailBuffer{max: 1 << 20}
+	lerr := launchWorkers(exe, 2, 19850, nil, true, stdout, stderr)
+	if lerr == nil {
+		t.Fatal("an elastic launch where every rank crashed must fail")
+	}
+	if !strings.Contains(lerr.Error(), "no rank finished cleanly") {
+		t.Fatalf("got %q", lerr)
+	}
+	if !strings.Contains(stderr.String(), "elastic run continues") {
+		t.Fatalf("per-rank exits were not reported: %q", stderr.String())
+	}
+}
+
+func TestTailBufferKeepsTail(t *testing.T) {
+	tb := &tailBuffer{max: 8}
+	if _, err := tb.Write([]byte("0123456789abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.String(); got != "89abcdef" {
+		t.Fatalf("tail %q, want the last 8 bytes", got)
 	}
 }

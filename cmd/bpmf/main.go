@@ -12,12 +12,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
-	"os"
-	"path/filepath"
 	"strings"
 
 	"repro"
+	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/sparse"
 )
@@ -95,20 +95,13 @@ func train(data *bpmf.Data, cfg bpmf.Config, ckptOut string) (*bpmf.Result, erro
 		// the parallelism the user asked for.
 		fmt.Printf("checkpoint requested: training with the sequential reference sampler (same chain; -engine %s and -threads ignored)\n", cfg.Engine)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(ckptOut), filepath.Base(ckptOut)+".tmp*")
+	var res *bpmf.Result
+	err := core.WriteCheckpointFile(ckptOut, func(w io.Writer) error {
+		var trainErr error
+		res, trainErr = bpmf.TrainWithCheckpoint(data, cfg, w)
+		return trainErr
+	})
 	if err != nil {
-		return nil, err
-	}
-	defer os.Remove(tmp.Name())
-	res, err := bpmf.TrainWithCheckpoint(data, cfg, tmp)
-	if err != nil {
-		tmp.Close()
-		return nil, err
-	}
-	if err := tmp.Close(); err != nil {
-		return nil, err
-	}
-	if err := os.Rename(tmp.Name(), ckptOut); err != nil {
 		return nil, err
 	}
 	fmt.Printf("checkpoint written to %s\n", ckptOut)

@@ -23,27 +23,35 @@ func NewCoalescer(c *Comm, dst, tag, maxSize int) *Coalescer {
 
 // Append adds one record; if the buffer would exceed its capacity the
 // current contents are flushed first, so a record is never split across
-// messages.
-func (b *Coalescer) Append(record []byte) {
+// messages. A send failure (dead destination) surfaces as an error; the
+// record is still buffered, so accounting stays consistent while the
+// caller unwinds.
+func (b *Coalescer) Append(record []byte) error {
 	if b.maxSize > 0 && len(b.buf)+len(record) > b.maxSize && len(b.buf) > 0 {
-		b.Flush()
+		if err := b.Flush(); err != nil {
+			return err
+		}
 	}
 	b.buf = append(b.buf, record...)
 	b.records++
 	if b.maxSize <= 0 {
-		b.Flush()
+		return b.Flush()
 	}
+	return nil
 }
 
 // Flush sends the buffered records (if any) as a single message.
-func (b *Coalescer) Flush() {
+func (b *Coalescer) Flush() error {
 	if len(b.buf) == 0 {
-		return
+		return nil
 	}
 	data := b.buf
 	b.buf = nil
-	b.c.Isend(b.dst, b.tag, data)
+	if err := b.c.SendE(b.dst, b.tag, data); err != nil {
+		return err
+	}
 	b.flushes++
+	return nil
 }
 
 // Flushes returns how many messages this buffer has produced.

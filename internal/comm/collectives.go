@@ -2,32 +2,61 @@ package comm
 
 import (
 	"encoding/binary"
+	"fmt"
 	"math"
 )
+
+// The collectives come in two flavors: the error-returning E variants,
+// which unwind cleanly when a peer dies mid-operation (the failure
+// detector fails the endpoint, waking every blocked receive), and the
+// original panicking wrappers, kept for SPMD code that treats any
+// communication failure as fatal. Both run the identical algorithms —
+// the wrappers delegate — so their results are bit-identical.
 
 // Barrier blocks until every rank has entered it (dissemination
 // algorithm: ⌈log₂ P⌉ rounds of pairwise signals).
 func (c *Comm) Barrier() {
+	if err := c.BarrierE(); err != nil {
+		panic(fmt.Sprintf("comm: Barrier rank %d: %v", c.rank, err))
+	}
+}
+
+// BarrierE is Barrier returning an error when a peer fails mid-barrier.
+func (c *Comm) BarrierE() error {
 	tag := c.nextCollTag()
 	p := c.size
 	if p == 1 {
-		return
+		return nil
 	}
 	for k := 1; k < p; k <<= 1 {
 		dst := (c.rank + k) % p
 		src := (c.rank - k + p) % p
-		c.Send(dst, tag, nil)
-		c.Recv(src, tag)
+		if err := c.SendE(dst, tag, nil); err != nil {
+			return err
+		}
+		if _, err := c.RecvE(src, tag); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // Bcast distributes root's data to all ranks and returns each rank's copy
 // (binomial tree).
 func (c *Comm) Bcast(root int, data []byte) []byte {
+	out, err := c.BcastE(root, data)
+	if err != nil {
+		panic(fmt.Sprintf("comm: Bcast rank %d: %v", c.rank, err))
+	}
+	return out
+}
+
+// BcastE is Bcast returning an error when a peer fails mid-broadcast.
+func (c *Comm) BcastE(root int, data []byte) ([]byte, error) {
 	tag := c.nextCollTag()
 	p := c.size
 	if p == 1 {
-		return data
+		return data, nil
 	}
 	// Re-root the rank space so root behaves as virtual rank 0, then run
 	// the standard binomial tree: receive once from (vr − lowest set bit),
@@ -36,7 +65,10 @@ func (c *Comm) Bcast(root int, data []byte) []byte {
 	mask := 1
 	for mask < p {
 		if vr&mask != 0 {
-			m := c.Recv((vr-mask+root)%p, tag)
+			m, err := c.RecvE((vr-mask+root)%p, tag)
+			if err != nil {
+				return nil, err
+			}
 			data = m.Data
 			break
 		}
@@ -45,23 +77,34 @@ func (c *Comm) Bcast(root int, data []byte) []byte {
 	mask >>= 1
 	for mask > 0 {
 		if vr+mask < p {
-			c.Send((vr+mask+root)%p, tag, data)
+			if err := c.SendE((vr+mask+root)%p, tag, data); err != nil {
+				return nil, err
+			}
 		}
 		mask >>= 1
 	}
-	return data
+	return data, nil
 }
 
 // Allgather collects every rank's blob; the result slice is indexed by
 // rank. Implemented as a ring so each rank sends P-1 messages of its own
 // size.
 func (c *Comm) Allgather(mine []byte) [][]byte {
+	out, err := c.AllgatherE(mine)
+	if err != nil {
+		panic(fmt.Sprintf("comm: Allgather rank %d: %v", c.rank, err))
+	}
+	return out
+}
+
+// AllgatherE is Allgather returning an error when a peer fails mid-ring.
+func (c *Comm) AllgatherE(mine []byte) ([][]byte, error) {
 	tag := c.nextCollTag()
 	p := c.size
 	out := make([][]byte, p)
 	out[c.rank] = mine
 	if p == 1 {
-		return out
+		return out, nil
 	}
 	right := (c.rank + 1) % p
 	left := (c.rank - 1 + p) % p
@@ -70,12 +113,17 @@ func (c *Comm) Allgather(mine []byte) [][]byte {
 	for step := 0; step < p-1; step++ {
 		// Send the block we most recently received, pull a new one from
 		// the left (classic allgather ring).
-		c.Send(right, tag, appendOwner(cur, curOwner))
-		m := c.Recv(left, tag)
+		if err := c.SendE(right, tag, appendOwner(cur, curOwner)); err != nil {
+			return nil, err
+		}
+		m, err := c.RecvE(left, tag)
+		if err != nil {
+			return nil, err
+		}
 		cur, curOwner = splitOwner(m.Data)
 		out[curOwner] = cur
 	}
-	return out
+	return out, nil
 }
 
 func appendOwner(b []byte, owner int) []byte {
@@ -96,18 +144,31 @@ func splitOwner(b []byte) ([]byte, int) {
 // message timing. This is the deterministic reduction the distributed
 // hyperparameter sampling uses (DESIGN.md decision 6).
 func (c *Comm) AllreduceSumOrdered(mine []float64) []float64 {
-	blobs := c.Allgather(encodeFloat64s(mine))
+	out, err := c.AllreduceSumOrderedE(mine)
+	if err != nil {
+		panic(fmt.Sprintf("comm: AllreduceSumOrdered rank %d: %v", c.rank, err))
+	}
+	return out
+}
+
+// AllreduceSumOrderedE is AllreduceSumOrdered returning an error when a
+// peer fails mid-reduction (or the partial lengths disagree).
+func (c *Comm) AllreduceSumOrderedE(mine []float64) ([]float64, error) {
+	blobs, err := c.AllgatherE(encodeFloat64s(mine))
+	if err != nil {
+		return nil, err
+	}
 	out := make([]float64, len(mine))
 	for r := 0; r < c.size; r++ {
 		vals := decodeFloat64s(blobs[r])
 		if len(vals) != len(out) {
-			panic("comm: allreduce length mismatch across ranks")
+			return nil, fmt.Errorf("allreduce length mismatch across ranks (%d vs %d)", len(vals), len(out))
 		}
 		for i, v := range vals {
 			out[i] += v
 		}
 	}
-	return out
+	return out, nil
 }
 
 // AllreduceSumTree sums per-rank float64 vectors with recursive doubling:
@@ -116,11 +177,21 @@ func (c *Comm) AllreduceSumOrdered(mine []float64) []float64 {
 // cross-P reproducibility is not required; the ablation benchmark
 // compares both.
 func (c *Comm) AllreduceSumTree(mine []float64) []float64 {
+	out, err := c.AllreduceSumTreeE(mine)
+	if err != nil {
+		panic(fmt.Sprintf("comm: AllreduceSumTree rank %d: %v", c.rank, err))
+	}
+	return out
+}
+
+// AllreduceSumTreeE is AllreduceSumTree returning an error when a peer
+// fails mid-reduction.
+func (c *Comm) AllreduceSumTreeE(mine []float64) ([]float64, error) {
 	tag := c.nextCollTag()
 	p := c.size
 	acc := append([]float64(nil), mine...)
 	if p == 1 {
-		return acc
+		return acc, nil
 	}
 	// Recursive doubling for power-of-two counts; fold the remainder into
 	// the nearest lower power of two first.
@@ -132,33 +203,53 @@ func (c *Comm) AllreduceSumTree(mine []float64) []float64 {
 	// Extra ranks fold their data into partner (rank − pow) and receive
 	// the final result from it afterwards.
 	if c.rank >= pow {
-		c.Send(c.rank-pow, tag, encodeFloat64s(acc))
-		m := c.Recv(c.rank-pow, tag)
-		return decodeFloat64s(m.Data)
+		if err := c.SendE(c.rank-pow, tag, encodeFloat64s(acc)); err != nil {
+			return nil, err
+		}
+		m, err := c.RecvE(c.rank-pow, tag)
+		if err != nil {
+			return nil, err
+		}
+		return decodeFloat64s(m.Data), nil
 	}
 	if c.rank < rem {
-		m := c.Recv(c.rank+pow, tag)
-		addInto(acc, decodeFloat64s(m.Data))
+		m, err := c.RecvE(c.rank+pow, tag)
+		if err != nil {
+			return nil, err
+		}
+		if err := addInto(acc, decodeFloat64s(m.Data)); err != nil {
+			return nil, err
+		}
 	}
 	for k := 1; k < pow; k <<= 1 {
 		partner := c.rank ^ k
-		c.Send(partner, tag, encodeFloat64s(acc))
-		m := c.Recv(partner, tag)
-		addInto(acc, decodeFloat64s(m.Data))
+		if err := c.SendE(partner, tag, encodeFloat64s(acc)); err != nil {
+			return nil, err
+		}
+		m, err := c.RecvE(partner, tag)
+		if err != nil {
+			return nil, err
+		}
+		if err := addInto(acc, decodeFloat64s(m.Data)); err != nil {
+			return nil, err
+		}
 	}
 	if c.rank < rem {
-		c.Send(c.rank+pow, tag, encodeFloat64s(acc))
+		if err := c.SendE(c.rank+pow, tag, encodeFloat64s(acc)); err != nil {
+			return nil, err
+		}
 	}
-	return acc
+	return acc, nil
 }
 
-func addInto(dst, src []float64) {
+func addInto(dst, src []float64) error {
 	if len(dst) != len(src) {
-		panic("comm: allreduce length mismatch across ranks")
+		return fmt.Errorf("allreduce length mismatch across ranks (%d vs %d)", len(src), len(dst))
 	}
 	for i, v := range src {
 		dst[i] += v
 	}
+	return nil
 }
 
 // encodeFloat64s serializes a float64 slice little-endian.

@@ -18,8 +18,10 @@
 package comm
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // AnySource matches messages from any rank in Recv/Irecv.
@@ -58,9 +60,19 @@ type Comm struct {
 	closed  bool
 	collSeq uint64 // collective sequence number (advances identically on all ranks)
 
+	// failErr is the endpoint's terminal error (a detected peer failure or
+	// transport corruption); failCh is closed when it is set, waking every
+	// blocked error-returning receive.
+	failErr error
+	failCh  chan struct{}
+
 	// Stats for instrumentation (bytes and message counts sent/received).
 	stats Stats
 }
+
+// ErrRecvTimeout is returned by RecvTimeout when no matching message
+// arrives within the deadline (and the endpoint has not failed).
+var ErrRecvTimeout = errors.New("comm: receive timed out")
 
 // Stats counts traffic through an endpoint.
 type Stats struct {
@@ -75,7 +87,27 @@ type waiter struct {
 
 // newComm builds an endpoint; transports call deliver for arrivals.
 func newComm(rank, size int) *Comm {
-	return &Comm{rank: rank, size: size}
+	return &Comm{rank: rank, size: size, failCh: make(chan struct{})}
+}
+
+// Fail marks the endpoint as failed: every blocked and future
+// error-returning operation observes err. The first error wins;
+// subsequent calls are no-ops. Transports and the failure detector call
+// this when a peer dies; it never fires on a healthy endpoint.
+func (c *Comm) Fail(err error) {
+	c.mu.Lock()
+	if c.failErr == nil && err != nil {
+		c.failErr = err
+		close(c.failCh)
+	}
+	c.mu.Unlock()
+}
+
+// Err returns the endpoint's terminal error, or nil while it is healthy.
+func (c *Comm) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failErr
 }
 
 // Rank returns this endpoint's rank in [0, Size).
@@ -170,11 +202,28 @@ func (c *Comm) Send(dst, tag int, data []byte) {
 	}
 }
 
+// SendE is Send returning an error instead of panicking: a closed or
+// failed endpoint, an invalid destination, and transport errors all
+// surface to the caller. The fault-tolerant engine paths use this so a
+// dead peer unwinds the rank instead of crashing the process.
+func (c *Comm) SendE(dst, tag int, data []byte) error {
+	return c.send(dst, tag, data)
+}
+
 func (c *Comm) send(dst, tag int, data []byte) error {
 	if dst < 0 || dst >= c.size {
 		return fmt.Errorf("invalid destination rank %d (size %d)", dst, c.size)
 	}
 	c.mu.Lock()
+	if c.failErr != nil {
+		err := c.failErr
+		c.mu.Unlock()
+		return err
+	}
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("endpoint closed")
+	}
 	c.stats.MsgsSent++
 	c.stats.BytesSent += int64(len(data))
 	tr := c.tr
@@ -194,21 +243,99 @@ func (c *Comm) Recv(src, tag int) Message {
 // Irecv posts a non-blocking receive for (src, tag) and returns its
 // request handle.
 func (c *Comm) Irecv(src, tag int) *Request {
+	m, w := c.postRecv(src, tag)
+	if w == nil {
+		r := &Request{ch: make(chan Message, 1)}
+		r.msg = &m
+		return r
+	}
+	return &Request{ch: w.ch}
+}
+
+// postRecv matches an already-pending message (FIFO per pair) or
+// registers a waiter for (src, tag). Exactly one of the returns is
+// meaningful: a matched message when w == nil, else the posted waiter.
+func (c *Comm) postRecv(src, tag int) (Message, *waiter) {
 	c.mu.Lock()
-	// Match an already-pending message first (FIFO per pair).
 	for i, m := range c.pending {
 		if (src == AnySource || src == m.Src) && tag == m.Tag {
 			c.pending = append(c.pending[:i], c.pending[i+1:]...)
 			c.mu.Unlock()
-			r := &Request{ch: make(chan Message, 1)}
-			r.msg = &m
-			return r
+			return m, nil
 		}
 	}
 	w := &waiter{src: src, tag: tag, ch: make(chan Message, 1)}
 	c.waiters = append(c.waiters, w)
 	c.mu.Unlock()
-	return &Request{ch: w.ch}
+	return Message{}, w
+}
+
+// cancelWaiter removes a posted waiter. If delivery already claimed it,
+// the in-flight message is collected and returned instead (the waiter's
+// channel has capacity 1 and deliver commits to it right after removing
+// the waiter under the lock, so this wait is bounded).
+func (c *Comm) cancelWaiter(w *waiter) (Message, bool) {
+	c.mu.Lock()
+	for i, cand := range c.waiters {
+		if cand == w {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			c.mu.Unlock()
+			return Message{}, false
+		}
+	}
+	c.mu.Unlock()
+	return <-w.ch, true
+}
+
+// RecvE blocks until a message with the given tag arrives from src, or
+// the endpoint fails (a peer death detected by the heartbeat detector, a
+// transport-level corruption). A message already matched when the
+// failure fires is still delivered.
+func (c *Comm) RecvE(src, tag int) (Message, error) {
+	if err := c.Err(); err != nil {
+		return Message{}, err
+	}
+	m, w := c.postRecv(src, tag)
+	if w == nil {
+		return m, nil
+	}
+	select {
+	case m := <-w.ch:
+		return m, nil
+	case <-c.failCh:
+		if m, ok := c.cancelWaiter(w); ok {
+			return m, nil
+		}
+		return Message{}, c.Err()
+	}
+}
+
+// RecvTimeout is RecvE with a per-operation deadline: it returns
+// ErrRecvTimeout when no matching message arrives within d.
+func (c *Comm) RecvTimeout(src, tag int, d time.Duration) (Message, error) {
+	if err := c.Err(); err != nil {
+		return Message{}, err
+	}
+	m, w := c.postRecv(src, tag)
+	if w == nil {
+		return m, nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case m := <-w.ch:
+		return m, nil
+	case <-c.failCh:
+		if m, ok := c.cancelWaiter(w); ok {
+			return m, nil
+		}
+		return Message{}, c.Err()
+	case <-timer.C:
+		if m, ok := c.cancelWaiter(w); ok {
+			return m, nil
+		}
+		return Message{}, ErrRecvTimeout
+	}
 }
 
 // Probe reports whether a message matching (src, tag) is waiting.

@@ -1,0 +1,164 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// FaultFabric wraps an in-process fabric with deterministic fault
+// injection: it can kill ranks, sever links, and drop or duplicate
+// messages at seeded, reproducible points. It exists so every recovery
+// path of the fault-tolerant engine is exercised in `go test -race`
+// rather than only in production:
+//
+//   - Kill(r) makes rank r behave like a crashed process: its endpoint
+//     fails (every blocked operation returns a RankFailedError) and all
+//     its traffic — inbound and outbound — is silently dropped, exactly
+//     the silence a dead TCP peer produces. Survivors notice only
+//     through the failure detector's suspicion timeout.
+//   - Sever(a, b) cuts one link in both directions (a partitioned
+//     switch), leaving both endpoints alive.
+//   - SetLoss(drop, dup) injects per-message loss and duplication from a
+//     per-sender seeded stream. Reproducible as long as each rank's send
+//     sequence is deterministic (single-threaded senders, no heartbeat
+//     detector racing the sends).
+type FaultFabric struct {
+	inner *Fabric
+	comms []*Comm
+	orig  []Transport
+	rngs  []*rng.Stream
+
+	mu        sync.Mutex
+	killed    []bool
+	severed   map[[2]int]bool
+	drop, dup float64
+}
+
+// faultTransport filters one rank's sends through the fault rules.
+type faultTransport struct {
+	f    *FaultFabric
+	rank int
+}
+
+// NewFaultFabric builds a virtual cluster whose faults are injected
+// deterministically from seed.
+func NewFaultFabric(size int, seed uint64) *FaultFabric {
+	inner := NewFabric(size)
+	ff := &FaultFabric{
+		inner:   inner,
+		comms:   make([]*Comm, size),
+		orig:    make([]Transport, size),
+		rngs:    make([]*rng.Stream, size),
+		killed:  make([]bool, size),
+		severed: map[[2]int]bool{},
+	}
+	for r := 0; r < size; r++ {
+		c := inner.Comms()[r]
+		ff.rngs[r] = rng.NewKeyed(seed, 0xfa17, uint64(r))
+		c.mu.Lock()
+		ff.orig[r] = c.tr
+		c.tr = &faultTransport{f: ff, rank: r}
+		c.mu.Unlock()
+		ff.comms[r] = c
+	}
+	return ff
+}
+
+// Comms returns the per-rank communicators.
+func (ff *FaultFabric) Comms() []*Comm { return ff.comms }
+
+// SetLoss configures per-message drop and duplication probabilities
+// (evaluated in that order from each sender's seeded stream).
+func (ff *FaultFabric) SetLoss(drop, dup float64) {
+	ff.mu.Lock()
+	ff.drop, ff.dup = drop, dup
+	ff.mu.Unlock()
+}
+
+// Sever cuts the (a, b) link in both directions; both ranks stay alive.
+func (ff *FaultFabric) Sever(a, b int) {
+	if a > b {
+		a, b = b, a
+	}
+	ff.mu.Lock()
+	ff.severed[[2]int{a, b}] = true
+	ff.mu.Unlock()
+}
+
+// Kill makes rank r a crashed process: its endpoint fails immediately
+// and all its traffic is dropped from now on. Idempotent.
+func (ff *FaultFabric) Kill(r int) {
+	ff.mu.Lock()
+	if ff.killed[r] {
+		ff.mu.Unlock()
+		return
+	}
+	ff.killed[r] = true
+	ff.mu.Unlock()
+	ff.comms[r].Fail(&RankFailedError{Rank: r, Err: errors.New("killed by fault fabric")})
+}
+
+// Killed returns the ranks killed so far, in rank order.
+func (ff *FaultFabric) Killed() []int {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	var out []int
+	for r, k := range ff.killed {
+		if k {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Close tears down the underlying fabric. Call only after all surviving
+// ranks have finished communicating.
+func (ff *FaultFabric) Close() { ff.inner.Close() }
+
+// Send implements Transport with the fault rules applied.
+func (t *faultTransport) Send(dst, tag int, data []byte) error {
+	ff := t.f
+	lo, hi := t.rank, dst
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	ff.mu.Lock()
+	if ff.killed[t.rank] {
+		ff.mu.Unlock()
+		return fmt.Errorf("rank %d is killed", t.rank)
+	}
+	if ff.killed[dst] || ff.severed[[2]int{lo, hi}] {
+		// A dead peer or a cut link swallows the bytes silently — the
+		// sender's local send "succeeds", as with a one-way TCP partition.
+		ff.mu.Unlock()
+		return nil
+	}
+	copies := 1
+	if ff.drop > 0 || ff.dup > 0 {
+		x := ff.rngs[t.rank].Float64()
+		switch {
+		case x < ff.drop:
+			copies = 0
+		case x < ff.drop+ff.dup:
+			copies = 2
+		}
+	}
+	orig := ff.orig[t.rank]
+	ff.mu.Unlock()
+	for i := 0; i < copies; i++ {
+		payload := data
+		if i > 0 {
+			payload = append([]byte(nil), data...)
+		}
+		if err := orig.Send(dst, tag, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close implements Transport per endpoint (no-op; close the fabric).
+func (t *faultTransport) Close() error { return nil }

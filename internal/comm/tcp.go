@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -82,6 +83,9 @@ func DialTCP(rank int, addrs []string, timeout time.Duration) (*Comm, error) {
 				mu.Unlock()
 				return
 			}
+			// A dialer that connects but never sends its hello must not
+			// stall the accept loop past the overall deadline.
+			conn.SetReadDeadline(deadline)
 			var hello [4]byte
 			if _, err := io.ReadFull(conn, hello[:]); err != nil {
 				mu.Lock()
@@ -92,6 +96,7 @@ func DialTCP(rank int, addrs []string, timeout time.Duration) (*Comm, error) {
 				conn.Close()
 				return
 			}
+			conn.SetReadDeadline(time.Time{})
 			peer := int(binary.LittleEndian.Uint32(hello[:]))
 			mu.Lock()
 			if peer < 0 || peer >= size || t.conns[peer] != nil {
@@ -114,13 +119,14 @@ func DialTCP(rank int, addrs []string, timeout time.Duration) (*Comm, error) {
 		go func() {
 			defer wg.Done()
 			var conn net.Conn
-			var err error
-			for time.Now().Before(deadline) {
+			err := fmt.Errorf("deadline elapsed before first dial attempt")
+			jitter := rand.New(rand.NewSource(int64(rank)<<16 | int64(peer)))
+			for attempt := 0; time.Now().Before(deadline); attempt++ {
 				conn, err = net.DialTimeout("tcp", addrs[peer], time.Second)
 				if err == nil {
 					break
 				}
-				time.Sleep(50 * time.Millisecond)
+				time.Sleep(dialBackoff(attempt, jitter))
 			}
 			if err != nil {
 				mu.Lock()
@@ -132,6 +138,9 @@ func DialTCP(rank int, addrs []string, timeout time.Duration) (*Comm, error) {
 			}
 			var hello [4]byte
 			binary.LittleEndian.PutUint32(hello[:], uint32(rank))
+			// A hung accept queue must not stall the hello write past the
+			// overall deadline.
+			conn.SetWriteDeadline(deadline)
 			if _, err := conn.Write(hello[:]); err != nil {
 				mu.Lock()
 				if firstErr == nil {
@@ -141,6 +150,7 @@ func DialTCP(rank int, addrs []string, timeout time.Duration) (*Comm, error) {
 				conn.Close()
 				return
 			}
+			conn.SetWriteDeadline(time.Time{})
 			mu.Lock()
 			t.conns[peer] = conn
 			mu.Unlock()
@@ -194,7 +204,12 @@ func (t *tcpTransport) writer(peer int) {
 	conn := t.conns[peer]
 	for frame := range t.sendQ[peer] {
 		if _, err := conn.Write(frame); err != nil {
-			return // connection torn down
+			// The connection is gone. Keep draining the queue so senders
+			// (and Close) never block behind a dead peer — the reader on
+			// this conn fails the endpoint, which is what stops the run.
+			for range t.sendQ[peer] {
+			}
+			return
 		}
 	}
 }
@@ -205,17 +220,43 @@ func (t *tcpTransport) reader(peer int) {
 	var hdr [12]byte
 	for {
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			// EOF at a frame boundary is a clean shutdown (the peer
+			// finished and closed). Anything else — a mid-header
+			// truncation, a reset — means the peer died or the stream is
+			// corrupt: fail the endpoint so blocked receives unwind.
+			if err != io.EOF && !t.isClosed() {
+				t.c.Fail(&RankFailedError{Rank: peer, Err: fmt.Errorf("reading frame header: %w", err)})
+			}
 			return
 		}
 		n := binary.LittleEndian.Uint32(hdr[0:])
 		src := int(binary.LittleEndian.Uint32(hdr[4:]))
 		tag := int(binary.LittleEndian.Uint32(hdr[8:]))
 		data := make([]byte, n)
-		if _, err := io.ReadFull(conn, data); err != nil {
+		if got, err := io.ReadFull(conn, data); err != nil {
+			// A frame header without its payload is always a truncation.
+			if !t.isClosed() {
+				t.c.Fail(&RankFailedError{Rank: peer, Err: fmt.Errorf("frame truncated mid-message (%d of %d payload bytes): %w",
+					got, n, err)})
+			}
 			return
 		}
 		t.c.deliver(Message{Src: src, Tag: tag, Data: data})
 	}
+}
+
+func (t *tcpTransport) isClosed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closed
+}
+
+// dialBackoff returns the sleep before retry attempt+1: exponential from
+// 10 ms doubling to a 640 ms cap, with up to 50% additive jitter so a
+// gang-started cluster doesn't hammer a slow listener in lockstep.
+func dialBackoff(attempt int, jitter *rand.Rand) time.Duration {
+	base := 10 * time.Millisecond << uint(min(attempt, 6))
+	return base + time.Duration(jitter.Int63n(int64(base)/2+1))
 }
 
 // Close tears the mesh down: queued frames are flushed to the wire before

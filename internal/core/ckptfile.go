@@ -1,0 +1,35 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteCheckpointFile writes a checkpoint (or any durability-critical
+// file) atomically: the payload goes to a temp file in the target's
+// directory and is renamed into place only after a successful write and
+// close. A reader — a bpmf-serve watcher, a recovering rank scanning for
+// manifests — therefore never observes a torn or half-written file: the
+// target either holds its previous contents or the complete new ones.
+// On any error the target is left untouched and the temp file removed.
+func WriteCheckpointFile(path string, write func(w io.Writer) error) error {
+	dir, base := filepath.Dir(path), filepath.Base(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	return nil
+}

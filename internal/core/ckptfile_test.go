@@ -1,0 +1,78 @@
+package core
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteCheckpointFileRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.bin")
+	if err := WriteCheckpointFile(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("payload-v1"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "payload-v1" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+// TestWriteCheckpointFileCrashMidWrite simulates a writer dying halfway
+// through: the target must keep its previous contents — a torn
+// checkpoint must never become visible under the target name — and the
+// temp file must not linger.
+func TestWriteCheckpointFileCrashMidWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.bin")
+	if err := WriteCheckpointFile(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("good-checkpoint"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("simulated crash mid-write")
+	err := WriteCheckpointFile(path, func(w io.Writer) error {
+		if _, err := w.Write([]byte("torn-")); err != nil {
+			return err
+		}
+		return boom // die after a partial write
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want the simulated crash", err)
+	}
+
+	got, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(got) != "good-checkpoint" {
+		t.Fatalf("target holds %q after failed write, want the previous contents", got)
+	}
+	entries, derr := os.ReadDir(dir)
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	if len(entries) != 1 || entries[0].Name() != "ckpt.bin" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory holds %v, want only the target (no temp residue)", names)
+	}
+}
+
+func TestWriteCheckpointFileMissingDir(t *testing.T) {
+	err := WriteCheckpointFile(filepath.Join(t.TempDir(), "no", "such", "dir", "x"), func(io.Writer) error { return nil })
+	if err == nil {
+		t.Fatal("writing into a missing directory must error")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/la"
@@ -84,6 +85,26 @@ func (p *Predictor) Intervals() []Interval {
 		}
 	}
 	return out
+}
+
+// Snapshot exposes the running posterior accumulators for checkpointing:
+// the per-entry prediction sums, squared sums, and the sample count. The
+// returned slices alias internal state — copy before mutating.
+func (p *Predictor) Snapshot() (sum, sumSq []float64, nSamples int) {
+	return p.sum, p.sumSq, p.nSamples
+}
+
+// Restore overwrites the running accumulators from a checkpoint. The
+// slices must match this predictor's test-set length.
+func (p *Predictor) Restore(sum, sumSq []float64, nSamples int) error {
+	if len(sum) != len(p.Test) || len(sumSq) != len(p.Test) {
+		return fmt.Errorf("predictor restore: accumulator length %d/%d, test set %d",
+			len(sum), len(sumSq), len(p.Test))
+	}
+	copy(p.sum, sum)
+	copy(p.sumSq, sumSq)
+	p.nSamples = nSamples
+	return nil
 }
 
 // clamp applies the configured rating-range clip.

@@ -1,0 +1,274 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/la"
+	"repro/internal/sparse"
+)
+
+// ckpt.go is the distributed checkpoint plane: every rank periodically
+// writes its *owned* slice of the chain state as a fragment (the
+// sequential core.Checkpoint format over the owned rows/columns and the
+// locally owned test accumulators), then rank 0 seals the round with a
+// JSON manifest naming the fragments. Both writes are temp-file +
+// atomic-rename (core.WriteCheckpointFile) and the manifest is written
+// only after a barrier confirms every fragment is durable — so the
+// directory never holds a manifest whose fragments are torn or missing,
+// and a recovering cluster can always trust the latest manifest it
+// finds. Recovery reassembles the fragments into one global
+// core.Checkpoint; any rank count can resume from it, because the
+// fragments are sliced by the *manifest's* ownership bounds, not the
+// resuming run's.
+
+// Manifest seals one coordinated checkpoint round.
+type Manifest struct {
+	// Iter is the first iteration a resumed run executes (the round was
+	// written after iteration Iter-1 completed).
+	Iter  int
+	K     int
+	Ranks int
+	Seed  uint64
+	M, N  int
+	// RowBounds/ColBounds are the ownership bounds the fragments were
+	// sliced by (len Ranks+1 each).
+	RowBounds, ColBounds []int
+	// BaseKernelCounts carries the kernel tallies of all chain segments
+	// *before* the run that wrote this round, so counts survive chained
+	// recoveries: the fragments hold only their own run's live tallies.
+	BaseKernelCounts [3]int64
+	// Fragments names the per-rank fragment files, indexed by rank,
+	// relative to the manifest's directory.
+	Fragments []string
+}
+
+func manifestName(iter int) string { return fmt.Sprintf("manifest-iter%06d.json", iter) }
+
+func fragmentName(iter, rank, ranks int) string {
+	return fmt.Sprintf("ckpt-iter%06d-rank%d-of%d.frag", iter, rank, ranks)
+}
+
+// ReadManifest loads the sealed manifest of one specific iteration —
+// for pinning a resume to a known round instead of the latest.
+func ReadManifest(dir string, iter int) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName(iter)))
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("dist: manifest for iter %d: %w", iter, err)
+	}
+	return &m, nil
+}
+
+// LatestManifest scans dir for sealed checkpoint manifests and returns
+// the one with the highest iteration, or (nil, nil) when none exist.
+func LatestManifest(dir string) (*Manifest, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "manifest-iter*.json"))
+	if err != nil {
+		return nil, err
+	}
+	var best *Manifest
+	for _, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		var m Manifest
+		if err := json.Unmarshal(data, &m); err != nil {
+			return nil, fmt.Errorf("dist: manifest %s: %w", name, err)
+		}
+		if best == nil || m.Iter > best.Iter {
+			mm := m
+			best = &mm
+		}
+	}
+	return best, nil
+}
+
+// LoadDistCheckpoint reassembles a manifest's fragments into one global
+// core.Checkpoint. test must be the global held-out set of the run that
+// wrote the round (fragment accumulators are filtered by the manifest's
+// row ownership, so the walk must see the same entries in the same
+// order).
+func LoadDistCheckpoint(dir string, man *Manifest, test []sparse.Entry) (*core.Checkpoint, error) {
+	if len(man.RowBounds) != man.Ranks+1 || len(man.ColBounds) != man.Ranks+1 ||
+		len(man.Fragments) != man.Ranks {
+		return nil, fmt.Errorf("dist: manifest for iter %d is inconsistent (%d ranks, %d/%d bounds, %d fragments)",
+			man.Iter, man.Ranks, len(man.RowBounds), len(man.ColBounds), len(man.Fragments))
+	}
+	out := &core.Checkpoint{
+		K:           man.K,
+		NextIter:    man.Iter,
+		Seed:        man.Seed,
+		U:           la.NewMatrix(man.M, man.K),
+		V:           la.NewMatrix(man.N, man.K),
+		PredSum:     make([]float64, len(test)),
+		PredSumSq:   make([]float64, len(test)),
+		ItemUpdates: int64(man.Iter) * int64(man.M+man.N),
+	}
+	out.KernelCounts = man.BaseKernelCounts
+	rowOwner := ownersArray(man.RowBounds, man.M)
+	// Per-rank cursors into the global accumulator positions owned by
+	// that rank, in global test order (the order every rank's local
+	// predictor stores them in).
+	ownedPos := make([][]int, man.Ranks)
+	for t, e := range test {
+		r := rowOwner[e.Row]
+		ownedPos[r] = append(ownedPos[r], t)
+	}
+	for r := 0; r < man.Ranks; r++ {
+		frag, err := readFragment(filepath.Join(dir, man.Fragments[r]))
+		if err != nil {
+			return nil, err
+		}
+		if frag.K != man.K || frag.NextIter != man.Iter || frag.Seed != man.Seed {
+			return nil, fmt.Errorf("dist: fragment %s does not match manifest (K=%d iter=%d seed=%d, want K=%d iter=%d seed=%d)",
+				man.Fragments[r], frag.K, frag.NextIter, frag.Seed, man.K, man.Iter, man.Seed)
+		}
+		rowLo, rowHi := man.RowBounds[r], man.RowBounds[r+1]
+		colLo, colHi := man.ColBounds[r], man.ColBounds[r+1]
+		if frag.U.Rows != rowHi-rowLo || frag.V.Rows != colHi-colLo {
+			return nil, fmt.Errorf("dist: fragment %s holds %dx%d owned rows/cols, manifest bounds say %dx%d",
+				man.Fragments[r], frag.U.Rows, frag.V.Rows, rowHi-rowLo, colHi-colLo)
+		}
+		copy(out.U.Data[rowLo*man.K:rowHi*man.K], frag.U.Data)
+		copy(out.V.Data[colLo*man.K:colHi*man.K], frag.V.Data)
+		if len(frag.PredSum) != len(ownedPos[r]) {
+			return nil, fmt.Errorf("dist: fragment %s holds %d test accumulators, ownership implies %d",
+				man.Fragments[r], len(frag.PredSum), len(ownedPos[r]))
+		}
+		for i, t := range ownedPos[r] {
+			out.PredSum[t] = frag.PredSum[i]
+			out.PredSumSq[t] = frag.PredSumSq[i]
+		}
+		for i := range out.KernelCounts {
+			out.KernelCounts[i] += frag.KernelCounts[i]
+		}
+		if r == 0 {
+			// Traces and the sample count are rank-identical by
+			// construction (deterministic allreduce), so any fragment's
+			// copy is the global one.
+			out.SampleRMSE = frag.SampleRMSE
+			out.AvgRMSE = frag.AvgRMSE
+			out.NSamples = frag.NSamples
+		}
+	}
+	return out, nil
+}
+
+func readFragment(path string) (*core.Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	c, err := core.ReadCheckpoint(f)
+	if err != nil {
+		return nil, fmt.Errorf("dist: fragment %s: %w", path, err)
+	}
+	return c, nil
+}
+
+// writeCheckpoint writes this rank's fragment of a coordinated round
+// (after iteration nextIter-1), barriers so every fragment is durable,
+// then has rank 0 seal the round with the manifest. Collective.
+func (nd *Node) writeCheckpoint(nextIter int) error {
+	rowLo, rowHi := nd.plan.RowBounds[nd.rank], nd.plan.RowBounds[nd.rank+1]
+	colLo, colHi := nd.plan.ColBounds[nd.rank], nd.plan.ColBounds[nd.rank+1]
+	sum, sumSq, nSamples := nd.pred.Snapshot()
+	frag := &core.Checkpoint{
+		K:        nd.k,
+		NextIter: nextIter,
+		Seed:     nd.cfg.Seed,
+		U:        &la.Matrix{Rows: rowHi - rowLo, Cols: nd.k, Data: nd.u.Data[rowLo*nd.k : rowHi*nd.k]},
+		V:        &la.Matrix{Rows: colHi - colLo, Cols: nd.k, Data: nd.v.Data[colLo*nd.k : colHi*nd.k]},
+		PredSum:  sum, PredSumSq: sumSq, NSamples: nSamples,
+		SampleRMSE: nd.res.SampleRMSE,
+		AvgRMSE:    nd.res.AvgRMSE,
+		KernelCounts: [3]int64{
+			nd.kernelCounts[0].Load(), nd.kernelCounts[1].Load(), nd.kernelCounts[2].Load(),
+		},
+		ItemUpdates: int64(nextIter) * int64(nd.r.M+nd.r.N),
+	}
+	name := fragmentName(nextIter, nd.rank, nd.ranks)
+	if err := core.WriteCheckpointFile(filepath.Join(nd.opt.CheckpointDir, name), frag.Write); err != nil {
+		return err
+	}
+	// Every fragment must be durable before the manifest can name it: a
+	// crash past this barrier either leaves the previous manifest as the
+	// latest (all its fragments intact) or the new one (ditto).
+	if err := nd.c.BarrierE(); err != nil {
+		return err
+	}
+	if nd.rank != 0 {
+		return nil
+	}
+	man := Manifest{
+		Iter: nextIter, K: nd.k, Ranks: nd.ranks, Seed: nd.cfg.Seed,
+		M: nd.r.M, N: nd.r.N,
+		RowBounds:        append([]int(nil), nd.plan.RowBounds...),
+		ColBounds:        append([]int(nil), nd.plan.ColBounds...),
+		BaseKernelCounts: nd.ckBase,
+		Fragments:        make([]string, nd.ranks),
+	}
+	for r := 0; r < nd.ranks; r++ {
+		man.Fragments[r] = fragmentName(nextIter, r, nd.ranks)
+	}
+	return core.WriteCheckpointFile(filepath.Join(nd.opt.CheckpointDir, manifestName(nextIter)), func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(&man)
+	})
+}
+
+// Resume loads a reassembled global checkpoint into a freshly built
+// node, positioning the chain at c.NextIter. The node may have any rank
+// count — c carries full replicas — but must share the checkpoint's
+// K, seed, and problem shape, and its plan must be unreordered (a
+// reordered plan lives in a permuted index space the checkpoint's
+// factors know nothing about).
+func (nd *Node) Resume(c *core.Checkpoint) error {
+	if nd.plan.Reordered {
+		return fmt.Errorf("dist: cannot resume onto a reordered plan")
+	}
+	if c.K != nd.k {
+		return fmt.Errorf("dist: checkpoint K=%d, node K=%d", c.K, nd.k)
+	}
+	if c.Seed != nd.cfg.Seed {
+		return fmt.Errorf("dist: checkpoint seed=%d, node seed=%d", c.Seed, nd.cfg.Seed)
+	}
+	if c.U.Rows != nd.r.M || c.V.Rows != nd.r.N {
+		return fmt.Errorf("dist: checkpoint shape %dx%d does not match problem %dx%d",
+			c.U.Rows, c.V.Rows, nd.r.M, nd.r.N)
+	}
+	if len(c.PredSum) != len(nd.test) {
+		return fmt.Errorf("dist: checkpoint has %d test accumulators, run has %d test entries",
+			len(c.PredSum), len(nd.test))
+	}
+	copy(nd.u.Data, c.U.Data)
+	copy(nd.v.Data, c.V.Data)
+	// The local predictor holds this rank's owned test entries in global
+	// test order — filter the global accumulators the same way.
+	var sum, sumSq []float64
+	for t, e := range nd.test {
+		if nd.rowOwner[e.Row] == int32(nd.rank) {
+			sum = append(sum, c.PredSum[t])
+			sumSq = append(sumSq, c.PredSumSq[t])
+		}
+	}
+	if err := nd.pred.Restore(sum, sumSq, c.NSamples); err != nil {
+		return err
+	}
+	nd.res.SampleRMSE = append(nd.res.SampleRMSE[:0], c.SampleRMSE...)
+	nd.res.AvgRMSE = append(nd.res.AvgRMSE[:0], c.AvgRMSE...)
+	nd.ckBase = c.KernelCounts
+	nd.firstIter = c.NextIter
+	return nil
+}

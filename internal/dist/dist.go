@@ -58,6 +58,29 @@ type Options struct {
 	// so all ranks still agree); RunInProc builds it once and shares it.
 	// The schedule cannot change the sampled chain — only cache behavior.
 	Schedule *order.Schedule
+
+	// CheckpointEvery, when positive together with a CheckpointDir, makes
+	// every rank write a coordinated checkpoint fragment after each
+	// CheckpointEvery-th iteration; rank 0 then seals the round with a
+	// manifest. A failed run resumes from the latest sealed manifest.
+	CheckpointEvery int
+	// CheckpointDir is the directory receiving checkpoint fragments and
+	// manifests (shared storage in a real cluster).
+	CheckpointDir string
+	// SuspicionTimeout, when positive, attaches a heartbeat failure
+	// detector to every rank: a peer silent for longer than this is
+	// declared failed, unwinding blocked receives with a
+	// comm.RankFailedError instead of hanging forever. Incompatible with
+	// OneSided (whose notify waits bypass the error-returning receives).
+	SuspicionTimeout time.Duration
+	// HeartbeatInterval is the detector's heartbeat period; 0 derives it
+	// from SuspicionTimeout (see comm.StartDetector).
+	HeartbeatInterval time.Duration
+	// OnIteration, when set, is invoked on every rank after each completed
+	// iteration (all phases, evaluation, and any due checkpoint). It is a
+	// test seam: fault-injection tests use it to kill ranks at exact,
+	// reproducible iteration boundaries.
+	OnIteration func(rank, iter int)
 }
 
 // normalized fills in defaulted fields.

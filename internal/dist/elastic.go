@@ -1,0 +1,268 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+)
+
+// elastic.go is the recovery driver of the fault-tolerant engine: run
+// the cluster; when ranks die mid-run (detected by the heartbeat
+// failure detector, unwinding every survivor with a RankFailedError),
+// shrink the rank set by the dead ranks, rebuild the partition plan
+// over the survivors, and resume from the latest sealed checkpoint
+// manifest. The resumed chain is — bit for bit — the chain a fresh
+// cluster of the surviving size would sample when started from that
+// same checkpoint: partitioning, routing, and the moment-reduction
+// order are pure functions of (problem, rank count), and the
+// checkpoint's fragments are re-sliced by the *new* bounds on load.
+
+// DefaultSuspicionTimeout is the failure-detector timeout the elastic
+// drivers fall back to when Options.SuspicionTimeout is unset.
+const DefaultSuspicionTimeout = 2 * time.Second
+
+// FaultHook lets a caller (typically a test) inject faults into one
+// recovery round: it runs before the round's nodes start, with the
+// round's fabric — install Options.OnIteration kills through opt, sever
+// links, etc. Round 0 is the initial run.
+type FaultHook func(round int, fb *comm.FaultFabric, opt *Options)
+
+// RunInProcElastic executes a distributed run as a virtual in-process
+// cluster that survives injected rank failures: every round runs on a
+// fresh FaultFabric; when ranks are killed, the next round resumes from
+// the latest checkpoint manifest with the surviving rank count.
+// Requires checkpointing to be configured. Returns the final result,
+// the last round's per-rank stats, and the rank count that finished.
+func RunInProcElastic(cfg core.Config, prob *core.Problem, opt Options, hook FaultHook) (*core.Result, []Stats, int, error) {
+	opt = opt.normalized()
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, 0, err
+	}
+	if opt.CheckpointDir == "" || opt.CheckpointEvery <= 0 {
+		return nil, nil, 0, fmt.Errorf("dist: elastic runs need CheckpointDir and CheckpointEvery (recovery resumes from the latest manifest)")
+	}
+	if opt.OneSided {
+		return nil, nil, 0, fmt.Errorf("dist: elastic runs are incompatible with OneSided")
+	}
+	if opt.SuspicionTimeout <= 0 {
+		opt.SuspicionTimeout = DefaultSuspicionTimeout
+	}
+
+	ranks := opt.Ranks
+	for round := 0; ; round++ {
+		ropt := opt
+		ropt.Ranks = ranks
+		ropt.Schedule = nil // rebuilt per rank from the round's plan
+		plan, test := BuildPlan(prob, ropt)
+		var base *core.Checkpoint
+		man, err := LatestManifest(opt.CheckpointDir)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		if man != nil {
+			if base, err = LoadDistCheckpoint(opt.CheckpointDir, man, test); err != nil {
+				return nil, nil, 0, err
+			}
+		}
+
+		fb := comm.NewFaultFabric(ranks, cfg.Seed)
+		if hook != nil {
+			hook(round, fb, &ropt)
+		}
+		results, stats, errs := runRanks(ranks, func(r int) (*core.Result, *Stats, error) {
+			node, err := NewNode(fb.Comms()[r], cfg, plan, test, ropt)
+			if err != nil {
+				return nil, nil, err
+			}
+			if base != nil {
+				if err := node.Resume(base); err != nil {
+					return nil, nil, err
+				}
+			}
+			return node.Run()
+		})
+		fb.Close()
+
+		killed := fb.Killed()
+		firstErr := firstError(errs)
+		if firstErr == nil {
+			return results[0], stats, ranks, nil
+		}
+		if len(killed) == 0 {
+			// Nothing was injected, so this is a genuine failure (bad
+			// config, I/O error, ...), not something recovery can fix.
+			return nil, nil, 0, firstErr
+		}
+		ranks -= len(killed)
+		if ranks < 1 {
+			return nil, nil, 0, fmt.Errorf("dist: all ranks failed (last error: %w)", firstErr)
+		}
+	}
+}
+
+// ResumeInProc is the clean-restart reference for the elastic driver: a
+// fresh in-process cluster of opt.Ranks nodes started from a reassembled
+// global checkpoint, with no faults. The differential tests pin
+// RunInProcElastic's post-recovery chain bit-identical to this.
+func ResumeInProc(cfg core.Config, prob *core.Problem, base *core.Checkpoint, opt Options) (*core.Result, []Stats, error) {
+	opt = opt.normalized()
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	plan, test := BuildPlan(prob, opt)
+	fab := comm.NewFabric(opt.Ranks)
+	defer fab.Close()
+	results, stats, errs := runRanks(opt.Ranks, func(r int) (*core.Result, *Stats, error) {
+		node, err := NewNode(fab.Comms()[r], cfg, plan, test, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := node.Resume(base); err != nil {
+			return nil, nil, err
+		}
+		return node.Run()
+	})
+	if err := firstError(errs); err != nil {
+		return nil, nil, err
+	}
+	return results[0], stats, nil
+}
+
+// RunInProcElasticShards is RunInProcElastic over the shard-native data
+// plane: every round each rank re-runs the collective shard load —
+// partition.AssignPanels over the *surviving* rank count — so a dead
+// rank's .bcsr shards are remapped to survivors before the round
+// resumes. Each rank reassembles the checkpoint from the fragment files
+// itself (shared storage in a real cluster).
+func RunInProcElasticShards(cfg core.Config, path string, testFrac float64, opt Options, hook FaultHook) (*core.Result, []Stats, int, error) {
+	opt = opt.normalized()
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, 0, err
+	}
+	if opt.CheckpointDir == "" || opt.CheckpointEvery <= 0 {
+		return nil, nil, 0, fmt.Errorf("dist: elastic runs need CheckpointDir and CheckpointEvery (recovery resumes from the latest manifest)")
+	}
+	if opt.OneSided {
+		return nil, nil, 0, fmt.Errorf("dist: elastic runs are incompatible with OneSided")
+	}
+	if opt.SuspicionTimeout <= 0 {
+		opt.SuspicionTimeout = DefaultSuspicionTimeout
+	}
+
+	ranks := opt.Ranks
+	for round := 0; ; round++ {
+		ropt := opt
+		ropt.Ranks = ranks
+		ropt.Schedule = nil
+		man, err := LatestManifest(opt.CheckpointDir)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+
+		fb := comm.NewFaultFabric(ranks, cfg.Seed)
+		if hook != nil {
+			hook(round, fb, &ropt)
+		}
+		results, stats, errs := runRanks(ranks, func(r int) (*core.Result, *Stats, error) {
+			sp, err := LoadShardsLocal(fb.Comms()[r], path, testFrac, cfg.Seed, ropt)
+			if err != nil {
+				return nil, nil, err
+			}
+			node, err := NewNodeLocal(fb.Comms()[r], cfg, sp.Plan, sp.RT, sp.Test, ropt)
+			if err != nil {
+				return nil, nil, err
+			}
+			if man != nil {
+				base, err := LoadDistCheckpoint(opt.CheckpointDir, man, sp.Test)
+				if err != nil {
+					return nil, nil, err
+				}
+				if err := node.Resume(base); err != nil {
+					return nil, nil, err
+				}
+			}
+			return node.Run()
+		})
+		fb.Close()
+
+		killed := fb.Killed()
+		firstErr := firstError(errs)
+		if firstErr == nil {
+			return results[0], stats, ranks, nil
+		}
+		if len(killed) == 0 {
+			return nil, nil, 0, firstErr
+		}
+		ranks -= len(killed)
+		if ranks < 1 {
+			return nil, nil, 0, fmt.Errorf("dist: all ranks failed (last error: %w)", firstErr)
+		}
+	}
+}
+
+// ResumeInProcShards is the clean-restart reference of the shard-native
+// elastic driver.
+func ResumeInProcShards(cfg core.Config, path string, testFrac float64, man *Manifest, ckptDir string, opt Options) (*core.Result, []Stats, error) {
+	opt = opt.normalized()
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	fab := comm.NewFabric(opt.Ranks)
+	defer fab.Close()
+	results, stats, errs := runRanks(opt.Ranks, func(r int) (*core.Result, *Stats, error) {
+		sp, err := LoadShardsLocal(fab.Comms()[r], path, testFrac, cfg.Seed, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		node, err := NewNodeLocal(fab.Comms()[r], cfg, sp.Plan, sp.RT, sp.Test, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		base, err := LoadDistCheckpoint(ckptDir, man, sp.Test)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := node.Resume(base); err != nil {
+			return nil, nil, err
+		}
+		return node.Run()
+	})
+	if err := firstError(errs); err != nil {
+		return nil, nil, err
+	}
+	return results[0], stats, nil
+}
+
+// runRanks runs one round's rank bodies on their own goroutines and
+// collects (result, stats, error) per rank.
+func runRanks(ranks int, body func(r int) (*core.Result, *Stats, error)) ([]*core.Result, []Stats, []error) {
+	results := make([]*core.Result, ranks)
+	stats := make([]Stats, ranks)
+	errs := make([]error, ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			res, st, err := body(r)
+			results[r], errs[r] = res, err
+			if st != nil {
+				stats[r] = *st
+			}
+		}(r)
+	}
+	wg.Wait()
+	return results, stats, errs
+}
+
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -72,6 +72,12 @@ type Node struct {
 	win    *comm.OneSided
 	recBuf []byte
 
+	// firstIter/ckBase position a resumed chain: Run starts at firstIter
+	// and the final kernel tally adds ckBase (the counts of all chain
+	// segments executed before this run — see Resume).
+	firstIter int
+	ckBase    [3]int64
+
 	kernelCounts [3]atomic.Int64
 	stats        Stats
 	res          core.Result
@@ -292,11 +298,13 @@ func itemTag(iter int, side core.Side) int {
 }
 
 // allreduce sums per-rank float64 vectors with the configured reduction.
-func (nd *Node) allreduce(v []float64) []float64 {
+// It returns an error instead of panicking when a peer fails mid-
+// reduction, so the run can unwind to the recovery driver.
+func (nd *Node) allreduce(v []float64) ([]float64, error) {
 	if nd.opt.TreeAllreduce {
-		return nd.c.AllreduceSumTree(v)
+		return nd.c.AllreduceSumTreeE(v)
 	}
-	return nd.c.AllreduceSumOrdered(v)
+	return nd.c.AllreduceSumOrderedE(v)
 }
 
 // sampleHyper draws one side's hyperparameters from the globally reduced
@@ -304,7 +312,7 @@ func (nd *Node) allreduce(v []float64) []float64 {
 // order, which is exactly MomentsGrouped's combine order with groups =
 // the ownership boundaries — the key to bit-equality with the sequential
 // reference.
-func (nd *Node) sampleHyper(iter int, side core.Side, x *la.Matrix, bounds []int, h *core.Hyper) {
+func (nd *Node) sampleHyper(iter int, side core.Side, x *la.Matrix, bounds []int, h *core.Hyper) error {
 	lo, hi := bounds[nd.rank], bounds[nd.rank+1]
 	part := nd.momPart
 	part.Zero()
@@ -315,19 +323,23 @@ func (nd *Node) sampleHyper(iter int, side core.Side, x *la.Matrix, bounds []int
 	copy(vec[1:1+nd.k], part.Sum)
 	copy(vec[1+nd.k:], part.SumSq.Data)
 	t0 := time.Now()
-	tot := nd.allreduce(vec)
+	tot, err := nd.allreduce(vec)
 	nd.stats.WaitTime += time.Since(t0)
+	if err != nil {
+		return err
+	}
 	part.N = tot[0]
 	copy(part.Sum, tot[1:1+nd.k])
 	copy(part.SumSq.Data, tot[1+nd.k:])
 
 	core.SampleHyperWS(nd.prior, part, core.HyperStream(nd.cfg.Seed, iter, side), h, nd.hws)
+	return nil
 }
 
 // updateSide samples every owned item of one side, streams each updated
 // row to the ranks that need it, then blocks until all expected ghost
 // rows of the phase have been applied to the local replica.
-func (nd *Node) updateSide(iter int, side core.Side) {
+func (nd *Node) updateSide(iter int, side core.Side) error {
 	cfg := &nd.cfg
 	var lo, hi int
 	var self, other *la.Matrix
@@ -360,10 +372,10 @@ func (nd *Node) updateSide(iter int, side core.Side) {
 	}
 
 	var firstSend time.Time
-	sendItem := func(item int) {
+	sendItem := func(item int) error {
 		dests := send[item-lo]
 		if len(dests) == 0 {
-			return
+			return nil
 		}
 		if firstSend.IsZero() {
 			firstSend = time.Now()
@@ -379,10 +391,13 @@ func (nd *Node) updateSide(iter int, side core.Side) {
 				binary.LittleEndian.PutUint64(nd.recBuf[4+8*i:], math.Float64bits(x))
 			}
 			for _, dst := range dests {
-				coals[dst].Append(nd.recBuf)
+				if err := coals[dst].Append(nd.recBuf); err != nil {
+					return err
+				}
 			}
 		}
 		nd.stats.ItemsSent += int64(len(dests))
+		return nil
 	}
 
 	update := func(ws *core.Workspace, w *sched.Worker, item int) {
@@ -409,9 +424,13 @@ func (nd *Node) updateSide(iter int, side core.Side) {
 		})
 		nd.stats.ComputeTime += time.Since(computeStart)
 		for item := lo; item < hi; item++ {
-			sendItem(item)
+			if err := sendItem(item); err != nil {
+				return err
+			}
 		}
-		nd.flushAll(coals)
+		if err := nd.flushAll(coals); err != nil {
+			return err
+		}
 	} else {
 		// Interleaved path: sends overlap the remaining item updates;
 		// OverlapTime is the compute tail spent with sends in flight. Each
@@ -420,9 +439,13 @@ func (nd *Node) updateSide(iter int, side core.Side) {
 		for _, it32 := range ord {
 			item := int(it32)
 			update(nd.ws, nil, item)
-			sendItem(item)
+			if err := sendItem(item); err != nil {
+				return err
+			}
 		}
-		nd.flushAll(coals)
+		if err := nd.flushAll(coals); err != nil {
+			return err
+		}
 		computeEnd := time.Now()
 		nd.stats.ComputeTime += computeEnd.Sub(computeStart)
 		if !firstSend.IsZero() {
@@ -431,34 +454,43 @@ func (nd *Node) updateSide(iter int, side core.Side) {
 	}
 
 	t0 := time.Now()
+	var err error
 	if nd.opt.OneSided {
 		if exp > 0 {
 			nd.win.WaitNotify(tag, int64(exp))
 		}
 		nd.stats.GhostsRecv += int64(exp)
 	} else {
-		nd.recvGhosts(tag, exp, self)
+		err = nd.recvGhosts(tag, exp, self)
 	}
 	nd.stats.WaitTime += time.Since(t0)
+	return err
 }
 
 // flushAll drains the phase's coalescers (no-op in one-sided mode).
-func (nd *Node) flushAll(coals []*comm.Coalescer) {
+func (nd *Node) flushAll(coals []*comm.Coalescer) error {
 	for _, co := range coals {
 		if co != nil {
-			co.Flush()
+			if err := co.Flush(); err != nil {
+				return err
+			}
 			nd.stats.Flushes += co.Flushes()
 		}
 	}
+	return nil
 }
 
 // recvGhosts applies coalesced item records to the local replica until the
-// expected count of the phase has arrived.
-func (nd *Node) recvGhosts(tag, expected int, dst *la.Matrix) {
+// expected count of the phase has arrived. A dead peer unwinds the wait
+// with its RankFailedError instead of blocking forever.
+func (nd *Node) recvGhosts(tag, expected int, dst *la.Matrix) error {
 	recSize := 4 + 8*nd.k
 	got := 0
 	for got < expected {
-		m := nd.c.Recv(comm.AnySource, tag)
+		m, err := nd.c.RecvE(comm.AnySource, tag)
+		if err != nil {
+			return err
+		}
 		for off := 0; off+recSize <= len(m.Data); off += recSize {
 			idx := int(binary.LittleEndian.Uint32(m.Data[off:]))
 			row := dst.Row(idx)
@@ -469,13 +501,14 @@ func (nd *Node) recvGhosts(tag, expected int, dst *la.Matrix) {
 		}
 	}
 	nd.stats.GhostsRecv += int64(got)
+	return nil
 }
 
 // evaluate scores the test set: per-rank partial squared errors — chunked
 // over the rank's thread pool through the fixed EvalChunk tree when one
 // exists — combined with the deterministic allreduce, so every rank
 // records the identical RMSE trace at any thread count.
-func (nd *Node) evaluate(iter int) {
+func (nd *Node) evaluate(iter int) error {
 	collect := iter >= nd.cfg.Burnin
 	var runAll func(n int, run func(c int))
 	if nd.pool != nil {
@@ -489,32 +522,43 @@ func (nd *Node) evaluate(iter int) {
 	}
 	seS, seA, n := nd.pred.PartialUpdatePar(nd.u, nd.v, collect, runAll)
 	t0 := time.Now()
-	tot := nd.allreduce([]float64{seS, seA, n})
+	tot, err := nd.allreduce([]float64{seS, seA, n})
 	nd.stats.WaitTime += time.Since(t0)
+	if err != nil {
+		return err
+	}
 	sr, ar := math.NaN(), math.NaN()
 	if tot[2] > 0 {
 		sr, ar = math.Sqrt(tot[0]/tot[2]), math.Sqrt(tot[1]/tot[2])
 	}
 	nd.res.SampleRMSE = append(nd.res.SampleRMSE, sr)
 	nd.res.AvgRMSE = append(nd.res.AvgRMSE, ar)
+	return nil
 }
 
 // gatherSide completes the local replica of one side: every rank
 // broadcasts its owned row range (rows nobody rated were never ghosted).
-func (nd *Node) gatherSide(x *la.Matrix, bounds []int) {
+func (nd *Node) gatherSide(x *la.Matrix, bounds []int) error {
 	lo, hi := bounds[nd.rank], bounds[nd.rank+1]
 	mine := encodeFloats(x.Data[lo*nd.k : hi*nd.k])
-	blobs := nd.c.Allgather(mine)
+	blobs, err := nd.c.AllgatherE(mine)
+	if err != nil {
+		return err
+	}
 	for r, b := range blobs {
 		decodeFloatsInto(x.Data[bounds[r]*nd.k:bounds[r+1]*nd.k], b)
 	}
+	return nil
 }
 
 // gatherIntervals reassembles the posterior predictive intervals in global
 // test order from the per-rank predictors.
-func (nd *Node) gatherIntervals() []core.Interval {
+func (nd *Node) gatherIntervals() ([]core.Interval, error) {
 	local := nd.pred.Intervals()
-	blobs := nd.c.Allgather(encodeIntervals(local))
+	blobs, err := nd.c.AllgatherE(encodeIntervals(local))
+	if err != nil {
+		return nil, err
+	}
 	queues := make([][]core.Interval, nd.ranks)
 	total := 0
 	for r, b := range blobs {
@@ -522,7 +566,7 @@ func (nd *Node) gatherIntervals() []core.Interval {
 		total += len(queues[r])
 	}
 	if total == 0 {
-		return nil
+		return nil, nil
 	}
 	out := make([]core.Interval, 0, total)
 	next := make([]int, nd.ranks)
@@ -533,17 +577,27 @@ func (nd *Node) gatherIntervals() []core.Interval {
 			next[r]++
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Run executes the configured Gibbs iterations and returns the (rank-
-// identical) result plus this rank's statistics.
+// identical) result plus this rank's statistics. When a peer dies
+// mid-run (and a failure detector is attached), Run returns a
+// comm.RankFailedError instead of hanging — the caller resumes from the
+// last checkpoint with the surviving ranks.
 func (nd *Node) Run() (*core.Result, *Stats, error) {
 	if nd.opt.OneSided {
+		if nd.opt.SuspicionTimeout > 0 {
+			return nil, nil, fmt.Errorf("dist: failure detection is incompatible with -onesided (notify waits bypass the error-returning receives)")
+		}
 		nd.win = comm.NewOneSided(nd.c)
 		nd.win.Register(segU, nd.u.Data)
 		nd.win.Register(segV, nd.v.Data)
 		defer nd.win.Close()
+	}
+	if nd.opt.SuspicionTimeout > 0 {
+		det := comm.StartDetector(nd.c, nd.opt.HeartbeatInterval, nd.opt.SuspicionTimeout)
+		defer det.Stop()
 	}
 	if nd.opt.ThreadsPerRank > 1 {
 		nd.pool = sched.NewPool(nd.opt.ThreadsPerRank)
@@ -551,28 +605,59 @@ func (nd *Node) Run() (*core.Result, *Stats, error) {
 	}
 
 	start := time.Now()
-	for it := 0; it < nd.cfg.Iters; it++ {
+	for it := nd.firstIter; it < nd.cfg.Iters; it++ {
 		// Movies first, then users (Algorithm 1). The user phase reads the
 		// movie ghosts of this iteration, so each phase ends with a wait
 		// for its expected ghost count.
-		nd.sampleHyper(it, core.SideV, nd.v, nd.plan.ColBounds, nd.hv)
-		nd.updateSide(it, core.SideV)
-		nd.sampleHyper(it, core.SideU, nd.u, nd.plan.RowBounds, nd.hu)
-		nd.updateSide(it, core.SideU)
-		nd.evaluate(it)
+		if err := nd.sampleHyper(it, core.SideV, nd.v, nd.plan.ColBounds, nd.hv); err != nil {
+			return nil, nil, err
+		}
+		if err := nd.updateSide(it, core.SideV); err != nil {
+			return nil, nil, err
+		}
+		if err := nd.sampleHyper(it, core.SideU, nd.u, nd.plan.RowBounds, nd.hu); err != nil {
+			return nil, nil, err
+		}
+		if err := nd.updateSide(it, core.SideU); err != nil {
+			return nil, nil, err
+		}
+		if err := nd.evaluate(it); err != nil {
+			return nil, nil, err
+		}
+		if nd.opt.CheckpointDir != "" && nd.opt.CheckpointEvery > 0 && (it+1)%nd.opt.CheckpointEvery == 0 {
+			if err := nd.writeCheckpoint(it + 1); err != nil {
+				return nil, nil, err
+			}
+		}
+		// The hook runs after the iteration's checkpoint (if any) is
+		// sealed, so a hook-injected kill at iteration t tests recovery
+		// from exactly the latest manifest ≤ t+1.
+		if nd.opt.OnIteration != nil {
+			nd.opt.OnIteration(nd.rank, it)
+		}
 	}
 
-	nd.gatherSide(nd.u, nd.plan.RowBounds)
-	nd.gatherSide(nd.v, nd.plan.ColBounds)
-	ivs := nd.gatherIntervals()
+	if err := nd.gatherSide(nd.u, nd.plan.RowBounds); err != nil {
+		return nil, nil, err
+	}
+	if err := nd.gatherSide(nd.v, nd.plan.ColBounds); err != nil {
+		return nil, nil, err
+	}
+	ivs, err := nd.gatherIntervals()
+	if err != nil {
+		return nil, nil, err
+	}
 
-	kc := nd.allreduce([]float64{
+	kc, err := nd.allreduce([]float64{
 		float64(nd.kernelCounts[0].Load()),
 		float64(nd.kernelCounts[1].Load()),
 		float64(nd.kernelCounts[2].Load()),
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 	for i := range nd.res.KernelCounts {
-		nd.res.KernelCounts[i] = int64(kc[i])
+		nd.res.KernelCounts[i] = nd.ckBase[i] + int64(kc[i])
 	}
 
 	u, v := nd.u, nd.v

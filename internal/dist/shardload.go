@@ -126,8 +126,10 @@ func LoadShards(c *comm.Comm, mp *sparse.Mapped, testFrac float64, seed uint64, 
 	// our panel, forward the cursor.
 	st := sparse.NewSplitState(n)
 	if rank > 0 {
-		msg := c.Recv(rank-1, splitStateTag)
-		var err error
+		msg, err := c.RecvE(rank-1, splitStateTag)
+		if err != nil {
+			return nil, fmt.Errorf("dist: rank %d awaiting split state: %w", rank, err)
+		}
 		if st, err = sparse.DecodeSplitState(msg.Data, n); err != nil {
 			return nil, fmt.Errorf("dist: rank %d split state: %w", rank, err)
 		}
@@ -144,7 +146,9 @@ func LoadShards(c *comm.Comm, mp *sparse.Mapped, testFrac float64, seed uint64, 
 		},
 		func(e sparse.Entry) { localTest = append(localTest, e) })
 	if rank+1 < ranks {
-		c.Send(rank+1, splitStateTag, st.Encode())
+		if err := c.SendE(rank+1, splitStateTag, st.Encode()); err != nil {
+			return nil, fmt.Errorf("dist: rank %d forwarding split state: %w", rank, err)
+		}
 	}
 	for i := 0; i < m; i++ {
 		trainPtr[i+1] += trainPtr[i]
@@ -152,7 +156,10 @@ func LoadShards(c *comm.Comm, mp *sparse.Mapped, testFrac float64, seed uint64, 
 	train := &sparse.CSR{M: m, N: n, RowPtr: trainPtr, Col: trainCol, Val: trainVal}
 
 	// (3) Global test set and column bounds.
-	blobs := c.Allgather(encodeEntries(localTest))
+	blobs, err := c.AllgatherE(encodeEntries(localTest))
+	if err != nil {
+		return nil, fmt.Errorf("dist: gathering test set: %w", err)
+	}
 	var test []sparse.Entry
 	for q := 0; q < ranks; q++ {
 		test = append(test, decodeEntries(blobs[q])...)
@@ -161,7 +168,10 @@ func LoadShards(c *comm.Comm, mp *sparse.Mapped, testFrac float64, seed uint64, 
 	for _, j := range trainCol {
 		colDeg[j]++
 	}
-	colDegTot := c.AllreduceSumOrdered(colDeg)
+	colDegTot, err := c.AllreduceSumOrderedE(colDeg)
+	if err != nil {
+		return nil, fmt.Errorf("dist: reducing column degrees: %w", err)
+	}
 	deg := make([]int, n)
 	for j, d := range colDegTot {
 		deg[j] = int(d)
@@ -184,12 +194,17 @@ func LoadShards(c *comm.Comm, mp *sparse.Mapped, testFrac float64, seed uint64, 
 	}
 	for dst := 0; dst < ranks; dst++ {
 		if dst != rank {
-			c.Send(dst, colGhostTag, bufs[dst])
+			if err := c.SendE(dst, colGhostTag, bufs[dst]); err != nil {
+				return nil, fmt.Errorf("dist: sending column ghosts: %w", err)
+			}
 		}
 	}
 	ghosts := make([][]sparse.Entry, ranks)
 	for q := 0; q < ranks-1; q++ {
-		msg := c.Recv(comm.AnySource, colGhostTag)
+		msg, err := c.RecvE(comm.AnySource, colGhostTag)
+		if err != nil {
+			return nil, fmt.Errorf("dist: receiving column ghosts: %w", err)
+		}
 		ghosts[msg.Src] = decodeEntries(msg.Data)
 	}
 
