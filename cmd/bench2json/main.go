@@ -32,6 +32,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/config"
 )
 
 // Benchmark is one parsed benchmark result line.
@@ -60,26 +62,22 @@ type Snapshot struct {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bench2json: ")
-	label := flag.String("label", "", "snapshot label (required unless -diff), e.g. pr1-blocked-kernels")
-	out := flag.String("out", "BENCH_kernels.json", "trajectory file to update (or read, with -diff)")
-	in := flag.String("in", "-", "bench output to parse (- = stdin)")
-	diff := flag.String("diff", "", "compare two recorded snapshots: <labelA>,<labelB>")
-	flag.Parse()
+	cfg := config.DefaultBench()
+	if err := config.Parse(flag.CommandLine, os.Args[1:], &cfg); err != nil {
+		log.Fatal(err)
+	}
 
-	if *diff != "" {
-		parts := strings.SplitN(*diff, ",", 2)
-		if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
-			log.Fatal("-diff wants two comma-separated labels: <labelA>,<labelB>")
-		}
-		data, err := os.ReadFile(*out)
+	if cfg.Diff != "" {
+		labelA, labelB := cfg.DiffLabels()
+		data, err := os.ReadFile(cfg.Out)
 		if err != nil {
 			log.Fatal(err)
 		}
 		var traj []Snapshot
 		if err := json.Unmarshal(data, &traj); err != nil {
-			log.Fatalf("%s is not a trajectory file: %v", *out, err)
+			log.Fatalf("%s is not a trajectory file: %v", cfg.Out, err)
 		}
-		table, err := Diff(traj, parts[0], parts[1])
+		table, err := Diff(traj, labelA, labelB)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -87,13 +85,9 @@ func main() {
 		return
 	}
 
-	if *label == "" {
-		log.Fatal("-label is required")
-	}
-
 	var src io.Reader = os.Stdin
-	if *in != "-" {
-		f, err := os.Open(*in)
+	if cfg.In != "-" {
+		f, err := os.Open(cfg.In)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -107,14 +101,14 @@ func main() {
 	if len(snap.Benchmarks) == 0 {
 		log.Fatal("no benchmark lines found in input")
 	}
-	snap.Label = *label
+	snap.Label = cfg.Label
 	snap.Date = time.Now().UTC().Format("2006-01-02")
 	snap.Go = runtime.Version()
 
 	var traj []Snapshot
-	if data, err := os.ReadFile(*out); err == nil {
+	if data, err := os.ReadFile(cfg.Out); err == nil {
 		if err := json.Unmarshal(data, &traj); err != nil {
-			log.Fatalf("existing %s is not a trajectory file: %v", *out, err)
+			log.Fatalf("existing %s is not a trajectory file: %v", cfg.Out, err)
 		}
 	}
 	replaced := false
@@ -132,11 +126,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+	if err := os.WriteFile(cfg.Out, append(data, '\n'), 0o644); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("recorded %d benchmarks under label %q in %s\n",
-		len(snap.Benchmarks), snap.Label, *out)
+		len(snap.Benchmarks), snap.Label, cfg.Out)
 }
 
 // Diff renders the per-benchmark speedup table between two labelled

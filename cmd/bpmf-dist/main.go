@@ -41,7 +41,6 @@ import (
 	"fmt"
 	"io"
 	"log"
-	"net"
 	"os"
 	"os/exec"
 	"strconv"
@@ -50,6 +49,7 @@ import (
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/dist"
@@ -61,73 +61,40 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bpmf-dist: ")
 
-	launch := flag.Int("launch", 0, "fork N local worker processes and wait")
-	rank := flag.Int("rank", -1, "this process's rank")
-	peers := flag.String("peers", "", "comma-separated rank addresses (host:port per rank)")
-	basePort := flag.Int("baseport", 9800, "first port for -launch mode")
-	dataPath := flag.String("data", "", "rating matrix file (MatrixMarket .mtx or binary .bcsr); overrides -synthetic")
-	fullLoad := flag.Bool("full-load", false, "decode the whole .bcsr on every rank instead of shard-native per-rank loading")
-	synthetic := flag.String("synthetic", "small", "benchmark: chembl | ml-20m | small")
-	scale := flag.Float64("scale", 1.0, "synthetic scale factor (> 1 scales up)")
-	k := flag.Int("k", 16, "latent features")
-	iters := flag.Int("iters", 10, "Gibbs iterations")
-	burnin := flag.Int("burnin", 5, "burn-in iterations")
-	seed := flag.Uint64("seed", 42, "random seed")
-	threads := flag.Int("threads", 1, "threads per rank")
-	bufBytes := flag.Int("buffer", dist.DefaultBufferSize, "coalescing buffer bytes")
-	reorder := flag.Bool("reorder", false, "communication-minimizing reordering")
-	testFrac := flag.Float64("test", 0.2, "held-out fraction")
-	elastic := flag.Bool("elastic", false, "survive rank failures: detect dead peers, shrink the cluster, resume from the latest checkpoint")
-	ckptDir := flag.String("ckpt-dir", "", "directory for coordinated checkpoints (must be shared storage across ranks)")
-	ckptEvery := flag.Int("ckpt-every", 0, "checkpoint every N iterations (0 disables)")
-	suspicion := flag.Duration("suspicion", 3*time.Second, "failure-detector timeout: a silent peer is declared dead after this long")
-	resumeIter := flag.Int("resume-iter", 0, "resume from the sealed manifest of this iteration instead of the latest (0 = latest)")
-	dieRank := flag.Int("die-rank", -1, "fault injection: the rank that kills itself (requires -die-iter)")
-	dieIter := flag.Int("die-iter", -1, "fault injection: the iteration after which -die-rank exits")
-	flag.Parse()
+	cfg := config.DefaultDist()
+	if err := config.Parse(flag.CommandLine, os.Args[1:], &cfg); err != nil {
+		log.Fatal(err)
+	}
 
-	if *launch > 0 {
-		if err := launchLocal(*launch, *basePort, *elastic); err != nil {
+	if cfg.Launch > 0 {
+		if err := launchLocal(cfg.Launch, cfg.BasePort, cfg.Elastic); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
-	addrs, err := parsePeers(*peers)
+	addrs, err := cfg.Addrs() // already vetted by Validate
 	if err != nil {
-		log.Fatalf("%v (worker mode needs -rank and -peers; or use -launch N)", err)
-	}
-	if *rank < 0 || *rank >= len(addrs) {
-		log.Fatalf("-rank %d outside the %d addresses in -peers", *rank, len(addrs))
-	}
-	if *elastic {
-		if *ckptDir == "" || *ckptEvery <= 0 {
-			log.Fatal("-elastic needs -ckpt-dir and -ckpt-every (recovery resumes from the latest sealed manifest)")
-		}
-		if *reorder {
-			log.Fatal("-elastic is incompatible with -reorder (checkpoints live in the unpermuted index space)")
-		}
-	}
-	if *resumeIter > 0 && *ckptDir == "" {
-		log.Fatal("-resume-iter needs -ckpt-dir")
+		log.Fatal(err)
 	}
 
-	cfg := core.DefaultConfig()
-	cfg.K = *k
-	cfg.Iters = *iters
-	cfg.Burnin = *burnin
-	cfg.Seed = *seed
+	ccfg := core.DefaultConfig()
+	ccfg.K = cfg.Sampler.K
+	ccfg.Alpha = cfg.Sampler.Alpha
+	ccfg.Iters = cfg.Sampler.Iters
+	ccfg.Burnin = cfg.Sampler.Burnin
+	ccfg.Seed = cfg.Sampler.Seed
 	opt := dist.Options{
-		ThreadsPerRank:  *threads,
-		BufferSize:      *bufBytes,
-		Reorder:         *reorder,
-		CheckpointDir:   *ckptDir,
-		CheckpointEvery: *ckptEvery,
+		ThreadsPerRank:  cfg.Threads,
+		BufferSize:      cfg.Buffer,
+		Reorder:         cfg.Reorder,
+		CheckpointDir:   cfg.Checkpoint.Dir,
+		CheckpointEvery: cfg.Checkpoint.Every,
 	}
-	if *elastic {
-		opt.SuspicionTimeout = *suspicion
+	if cfg.Elastic {
+		opt.SuspicionTimeout = cfg.Suspicion.Std()
 	}
 
-	useShards, err := shardNative(*dataPath, *fullLoad, *reorder)
+	useShards, err := shardNative(cfg.Data.Path, cfg.FullLoad, cfg.Reorder)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -136,21 +103,22 @@ func main() {
 	// unless -elastic recovers from failures) rebuilds the plan over the
 	// live rank set.
 	w := &worker{
-		cfg: cfg, opt: opt, testFrac: *testFrac, reorder: *reorder,
-		synthetic: *synthetic, scale: *scale,
-		elastic: *elastic, origRank: *rank, dieRank: *dieRank, dieIter: *dieIter,
+		cfg: ccfg, opt: opt, testFrac: cfg.Data.TestFrac, reorder: cfg.Reorder,
+		synthetic: cfg.Data.Synthetic, scale: cfg.Data.Scale,
+		elastic: cfg.Elastic, origRank: cfg.Rank,
+		dieRank: cfg.Fault.DieRank, dieIter: cfg.Fault.DieIter,
 	}
 	if useShards {
 		// Open (and validate) the file before joining the cluster:
 		// OpenBinary checks the header, shard table and framing eagerly,
 		// so a corrupt file fails here instead of wedging the collective
 		// load — and the same mapping then feeds the load itself.
-		if w.mp, err = sparse.OpenBinary(*dataPath); err != nil {
+		if w.mp, err = sparse.OpenBinary(cfg.Data.Path); err != nil {
 			log.Fatal(err)
 		}
 		defer w.mp.Close()
 	} else {
-		if w.prob, w.panels, err = buildProblem(*dataPath, *synthetic, *scale, *testFrac, *seed); err != nil {
+		if w.prob, w.panels, err = buildProblem(cfg.Data.Path, cfg.Data.Synthetic, cfg.Data.Scale, cfg.Data.TestFrac, cfg.Sampler.Seed); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -160,12 +128,12 @@ func main() {
 	// only be sure of failures its own detector (or a reset connection)
 	// reported, so recovery handles one failure burst at a time — see
 	// PERF.md for the semantics.
-	myOrig := *rank
+	myOrig := cfg.Rank
 	live := make([]int, len(addrs))
 	for i := range live {
 		live[i] = i
 	}
-	pin := *resumeIter
+	pin := cfg.Checkpoint.ResumeIter
 	for {
 		me := -1
 		cur := make([]string, len(live))
@@ -190,7 +158,7 @@ func main() {
 			return
 		}
 		var rf *comm.RankFailedError
-		if !*elastic || !errors.As(err, &rf) || rf.Rank < 0 || rf.Rank >= len(live) || live[rf.Rank] == myOrig {
+		if !cfg.Elastic || !errors.As(err, &rf) || rf.Rank < 0 || rf.Rank >= len(live) || live[rf.Rank] == myOrig {
 			log.Fatalf("rank %d: %v", myOrig, err)
 		}
 		dead := live[rf.Rank]
@@ -206,7 +174,7 @@ func main() {
 		pin = 0
 		// Let every survivor unwind, close its sockets, and free its listen
 		// port before the re-dial.
-		time.Sleep(2 * *suspicion)
+		time.Sleep(2 * cfg.Suspicion.Std())
 	}
 }
 
@@ -336,38 +304,13 @@ func shardNative(dataPath string, fullLoad, reorder bool) (bool, error) {
 	return true, nil
 }
 
-// parsePeers validates the -peers list up front: empty entries (stray
-// commas), whitespace, malformed host:port pairs and duplicate
-// addresses all produce a clear error here instead of a cluster that
-// dials itself into a deadlock.
-func parsePeers(peers string) ([]string, error) {
-	if strings.TrimSpace(peers) == "" {
-		return nil, errors.New("missing -peers")
-	}
-	addrs := strings.Split(peers, ",")
-	seen := make(map[string]int, len(addrs))
-	for i, a := range addrs {
-		if strings.TrimSpace(a) == "" {
-			return nil, fmt.Errorf("-peers entry %d is empty (stray comma in %q)", i, peers)
-		}
-		if a != strings.TrimSpace(a) {
-			return nil, fmt.Errorf("-peers entry %d %q has surrounding whitespace", i, a)
-		}
-		if _, _, err := net.SplitHostPort(a); err != nil {
-			return nil, fmt.Errorf("-peers entry %d %q is not host:port: %v", i, a, err)
-		}
-		if prev, dup := seen[a]; dup {
-			return nil, fmt.Errorf("-peers lists %q for both rank %d and rank %d; every rank needs its own listen address", a, prev, i)
-		}
-		seen[a] = i
-	}
-	return addrs, nil
-}
-
 // launchLocal forks n worker copies of this binary on localhost ports,
-// forwarding every set flag except the launch controls.
+// forwarding every set flag except the launch controls. A -config flag
+// is forwarded like any other, so file-only settings reach the workers
+// by re-reading the same file; the explicit -launch=0 below overrides a
+// launch count the file may carry, or the workers would fork again.
 func launchLocal(n, basePort int, elastic bool) error {
-	var common []string
+	common := []string{"-launch=0"}
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "launch" || f.Name == "baseport" {
 			return
@@ -515,22 +458,9 @@ func buildProblem(dataPath, name string, scale, testFrac float64, seed uint64) (
 		train, test := sparse.SplitTrainTest(full, testFrac, seed)
 		return core.NewProblem(train, test), nil, nil
 	}
-	if scale <= 0 {
-		return nil, nil, fmt.Errorf("-scale must be positive, got %g", scale)
-	}
-	var spec datagen.Spec
-	switch strings.ToLower(name) {
-	case "chembl":
-		spec = datagen.ChEMBL(seed)
-	case "ml-20m", "ml20m", "movielens":
-		spec = datagen.ML20M(seed)
-	case "small":
-		spec = datagen.Small(seed)
-	default:
-		return nil, nil, fmt.Errorf("unknown benchmark %q", name)
-	}
-	if scale != 1 {
-		spec = datagen.Scaled(spec, scale)
+	spec, err := config.Data{Synthetic: name, Scale: scale}.Spec(seed)
+	if err != nil {
+		return nil, nil, err
 	}
 	ds := datagen.Generate(spec)
 	train, test := sparse.SplitTrainTest(ds.R, testFrac, seed)

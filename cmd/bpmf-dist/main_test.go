@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/config"
 	"repro/internal/datagen"
 	"repro/internal/sparse"
 )
@@ -29,7 +30,7 @@ func TestParsePeers(t *testing.T) {
 		"host0:9000,host1:9000", // same port, different hosts: fine
 	}
 	for _, p := range good {
-		addrs, err := parsePeers(p)
+		addrs, err := config.ParsePeers(p)
 		if err != nil {
 			t.Errorf("parsePeers(%q): %v", p, err)
 		}
@@ -49,7 +50,7 @@ func TestParsePeers(t *testing.T) {
 		"h:1,h:2,h:1":                    "own listen address",
 	}
 	for p, wantSub := range bad {
-		if _, err := parsePeers(p); err == nil {
+		if _, err := config.ParsePeers(p); err == nil {
 			t.Errorf("parsePeers(%q) accepted", p)
 		} else if !strings.Contains(err.Error(), wantSub) {
 			t.Errorf("parsePeers(%q) error %q does not mention %q", p, err, wantSub)

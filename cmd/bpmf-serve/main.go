@@ -1,27 +1,49 @@
-// Command bpmf-serve is the checkpoint-backed model server: it loads a
-// BPMF checkpoint (written by `bpmf -ckpt-out` or bpmf.TrainWithCheckpoint)
-// into an immutable serving snapshot and answers prediction,
-// recommendation and cold-start fold-in queries over HTTP. The snapshot
-// hot-reloads on SIGHUP or when the checkpoint file changes on disk
-// (-watch), so a long-running trainer can keep publishing fresher
-// posteriors next to a live server.
+// Command bpmf-serve is the checkpoint-backed model server: it loads
+// BPMF checkpoints (written by `bpmf -ckpt-out` or
+// bpmf.TrainWithCheckpoint) into immutable serving snapshots and
+// answers prediction, recommendation and cold-start fold-in queries
+// over HTTP. It hosts a registry of N named models — each with its own
+// checkpoint path, exclusion source, top-N, clamp and lineage
+// configuration — and each model hot-reloads independently on SIGHUP or
+// when its checkpoint file changes on disk (-watch), so long-running
+// trainers can keep publishing fresher posteriors next to a live
+// server, one model at a time.
 //
-// Examples:
+// Single-model (classic flags; serves under the name "default"):
 //
 //	bpmf -synthetic small -ckpt-out model.ckpt
 //	bpmf-serve -ckpt model.ckpt -addr :8080 -topn 100 -threads 8
 //
 //	curl 'localhost:8080/predict?user=3&item=17'
-//	curl 'localhost:8080/recommend?user=3&n=10'
-//	curl -d '{"items":[1,5,9],"values":[5,4,1],"key":7,"n":5}' localhost:8080/foldin
+//	curl 'localhost:8080/v1/default/recommend?user=3&n=10'
 //
-// Endpoints:
+// Multi-model (one JSON config file; flags still win where they overlap):
 //
-//	GET  /predict?user=U&item=I   point score + posterior mean/std
-//	GET  /recommend?user=U&n=N    top-N unseen items
-//	POST /foldin                  sample a new user's factors from ratings
-//	POST /reload                  force a snapshot reload
-//	GET  /healthz                 liveness + snapshot stats
+//	bpmf-serve -config serve.json
+//
+//	// serve.json
+//	{
+//	  "addr": ":8080",
+//	  "watch": "2s",
+//	  "models": {
+//	    "movies": {"ckpt": "movies.ckpt", "data": "movies.bcsr", "topn": 100},
+//	    "drugs":  {"ckpt": "drugs.ckpt", "lineage": {"seed": 42}}
+//	  }
+//	}
+//
+//	curl 'localhost:8080/v1/movies/predict?user=3&item=17'
+//	curl 'localhost:8080/v1/drugs/recommend?user=3&n=10'
+//
+// Endpoints (the unversioned forms serve the model named "default"):
+//
+//	GET  /v1/<model>/predict?user=U&item=I   point score + posterior mean/std
+//	GET  /v1/<model>/recommend?user=U&n=N    top-N unseen items
+//	POST /v1/<model>/foldin                  sample a new user's factors from ratings
+//	POST /v1/<model>/reload                  force a snapshot reload of one model
+//	GET  /healthz                            liveness + per-model readiness
+//
+// Unknown model names return 404 with a JSON body listing the
+// registered names.
 package main
 
 import (
@@ -34,10 +56,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"syscall"
 	"time"
 
+	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/rank"
 	"repro/internal/sched"
@@ -49,127 +73,241 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bpmf-serve: ")
 
-	ckptPath := flag.String("ckpt", "", "checkpoint file to serve (required)")
-	addr := flag.String("addr", ":8080", "HTTP listen address")
-	dataPath := flag.String("data", "", "rating matrix (MatrixMarket .mtx or binary .bcsr): enables already-rated exclusion in /recommend")
-	testFrac := flag.Float64("test", 0, "held-out fraction of the training run; with -data, reconstructs the test split (seeded by the checkpoint) so /predict serves exact posterior intervals")
-	alpha := flag.Float64("alpha", 2.0, "observation precision the chain was trained with")
-	clampMin := flag.Float64("clamp-min", 0, "minimum served rating (with -clamp-max)")
-	clampMax := flag.Float64("clamp-max", 0, "maximum served rating (0,0 = no clipping)")
-	topn := flag.Int("topn", 0, "precompute every user's top-N list at (re)load time (0 = off)")
-	threads := flag.Int("threads", 0, "worker threads for the top-N precompute (0 = GOMAXPROCS)")
-	watch := flag.Duration("watch", 0, "poll the checkpoint file at this interval and hot-reload on change (0 = SIGHUP only)")
-	flag.Parse()
-	if *ckptPath == "" {
-		log.Fatal("-ckpt is required")
+	cfg := config.DefaultServe()
+	if err := config.Parse(flag.CommandLine, os.Args[1:], &cfg); err != nil {
+		log.Fatal(err)
 	}
 
-	opts := serve.Options{Alpha: *alpha, ClampMin: *clampMin, ClampMax: *clampMax, TopN: *topn}
-	if *topn > 0 {
-		pool := sched.NewPool(*threads)
-		defer pool.Close()
-		opts.Pool = pool
-	}
-	if *dataPath != "" {
-		isB, err := sparse.IsBCSR(*dataPath)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if isB && *testFrac <= 0 {
-			// Exclusion-only mode over binary shards: map the file instead
-			// of decoding it. Restarts touch no payload bytes up front;
-			// each user's shard is verified the first time that user asks
-			// for a recommendation, and co-located servers share the page
-			// cache. (-test > 0 needs the decoded matrix for the split.)
-			mp, err := sparse.OpenBinary(*dataPath)
-			if err != nil {
-				log.Fatal(err)
-			}
-			defer mp.Close()
-			opts.ExcludeSource = mp
-			if *topn > 0 {
-				// The top-N precompute sweeps every user, so all shards get
-				// verified at load time anyway; the mapping still avoids
-				// retaining a decoded copy of the matrix.
-				log.Printf("exclusions mapped from %s (%d shards; -topn precompute verifies all of them at load)", *dataPath, mp.Shards())
-			} else {
-				log.Printf("exclusions mapped from %s (%d shards, verified lazily per first query)", *dataPath, mp.Shards())
-			}
-		} else {
-			excl, test, seed, err := loadExclusions(*dataPath, *testFrac, *ckptPath)
-			if err != nil {
-				log.Fatal(err)
-			}
-			opts.Exclude, opts.Test = excl, test
-			if test != nil {
-				// The test split was derived from this checkpoint's seed; pin
-				// it so a hot reload of a chain retrained under another seed
-				// cannot serve misaligned posterior accumulators.
-				opts.PinSeed, opts.Seed = true, seed
-			}
-		}
-	}
-
-	srv, err := serve.Open(*ckptPath, opts)
+	models, err := cfg.EffectiveModels()
 	if err != nil {
 		log.Fatal(err)
 	}
-	m := srv.Model()
-	log.Printf("serving %d users x %d items (K=%d, %d posterior samples) from %s",
-		m.NumUsers(), m.NumItems(), m.K(), m.NSamples(), *ckptPath)
+	var pool *sched.Pool
+	for _, mc := range models {
+		if mc.TopN > 0 {
+			pool = sched.NewPool(cfg.Threads)
+			defer pool.Close()
+			break
+		}
+	}
+	specs, err := buildSpecs(models, pool, log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg, err := serve.NewRegistry(specs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer reg.Close()
+	for _, h := range reg.Health() {
+		log.Printf("model %q: %d users x %d items (K=%d, %d posterior samples)",
+			h.Name, h.Users, h.Items, h.K, h.Samples)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	// SIGHUP = operator-driven hot reload.
+	// SIGHUP = operator-driven hot reload of every model; each model
+	// swaps (or keeps its previous snapshot) independently.
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
 	go func() {
 		for range hup {
-			if err := srv.Reload(); err != nil {
-				log.Printf("SIGHUP reload failed (still serving previous snapshot): %v", err)
+			if errs := reg.ReloadAll(); len(errs) == 0 {
+				log.Printf("SIGHUP reload ok (%d models)", reg.Len())
 			} else {
-				log.Printf("SIGHUP reload ok (%d reloads)", srv.Reloads.Load())
+				for name, err := range errs {
+					log.Printf("SIGHUP reload of model %q failed (still serving previous snapshot): %v", name, err)
+				}
 			}
 		}
 	}()
-	if *watch > 0 {
-		go srv.Watch(ctx, *watch, func(err error) { log.Printf("watch reload failed: %v", err) })
+	if cfg.Watch > 0 {
+		reg.Watch(ctx, cfg.Watch.Std(), func(name string, err error) {
+			log.Printf("watch reload of model %q failed: %v", name, err)
+		})
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: newMux(srv)}
+	hs := &http.Server{Addr: cfg.Addr, Handler: newMux(reg)}
 	go func() {
 		<-ctx.Done()
 		sd, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = hs.Shutdown(sd)
 	}()
-	log.Printf("listening on %s", *addr)
+	log.Printf("listening on %s (%d models)", cfg.Addr, reg.Len())
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
 }
 
-// newMux wires the HTTP endpoints onto a serving snapshot.
-func newMux(srv *serve.Server) *http.ServeMux {
+// buildSpecs turns the validated config entries into registry specs,
+// in deterministic name order. logf receives informational messages
+// (nil = silent), keeping the function testable.
+func buildSpecs(models map[string]config.ServeModel, pool *sched.Pool, logf func(string, ...any)) ([]serve.ModelSpec, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	names := make([]string, 0, len(models))
+	for name := range models {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	specs := make([]serve.ModelSpec, 0, len(models))
+	for _, name := range names {
+		sp, err := buildSpec(name, models[name], pool, logf)
+		if err != nil {
+			// Release the exclusion mappings of already-built specs: the
+			// registry never sees them, so nobody else will.
+			for _, s := range specs {
+				if s.Close != nil {
+					_ = s.Close()
+				}
+			}
+			return nil, fmt.Errorf("model %q: %w", name, err)
+		}
+		specs = append(specs, sp)
+	}
+	return specs, nil
+}
+
+// buildSpec resolves one model's serving options: clamp/top-N/lineage
+// straight from the config, plus the exclusion source — a zero-copy
+// .bcsr mapping when possible, a decoded matrix (and optionally the
+// reconstructed test split) otherwise.
+func buildSpec(name string, mc config.ServeModel, pool *sched.Pool, logf func(string, ...any)) (serve.ModelSpec, error) {
+	opts := serve.Options{
+		Alpha:        mc.Alpha,
+		ClampMin:     mc.Clamp.Min,
+		ClampMax:     mc.Clamp.Max,
+		ClampEnabled: mc.Clamp.Enable,
+		TopN:         mc.TopN,
+	}
+	if mc.TopN > 0 {
+		opts.Pool = pool
+	}
+	if mc.Lineage != nil {
+		opts.Lineage = &serve.Lineage{Seed: mc.Lineage.Seed, K: mc.Lineage.K}
+	}
+	spec := serve.ModelSpec{Name: name, Path: mc.Ckpt}
+	if mc.Data != "" {
+		isB, err := sparse.IsBCSR(mc.Data)
+		if err != nil {
+			return serve.ModelSpec{}, err
+		}
+		if isB && mc.TestFrac <= 0 {
+			// Exclusion-only mode over binary shards: map the file instead
+			// of decoding it. Restarts touch no payload bytes up front;
+			// each user's shard is verified the first time that user asks
+			// for a recommendation, and co-located servers share the page
+			// cache. (TestFrac > 0 needs the decoded matrix for the split.)
+			mp, err := sparse.OpenBinary(mc.Data)
+			if err != nil {
+				return serve.ModelSpec{}, err
+			}
+			opts.ExcludeSource = mp
+			spec.Close = mp.Close
+			if mc.TopN > 0 {
+				// The top-N precompute sweeps every user, so all shards get
+				// verified at load time anyway; the mapping still avoids
+				// retaining a decoded copy of the matrix.
+				logf("model %q: exclusions mapped from %s (%d shards; -topn precompute verifies all of them at load)", name, mc.Data, mp.Shards())
+			} else {
+				logf("model %q: exclusions mapped from %s (%d shards, verified lazily per first query)", name, mc.Data, mp.Shards())
+			}
+		} else {
+			excl, test, seed, err := loadExclusions(mc.Data, mc.TestFrac, mc.Ckpt)
+			if err != nil {
+				return serve.ModelSpec{}, err
+			}
+			opts.Exclude, opts.Test = excl, test
+			if test != nil && opts.Lineage == nil {
+				// The test split was derived from this checkpoint's seed; pin
+				// the lineage so a hot reload of a chain retrained under
+				// another seed cannot serve misaligned posterior accumulators.
+				opts.Lineage = &serve.Lineage{Seed: seed}
+			}
+		}
+	}
+	spec.Opts = opts
+	return spec, nil
+}
+
+// newMux wires the HTTP endpoints onto the model registry. The
+// /v1/<model>/... routes address models by name; the unversioned
+// legacy routes serve the model named "default", so pre-registry
+// single-model deployments keep their URLs.
+func newMux(reg *serve.Registry) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/predict", func(w http.ResponseWriter, r *http.Request) { handlePredict(srv, w, r) })
-	mux.HandleFunc("/recommend", func(w http.ResponseWriter, r *http.Request) { handleRecommend(srv, w, r) })
-	mux.HandleFunc("/foldin", func(w http.ResponseWriter, r *http.Request) { handleFoldIn(srv, w, r) })
-	mux.HandleFunc("/reload", func(w http.ResponseWriter, r *http.Request) { handleReload(srv, w, r) })
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		m := srv.Model()
-		writeJSON(w, map[string]any{
-			"users": m.NumUsers(), "items": m.NumItems(), "k": m.K(),
-			"samples": m.NSamples(), "reloads": srv.Reloads.Load(),
-		})
-	})
+	byName := func(h func(*serve.Server, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			srv, ok := reg.Get(r.PathValue("model"))
+			if !ok {
+				unknownModel(w, reg, r.PathValue("model"))
+				return
+			}
+			h(srv, w, r)
+		}
+	}
+	legacy := func(h func(*serve.Server, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			srv, ok := reg.Get("default")
+			if !ok {
+				unknownModel(w, reg, "default")
+				return
+			}
+			h(srv, w, r)
+		}
+	}
+	mux.HandleFunc("/v1/{model}/predict", byName(handlePredict))
+	mux.HandleFunc("/v1/{model}/recommend", byName(handleRecommend))
+	mux.HandleFunc("/v1/{model}/foldin", byName(handleFoldIn))
+	mux.HandleFunc("/v1/{model}/reload", byName(handleReload))
+	mux.HandleFunc("/predict", legacy(handlePredict))
+	mux.HandleFunc("/recommend", legacy(handleRecommend))
+	mux.HandleFunc("/foldin", legacy(handleFoldIn))
+	mux.HandleFunc("/reload", legacy(handleReload))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) { handleHealthz(reg, w) })
 	return mux
 }
 
-// handleReload swaps in a fresh snapshot. Reload mutates server state,
-// so it demands POST — a crawler or monitoring GET must never trigger
-// a reload the way it could when every method was accepted.
+// handleHealthz reports registry-level liveness with per-model
+// readiness: dimensions, reload counts, and the last reload error of
+// any model still serving a stale-but-good snapshot.
+func handleHealthz(reg *serve.Registry, w http.ResponseWriter) {
+	models := make(map[string]any, reg.Len())
+	ready := true
+	for _, h := range reg.Health() {
+		entry := map[string]any{
+			"users": h.Users, "items": h.Items, "k": h.K,
+			"samples": h.Samples, "reloads": h.Reloads,
+			"ready": h.LastError == "",
+		}
+		if h.LastError != "" {
+			entry["last_error"] = h.LastError
+			ready = false
+		}
+		models[h.Name] = entry
+	}
+	writeJSON(w, map[string]any{"ready": ready, "models": models})
+}
+
+// unknownModel answers a request for an unregistered model name: 404
+// with a JSON body listing the registered names, so a typo'd route is
+// self-diagnosing.
+func unknownModel(w http.ResponseWriter, reg *serve.Registry, name string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusNotFound)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"error":  fmt.Sprintf("unknown model %q", name),
+		"models": reg.Names(),
+	})
+}
+
+// handleReload swaps in a fresh snapshot for one model. Reload mutates
+// server state, so it demands POST — a crawler or monitoring GET must
+// never trigger a reload the way it could when every method was
+// accepted.
 func handleReload(srv *serve.Server, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)

@@ -1,19 +1,24 @@
 package main
 
 import (
+	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro"
+	"repro/internal/config"
 	"repro/internal/serve"
 )
 
-// testServer trains a tiny model, checkpoints it and opens a serving
-// snapshot over it, exercising the same path main() takes.
-func testServer(t *testing.T) *serve.Server {
+// testCkpt trains a tiny model and writes its checkpoint, exercising
+// the same trainer path a real deployment uses. seed varies the chain
+// so two checkpoints can hold genuinely different posteriors.
+func testCkpt(t *testing.T, dir, name string, seed uint64) (string, bpmf.Config) {
 	t.Helper()
 	ratings := []bpmf.Rating{
 		{User: 0, Item: 0, Value: 5}, {User: 0, Item: 1, Value: 4},
@@ -28,7 +33,8 @@ func testServer(t *testing.T) *serve.Server {
 	cfg.K = 2
 	cfg.Iters = 4
 	cfg.Burnin = 2
-	ckpt := filepath.Join(t.TempDir(), "model.ckpt")
+	cfg.Seed = seed
+	ckpt := filepath.Join(dir, name)
 	f, err := os.Create(ckpt)
 	if err != nil {
 		t.Fatal(err)
@@ -39,29 +45,44 @@ func testServer(t *testing.T) *serve.Server {
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
-	srv, err := serve.Open(ckpt, serve.Options{Alpha: cfg.Alpha})
+	return ckpt, cfg
+}
+
+// testRegistry opens a single-model registry over a fresh checkpoint,
+// the way main() synthesizes one from classic single-model flags.
+func testRegistry(t *testing.T) *serve.Registry {
+	t.Helper()
+	ckpt, cfg := testCkpt(t, t.TempDir(), "model.ckpt", 42)
+	reg, err := serve.NewRegistry([]serve.ModelSpec{
+		{Name: "default", Path: ckpt, Opts: serve.Options{Alpha: cfg.Alpha}},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	return srv
+	t.Cleanup(func() { reg.Close() })
+	return reg
 }
 
 // TestReloadRequiresPOST pins the /reload method guard: reload mutates
 // server state, so GET (and friends) must get 405 without triggering a
-// snapshot swap, while POST still reloads.
+// snapshot swap, while POST still reloads. Both the legacy route and
+// the versioned per-model route share the guard.
 func TestReloadRequiresPOST(t *testing.T) {
-	srv := testServer(t)
-	mux := newMux(srv)
+	reg := testRegistry(t)
+	mux := newMux(reg)
+	srv, _ := reg.Get("default")
 	base := srv.Reloads.Load() // the initial Open counts as the first load
 
-	for _, method := range []string{http.MethodGet, http.MethodHead, http.MethodPut, http.MethodDelete} {
-		rec := httptest.NewRecorder()
-		mux.ServeHTTP(rec, httptest.NewRequest(method, "/reload", nil))
-		if rec.Code != http.StatusMethodNotAllowed {
-			t.Errorf("%s /reload = %d, want %d", method, rec.Code, http.StatusMethodNotAllowed)
-		}
-		if allow := rec.Header().Get("Allow"); allow != http.MethodPost {
-			t.Errorf("%s /reload Allow header = %q, want POST", method, allow)
+	for _, path := range []string{"/reload", "/v1/default/reload"} {
+		for _, method := range []string{http.MethodGet, http.MethodHead, http.MethodPut, http.MethodDelete} {
+			rec := httptest.NewRecorder()
+			mux.ServeHTTP(rec, httptest.NewRequest(method, path, nil))
+			if rec.Code != http.StatusMethodNotAllowed {
+				t.Errorf("%s %s = %d, want %d", method, path, rec.Code, http.StatusMethodNotAllowed)
+			}
+			if allow := rec.Header().Get("Allow"); allow != http.MethodPost {
+				t.Errorf("%s %s Allow header = %q, want POST", method, path, allow)
+			}
 		}
 	}
 	if got := srv.Reloads.Load(); got != base {
@@ -79,14 +100,171 @@ func TestReloadRequiresPOST(t *testing.T) {
 }
 
 // TestHealthzAndPredictStillServe is a smoke check that the extracted
-// mux wires the read-only endpoints the way main always did.
+// mux wires the read-only endpoints the way main always did — on both
+// the legacy routes and their /v1/default/ aliases.
 func TestHealthzAndPredictStillServe(t *testing.T) {
-	mux := newMux(testServer(t))
-	for _, url := range []string{"/healthz", "/predict?user=0&item=1", "/recommend?user=0&n=2"} {
+	mux := newMux(testRegistry(t))
+	for _, url := range []string{
+		"/healthz",
+		"/predict?user=0&item=1", "/recommend?user=0&n=2",
+		"/v1/default/predict?user=0&item=1", "/v1/default/recommend?user=0&n=2",
+	} {
 		rec := httptest.NewRecorder()
 		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
 		if rec.Code != http.StatusOK {
 			t.Errorf("GET %s = %d, body %s", url, rec.Code, rec.Body.String())
 		}
+	}
+}
+
+// TestUnknownModel404 pins the unknown-model contract: a request for an
+// unregistered model name answers 404 with a JSON body that names the
+// registered models, so a typo'd route is self-diagnosing.
+func TestUnknownModel404(t *testing.T) {
+	mux := newMux(testRegistry(t))
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/nope/predict?user=0&item=1", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("GET /v1/nope/predict = %d, want 404 (body %s)", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var body struct {
+		Error  string   `json:"error"`
+		Models []string `json:"models"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("404 body is not JSON: %v (body %s)", err, rec.Body.String())
+	}
+	if !strings.Contains(body.Error, "nope") {
+		t.Errorf("404 error %q does not name the unknown model", body.Error)
+	}
+	if len(body.Models) != 1 || body.Models[0] != "default" {
+		t.Errorf("404 models = %v, want [default]", body.Models)
+	}
+}
+
+// TestPredictMatchesPreRegistryPath is the refactor regression pin: the
+// answers served through the config-built registry must be
+// bit-identical to what the pre-registry path (serve.Open on the same
+// checkpoint with the same options) computes.
+func TestPredictMatchesPreRegistryPath(t *testing.T) {
+	ckpt, tcfg := testCkpt(t, t.TempDir(), "model.ckpt", 42)
+
+	// Pre-refactor path: open the checkpoint directly.
+	old, err := serve.Open(ckpt, serve.Options{Alpha: tcfg.Alpha})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// New path: single-model config -> buildSpecs -> registry -> mux.
+	cfg := config.DefaultServe()
+	cfg.Model.Ckpt = ckpt
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	models, err := cfg.EffectiveModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := buildSpecs(models, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := serve.NewRegistry(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	mux := newMux(reg)
+
+	for user := 0; user < 3; user++ {
+		for item := 0; item < 3; item++ {
+			want, err := old.Model().Predict(user, item)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, path := range []string{"/predict", "/v1/default/predict"} {
+				rec := httptest.NewRecorder()
+				mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet,
+					fmt.Sprintf("%s?user=%d&item=%d", path, user, item), nil))
+				if rec.Code != http.StatusOK {
+					t.Fatalf("GET %s u=%d i=%d = %d, body %s", path, user, item, rec.Code, rec.Body.String())
+				}
+				var got struct {
+					Score float64 `json:"score"`
+					Mean  float64 `json:"mean"`
+					Std   float64 `json:"std"`
+				}
+				if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+					t.Fatal(err)
+				}
+				if got.Score != want.Score || got.Mean != want.Mean || got.Std != want.Std {
+					t.Errorf("%s u=%d i=%d = (%v,%v,%v), pre-registry path = (%v,%v,%v)",
+						path, user, item, got.Score, got.Mean, got.Std, want.Score, want.Mean, want.Std)
+				}
+			}
+		}
+	}
+}
+
+// TestTwoModelIndependentReload pins registry isolation: reloading one
+// model must not change the other's answers or reload count.
+func TestTwoModelIndependentReload(t *testing.T) {
+	dir := t.TempDir()
+	ckptA, cfgA := testCkpt(t, dir, "a.ckpt", 1)
+	ckptB, cfgB := testCkpt(t, dir, "b.ckpt", 2)
+	reg, err := serve.NewRegistry([]serve.ModelSpec{
+		{Name: "a", Path: ckptA, Opts: serve.Options{Alpha: cfgA.Alpha}},
+		{Name: "b", Path: ckptB, Opts: serve.Options{Alpha: cfgB.Alpha}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	mux := newMux(reg)
+
+	predict := func(model string) string {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/"+model+"/predict?user=0&item=2", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET /v1/%s/predict = %d, body %s", model, rec.Code, rec.Body.String())
+		}
+		return rec.Body.String()
+	}
+	beforeA, beforeB := predict("a"), predict("b")
+	if beforeA == beforeB {
+		t.Fatal("models a and b serve identical answers; the two-chain setup is broken")
+	}
+
+	// Retrain model a under a different seed and hot-reload only it.
+	retrained, _ := testCkpt(t, dir, "a2.ckpt", 3)
+	blob, err := os.ReadFile(retrained)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ckptA, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srvA, _ := reg.Get("a")
+	srvB, _ := reg.Get("b")
+	baseB := srvB.Reloads.Load()
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/a/reload", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST /v1/a/reload = %d, body %s", rec.Code, rec.Body.String())
+	}
+	if srvA.Reloads.Load() != 2 {
+		t.Errorf("model a reloads = %d, want 2 (open + explicit reload)", srvA.Reloads.Load())
+	}
+	if srvB.Reloads.Load() != baseB {
+		t.Errorf("reloading model a bumped model b's reload count")
+	}
+	if got := predict("a"); got == beforeA {
+		t.Error("model a serves the same answers after reloading a retrained chain")
+	}
+	if got := predict("b"); got != beforeB {
+		t.Errorf("model b's answers changed when model a reloaded:\n before %s after %s", beforeB, got)
 	}
 }

@@ -7,6 +7,7 @@
 //	bpmf -data ratings.mtx -k 32 -iters 40 -engine worksteal -threads 8
 //	bpmf -data ratings.bcsr -k 32 -iters 40
 //	bpmf -synthetic chembl -scale 0.05 -engine distributed -ranks 4
+//	bpmf -config train.json -iters 50   # file values, -iters overrides
 package main
 
 import (
@@ -14,9 +15,10 @@ import (
 	"fmt"
 	"io"
 	"log"
-	"strings"
+	"os"
 
 	"repro"
+	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/sparse"
@@ -26,51 +28,40 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bpmf: ")
 
-	dataPath := flag.String("data", "", "rating matrix to train on (MatrixMarket .mtx or binary .bcsr, sniffed)")
-	synthetic := flag.String("synthetic", "", "built-in benchmark: chembl | ml-20m | small")
-	scale := flag.Float64("scale", 1.0, "scale factor for the synthetic benchmark")
-	k := flag.Int("k", 32, "latent features")
-	alpha := flag.Float64("alpha", 2.0, "observation precision")
-	iters := flag.Int("iters", 20, "Gibbs iterations")
-	burnin := flag.Int("burnin", 10, "burn-in iterations")
-	seed := flag.Uint64("seed", 42, "random seed")
-	engine := flag.String("engine", "worksteal", "sequential | worksteal | static | graphlab | distributed")
-	threads := flag.Int("threads", 1, "threads (per rank for distributed)")
-	ranks := flag.Int("ranks", 1, "virtual ranks for the distributed engine")
-	testFrac := flag.Float64("test", 0.2, "held-out fraction for RMSE")
-	reorder := flag.Bool("reorder", false, "communication-minimizing reordering (distributed)")
-	ckptOut := flag.String("ckpt-out", "", "write a resumable chain checkpoint here after training (servable with bpmf-serve)")
-	flag.Parse()
+	cfg := config.DefaultTrain()
+	if err := config.Parse(flag.CommandLine, os.Args[1:], &cfg); err != nil {
+		log.Fatal(err)
+	}
 
-	data, err := loadData(*dataPath, *synthetic, *scale, *testFrac, *seed)
+	data, err := loadData(cfg.Data.Path, cfg.Data.Synthetic, cfg.Data.Scale, cfg.Data.TestFrac, cfg.Sampler.Seed)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("data: %d users x %d items, %d train / %d test ratings\n",
 		data.NumUsers(), data.NumItems(), data.NumTrain(), data.NumTest())
 
-	eng, err := parseEngine(*engine)
+	eng, err := parseEngine(cfg.Engine)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := bpmf.Defaults()
-	cfg.K = *k
-	cfg.Alpha = *alpha
-	cfg.Iters = *iters
-	cfg.Burnin = *burnin
-	cfg.Seed = *seed
-	cfg.Engine = eng
-	cfg.Threads = *threads
-	cfg.Ranks = *ranks
-	cfg.Reorder = *reorder
+	bc := bpmf.Defaults()
+	bc.K = cfg.Sampler.K
+	bc.Alpha = cfg.Sampler.Alpha
+	bc.Iters = cfg.Sampler.Iters
+	bc.Burnin = cfg.Sampler.Burnin
+	bc.Seed = cfg.Sampler.Seed
+	bc.Engine = eng
+	bc.Threads = cfg.Threads
+	bc.Ranks = cfg.Ranks
+	bc.Reorder = cfg.Reorder
 
-	res, err := train(data, cfg, *ckptOut)
+	res, err := train(data, bc, cfg.CkptOut)
 	if err != nil {
 		log.Fatal(err)
 	}
 	for i, r := range res.RMSETrace() {
 		phase := "sample"
-		if i >= cfg.Burnin {
+		if i >= bc.Burnin {
 			phase = "avg"
 		}
 		fmt.Printf("iter %3d  RMSE(%s) %.6f\n", i+1, phase, r)
@@ -108,35 +99,25 @@ func train(data *bpmf.Data, cfg bpmf.Config, ckptOut string) (*bpmf.Result, erro
 	return res, nil
 }
 
+// loadData resolves the data source through the shared config contract:
+// a file path wins, otherwise the named synthetic benchmark is
+// generated at the given scale.
 func loadData(path, synthetic string, scale, testFrac float64, seed uint64) (*bpmf.Data, error) {
-	switch {
-	case path != "":
+	dc := config.Data{Path: path, Synthetic: synthetic, Scale: scale, TestFrac: testFrac}
+	if err := dc.Validate(); err != nil {
+		return nil, err
+	}
+	if path != "" {
 		return bpmf.DataFromFile(path, testFrac, seed)
-	case synthetic != "":
-		var spec datagen.Spec
-		switch strings.ToLower(synthetic) {
-		case "chembl":
-			spec = datagen.ChEMBL(seed)
-		case "ml-20m", "ml20m", "movielens":
-			spec = datagen.ML20M(seed)
-		case "small":
-			spec = datagen.Small(seed)
-		default:
-			return nil, fmt.Errorf("unknown synthetic benchmark %q", synthetic)
-		}
-		// Any scale other than 1 is applied — upscales included — and a
-		// non-positive scale is an error, not a silently unscaled run.
-		if scale <= 0 {
-			return nil, fmt.Errorf("-scale must be positive, got %g", scale)
-		}
-		if scale != 1 {
-			spec = datagen.Scaled(spec, scale)
-		}
-		ds := datagen.Generate(spec)
-		return dataFromCSR(ds, testFrac, seed)
-	default:
+	}
+	if synthetic == "" {
 		return nil, fmt.Errorf("need -data or -synthetic")
 	}
+	spec, err := dc.Spec(seed)
+	if err != nil {
+		return nil, err
+	}
+	return dataFromCSR(datagen.Generate(spec), testFrac, seed)
 }
 
 // dataFromCSR round-trips a generated matrix through the public API.
@@ -153,17 +134,20 @@ func dataFromCSR(ds *datagen.Dataset, testFrac float64, seed uint64) (*bpmf.Data
 
 func rowOf(r *sparse.CSR, i int) ([]int32, []float64) { return r.Row(i) }
 
+// parseEngine maps the validated engine name onto the public API's
+// engine constant. config.Train.Validate has already vetted the name,
+// but the mapping stays total so helper callers get a clean error too.
 func parseEngine(s string) (bpmf.Engine, error) {
-	switch strings.ToLower(s) {
-	case "sequential", "seq":
+	switch config.CanonicalEngine(s) {
+	case "sequential":
 		return bpmf.Sequential, nil
-	case "worksteal", "tbb":
+	case "worksteal":
 		return bpmf.WorkSteal, nil
-	case "static", "openmp":
+	case "static":
 		return bpmf.Static, nil
 	case "graphlab":
 		return bpmf.GraphLab, nil
-	case "distributed", "dist", "mpi":
+	case "distributed":
 		return bpmf.Distributed, nil
 	default:
 		return 0, fmt.Errorf("unknown engine %q", s)

@@ -12,8 +12,8 @@ import (
 	"log"
 	"os"
 	"path/filepath"
-	"strings"
 
+	"repro/internal/config"
 	"repro/internal/datagen"
 	"repro/internal/sparse"
 )
@@ -22,21 +22,18 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("datagen: ")
 
-	spec := flag.String("spec", "small", "chembl | ml-20m | small | tiny")
-	scale := flag.Float64("scale", 1.0, "scale factor for rows, cols and nnz (values > 1 scale up)")
-	seed := flag.Uint64("seed", 42, "random seed")
-	out := flag.String("out", "", "output file: *.bcsr writes binary shards, anything else MatrixMarket (default stdout)")
-	shardNNZ := flag.Int("shard-nnz", 0, "target entries per .bcsr shard (0 = library default; small values make many shards for multi-rank loading)")
-	stats := flag.Bool("stats", false, "print degree statistics instead of the matrix")
-	flag.Parse()
+	cfg := config.DefaultDatagen()
+	if err := config.Parse(flag.CommandLine, os.Args[1:], &cfg); err != nil {
+		log.Fatal(err)
+	}
 
-	s, err := buildSpec(*spec, *scale, *seed)
+	s, err := buildSpec(cfg.Spec, cfg.Scale, cfg.Seed)
 	if err != nil {
 		log.Fatal(err)
 	}
 	ds := datagen.Generate(s)
 
-	if *stats {
+	if cfg.Stats {
 		rows := sparse.Stats(ds.R.RowDegrees())
 		cols := sparse.Stats(ds.R.Transpose().RowDegrees())
 		fmt.Printf("%s: %d x %d, %d ratings\n", s.Name, ds.R.M, ds.R.N, ds.R.NNZ())
@@ -45,39 +42,21 @@ func main() {
 		return
 	}
 
-	if err := writeMatrix(*out, ds.R, *shardNNZ); err != nil {
+	if err := writeMatrix(cfg.Out, ds.R, cfg.ShardNNZ); err != nil {
 		log.Fatal(err)
 	}
-	if *out != "" {
-		fmt.Fprintf(os.Stderr, "wrote %s: %d x %d, %d ratings\n", *out, ds.R.M, ds.R.N, ds.R.NNZ())
+	if cfg.Out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %s: %d x %d, %d ratings\n", cfg.Out, ds.R.M, ds.R.N, ds.R.NNZ())
 	}
 }
 
 // buildSpec resolves the named benchmark spec and applies the scale
-// factor. Any scale other than 1 is applied — the silent old behavior
-// of ignoring upscales is gone — and a non-positive scale is an error
-// rather than an accidental full-size dataset.
+// factor through the shared config contract. Any scale other than 1 is
+// applied — the silent old behavior of ignoring upscales is gone — and
+// a non-positive scale is an error rather than an accidental full-size
+// dataset.
 func buildSpec(name string, scale float64, seed uint64) (datagen.Spec, error) {
-	var s datagen.Spec
-	switch strings.ToLower(name) {
-	case "chembl":
-		s = datagen.ChEMBL(seed)
-	case "ml-20m", "ml20m", "movielens":
-		s = datagen.ML20M(seed)
-	case "small":
-		s = datagen.Small(seed)
-	case "tiny":
-		s = datagen.Tiny(seed)
-	default:
-		return datagen.Spec{}, fmt.Errorf("unknown spec %q", name)
-	}
-	if scale <= 0 {
-		return datagen.Spec{}, fmt.Errorf("-scale must be positive, got %g", scale)
-	}
-	if scale != 1 {
-		s = datagen.Scaled(s, scale)
-	}
-	return s, nil
+	return config.Datagen{Spec: name, Scale: scale, Seed: seed}.ResolveSpec()
 }
 
 // writeMatrix writes r to path, picking the format from the extension:

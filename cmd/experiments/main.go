@@ -24,31 +24,27 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 
+	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/des"
 )
 
 func main() {
-	fig := flag.Int("fig", 0, "figure to regenerate (2..5)")
-	rmse := flag.Bool("rmse", false, "run the §V-B accuracy-equivalence experiment")
-	speedup := flag.Bool("speedup", false, "run the §VI end-to-end speedup estimate")
-	abl := flag.Bool("ablations", false, "run the DESIGN.md §5 ablation tables")
-	all := flag.Bool("all", false, "run every experiment")
-	scale := flag.Float64("scale", 0.05, "dataset scale factor for simulator workloads")
-	calibrate := flag.Bool("calibrate", false, "calibrate the cost model on this machine")
-	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
 
-	if *scale <= 0 {
-		fmt.Fprintf(os.Stderr, "experiments: -scale must be positive, got %g\n", *scale)
-		os.Exit(2)
+	ec := config.DefaultExperiments()
+	if err := config.Parse(flag.CommandLine, os.Args[1:], &ec); err != nil {
+		log.Fatal(err)
 	}
 
 	cfg := core.DefaultConfig()
 	var cm des.CostModel
-	if *calibrate {
+	if ec.Calibrate {
 		fmt.Println("# calibrating kernel cost model on this machine...")
 		cm = des.CalibrateCostModel(cfg.K)
 	} else {
@@ -58,32 +54,32 @@ func main() {
 		cm.PerRating, cm.PerItem, cm.RankOnePerRating, cm.RankOnePerItem)
 
 	ran := false
-	if *all || *fig == 2 {
+	if ec.All || ec.Fig == 2 {
 		fig2(cfg, cm)
 		ran = true
 	}
-	if *all || *fig == 3 {
-		fig3(cfg, cm, *scale)
+	if ec.All || ec.Fig == 3 {
+		fig3(cfg, cm, ec.Scale)
 		ran = true
 	}
-	if *all || *fig == 4 {
-		fig4(cfg, cm, *scale)
+	if ec.All || ec.Fig == 4 {
+		fig4(cfg, cm, ec.Scale)
 		ran = true
 	}
-	if *all || *fig == 5 {
-		fig5(cfg, cm, *scale)
+	if ec.All || ec.Fig == 5 {
+		fig5(cfg, cm, ec.Scale)
 		ran = true
 	}
-	if *all || *rmse {
+	if ec.All || ec.RMSE {
 		rmseExperiment()
 		ran = true
 	}
-	if *all || *speedup {
-		speedupExperiment(cfg, cm, *scale)
+	if ec.All || ec.Speedup {
+		speedupExperiment(cfg, cm, ec.Scale)
 		ran = true
 	}
-	if *all || *abl {
-		ablations(cfg, cm, *scale)
+	if ec.All || ec.Ablations {
+		ablations(cfg, cm, ec.Scale)
 		ran = true
 	}
 	if !ran {

@@ -1,7 +1,10 @@
 // Serving: train a model, checkpoint it, load the checkpoint into a
 // serving snapshot, and answer the three production query shapes — a
 // point prediction with its confidence interval, a top-N recommendation,
-// and a cold-start fold-in for a user the chain never saw.
+// and a cold-start fold-in for a user the chain never saw. A second act
+// launches a two-model registry from one JSON config file — the
+// multi-model deployment `bpmf-serve -config` runs behind HTTP — and
+// hot-reloads one model while the other's answers stay put.
 //
 // This is the paper's end-to-end story in miniature: a long Gibbs run
 // publishes its posterior as a checkpoint, and a server turns that
@@ -16,6 +19,7 @@ import (
 	"path/filepath"
 
 	"repro"
+	"repro/internal/config"
 	"repro/internal/serve"
 	"repro/internal/sparse"
 )
@@ -110,4 +114,93 @@ func main() {
 		fmt.Printf("  item %d (%.2f)", it.Index, it.Score)
 	}
 	fmt.Println()
+
+	// --- Act two: a two-model registry from one config file. ---
+	//
+	// Train a second, longer chain on the same data and publish both
+	// checkpoints side by side — a staging model next to production.
+	stagingPath := filepath.Join(dir, "staging.ckpt")
+	longCfg := cfg
+	longCfg.Iters, longCfg.Burnin = 120, 40
+	f, err = os.Create(stagingPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := bpmf.TrainWithCheckpoint(data, longCfg, f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// One JSON file declares the whole registry; `bpmf-serve -config`
+	// accepts exactly this shape.
+	cfgPath := filepath.Join(dir, "serve.json")
+	registryJSON := fmt.Sprintf(`{
+  "models": {
+    "prod":    {"ckpt": %q, "clamp": {"enable": true, "min": 1, "max": 5}},
+    "staging": {"ckpt": %q}
+  }
+}`, ckptPath, stagingPath)
+	if err := os.WriteFile(cfgPath, []byte(registryJSON), 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	sc := config.DefaultServe()
+	if err := config.LoadFile(cfgPath, &sc); err != nil {
+		log.Fatal(err)
+	}
+	if err := sc.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	models, err := sc.EffectiveModels()
+	if err != nil {
+		log.Fatal(err)
+	}
+	specs := make([]serve.ModelSpec, 0, len(models))
+	for name, mc := range models {
+		specs = append(specs, serve.ModelSpec{
+			Name: name,
+			Path: mc.Ckpt,
+			Opts: serve.Options{
+				Alpha:        mc.Alpha,
+				ClampMin:     mc.Clamp.Min,
+				ClampMax:     mc.Clamp.Max,
+				ClampEnabled: mc.Clamp.Enable,
+			},
+		})
+	}
+	reg, err := serve.NewRegistry(specs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer reg.Close()
+
+	fmt.Printf("\nregistry serves %d models: %v\n", reg.Len(), reg.Names())
+	for _, name := range reg.Names() {
+		msrv, _ := reg.Get(name)
+		p, err := msrv.Model().Predict(0, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-7s  user 0 x item 4: %.2f ± %.2f\n", name, p.Score, p.Std)
+	}
+
+	// Hot-reload only staging (a longer retrain just landed); prod's
+	// snapshot — and its answers — never move.
+	prodSrv, _ := reg.Get("prod")
+	prodBefore, err := prodSrv.Model().Predict(0, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stagingSrv, _ := reg.Get("staging")
+	if err := stagingSrv.Reload(); err != nil {
+		log.Fatal(err)
+	}
+	prodAfter, err := prodSrv.Model().Predict(0, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after reloading staging: prod still answers %.2f (was %.2f), staging reloads=%d, prod reloads=%d\n",
+		prodAfter.Score, prodBefore.Score, stagingSrv.Reloads.Load(), prodSrv.Reloads.Load())
 }

@@ -1,0 +1,61 @@
+package config
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+)
+
+// Bench configures cmd/bench2json: record a labelled benchmark snapshot
+// into the trajectory file, or diff two recorded labels.
+type Bench struct {
+	// Label names the snapshot being recorded.
+	Label string `json:"label,omitempty"`
+	// Out is the trajectory file to update (or read, with Diff).
+	Out string `json:"out,omitempty"`
+	// In is the bench output to parse ("-" = stdin).
+	In string `json:"in,omitempty"`
+	// Diff compares two recorded snapshots: "<labelA>,<labelB>".
+	Diff string `json:"diff,omitempty"`
+}
+
+// DefaultBench returns cmd/bench2json's defaults.
+func DefaultBench() Bench {
+	return Bench{Out: "BENCH_kernels.json", In: "-"}
+}
+
+// RegisterFlags declares cmd/bench2json's flag surface over the
+// struct's current values.
+func (c *Bench) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&c.Label, "label", c.Label, "snapshot label (required unless -diff), e.g. pr1-blocked-kernels")
+	fs.StringVar(&c.Out, "out", c.Out, "trajectory file to update (or read, with -diff)")
+	fs.StringVar(&c.In, "in", c.In, "bench output to parse (- = stdin)")
+	fs.StringVar(&c.Diff, "diff", c.Diff, "compare two recorded snapshots: <labelA>,<labelB>")
+}
+
+// Validate checks the merged configuration.
+func (c Bench) Validate() error {
+	if c.Out == "" {
+		return fmt.Errorf("config: out file must not be empty")
+	}
+	if c.In == "" {
+		return fmt.Errorf("config: in must name a file or \"-\" for stdin")
+	}
+	if c.Diff != "" {
+		a, b, ok := strings.Cut(c.Diff, ",")
+		if !ok || a == "" || b == "" {
+			return fmt.Errorf("config: diff wants two comma-separated labels: <labelA>,<labelB>")
+		}
+		return nil
+	}
+	if c.Label == "" {
+		return fmt.Errorf("config: label is required (or use -diff)")
+	}
+	return nil
+}
+
+// DiffLabels returns the two labels of a validated Diff request.
+func (c Bench) DiffLabels() (string, string) {
+	a, b, _ := strings.Cut(c.Diff, ",")
+	return a, b
+}

@@ -1,0 +1,65 @@
+package config
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/datagen"
+)
+
+// Datagen configures cmd/datagen: one synthetic benchmark written as
+// MatrixMarket text or .bcsr binary shards.
+type Datagen struct {
+	// Spec names the benchmark: chembl | ml-20m | small | tiny.
+	Spec string `json:"spec,omitempty"`
+	// Scale multiplies rows, cols and nnz (> 1 scales up).
+	Scale float64 `json:"scale,omitempty"`
+	// Seed drives the generator.
+	Seed uint64 `json:"seed"`
+	// Out is the output file: *.bcsr writes binary shards, anything else
+	// MatrixMarket ("" = stdout).
+	Out string `json:"out,omitempty"`
+	// ShardNNZ targets entries per .bcsr shard (0 = library default).
+	ShardNNZ int `json:"shard_nnz,omitempty"`
+	// Stats prints degree statistics instead of the matrix.
+	Stats bool `json:"stats,omitempty"`
+}
+
+// DefaultDatagen returns cmd/datagen's defaults.
+func DefaultDatagen() Datagen {
+	return Datagen{Spec: "small", Scale: 1, Seed: 42}
+}
+
+// RegisterFlags declares cmd/datagen's flag surface over the struct's
+// current values.
+func (c *Datagen) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&c.Spec, "spec", c.Spec, "chembl | ml-20m | small | tiny")
+	fs.Float64Var(&c.Scale, "scale", c.Scale, "scale factor for the synthetic benchmark (> 1 scales up)")
+	fs.Uint64Var(&c.Seed, "seed", c.Seed, "random seed")
+	fs.StringVar(&c.Out, "out", c.Out, "output file: *.bcsr writes binary shards, anything else MatrixMarket (default stdout)")
+	fs.IntVar(&c.ShardNNZ, "shard-nnz", c.ShardNNZ, "target entries per .bcsr shard (0 = library default; small values make many shards for multi-rank loading)")
+	fs.BoolVar(&c.Stats, "stats", c.Stats, "print degree statistics instead of the matrix")
+}
+
+// Validate checks the merged configuration.
+func (c Datagen) Validate() error {
+	if _, err := SpecByName(c.Spec, 0); err != nil {
+		return err
+	}
+	if c.Scale <= 0 {
+		return fmt.Errorf("config: data scale must be positive, got %g", c.Scale)
+	}
+	if c.ShardNNZ < 0 {
+		return fmt.Errorf("config: shard-nnz must be >= 0, got %d", c.ShardNNZ)
+	}
+	return nil
+}
+
+// ResolveSpec resolves the scaled generator spec (the shared switch the
+// commands used to duplicate).
+func (c Datagen) ResolveSpec() (datagen.Spec, error) {
+	if err := c.Validate(); err != nil {
+		return datagen.Spec{}, err
+	}
+	return Data{Synthetic: c.Spec, Scale: c.Scale}.Spec(c.Seed)
+}

@@ -1,0 +1,85 @@
+package config
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Command is a command-level config struct that Parse can resolve: it
+// registers its flag surface onto a FlagSet (using its current field
+// values as the flag defaults, which is what makes the three-layer
+// precedence work) and validates the merged result.
+type Command interface {
+	RegisterFlags(fs *flag.FlagSet)
+	Validate() error
+}
+
+// FileFlag is the flag every command accepts for a JSON config file.
+const FileFlag = "config"
+
+// Parse resolves cfg through the three layers — the defaults cfg
+// already holds, the JSON file named by -config (if any), then
+// explicitly set flags — and validates the result.
+//
+// Precedence is defaults < file < flags. Mechanically: a throwaway
+// FlagSet parse discovers -config (full flag syntax, so "-seed 5
+// -config f.json" works), the file is decoded over cfg, and the real
+// parse on fs then re-applies every explicitly set flag on top of the
+// file-merged values. Flags left unset keep the file's values; fields
+// absent from the file keep the defaults.
+func Parse(fs *flag.FlagSet, args []string, cfg Command) error {
+	scratch := flag.NewFlagSet(fs.Name(), flag.ContinueOnError)
+	scratch.SetOutput(io.Discard)
+	scratch.Usage = func() {}
+	cfg.RegisterFlags(scratch)
+	path := scratch.String(FileFlag, "", "")
+	if err := scratch.Parse(args); err != nil && !errors.Is(err, flag.ErrHelp) {
+		// Malformed flags: fall through so the real parse reports them
+		// with fs's own error handling and visible usage text.
+		*path = ""
+	}
+	if *path != "" {
+		if err := LoadFile(*path, cfg); err != nil {
+			return err
+		}
+	}
+	cfg.RegisterFlags(fs)
+	fs.String(FileFlag, *path, "JSON config file; explicitly set flags override its values")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := cfg.Validate(); err != nil {
+		if *path != "" {
+			return fmt.Errorf("(with -%s %s) %w", FileFlag, *path, err)
+		}
+		return err
+	}
+	return nil
+}
+
+// LoadFile decodes the JSON object at path over cfg. Fields absent from
+// the file keep the values cfg already holds (its defaults); unknown
+// fields are errors, so a typo fails loudly instead of silently running
+// on defaults.
+func LoadFile(path string, cfg any) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(cfg); err != nil {
+		return fmt.Errorf("config: parsing %s: %w", path, err)
+	}
+	// A second JSON value in the file is a structural mistake (e.g. two
+	// concatenated objects) that a plain Decode would silently ignore.
+	if dec.More() {
+		return fmt.Errorf("config: parsing %s: trailing data after the config object", path)
+	}
+	return nil
+}

@@ -43,9 +43,14 @@ type Options struct {
 	// observation-noise floor of every predictive Std and the fold-in
 	// likelihood weight.
 	Alpha float64
-	// ClampMin/ClampMax clip served predictions to the rating range
-	// (ClampMax <= ClampMin disables clipping), matching training.
+	// ClampMin/ClampMax clip served predictions to the rating range.
+	// Clipping applies when ClampEnabled is set or (for compatibility
+	// with the old "(0,0) = off" flag sentinel) when ClampMax > ClampMin;
+	// an inverted range is rejected instead of silently disabling.
 	ClampMin, ClampMax float64
+	// ClampEnabled turns clipping on explicitly, which makes degenerate
+	// ranges like [0, N] with N <= 0 configurable.
+	ClampEnabled bool
 	// Exclude lists each user's already-rated items (the training
 	// matrix); Recommend skips them. nil excludes nothing.
 	Exclude *sparse.CSR
@@ -60,21 +65,46 @@ type Options struct {
 	// training run, in split order. When given, Predict serves the exact
 	// posterior predictive mean/std for those pairs.
 	Test []sparse.Entry
-	// PinSeed, when true, rejects checkpoints whose Seed differs from
-	// Seed. Set it whenever Test (and Exclude) were reconstructed from a
-	// specific training run's seed: a hot reload of a chain retrained
-	// under another seed would otherwise pass the count-only shape checks
-	// and serve posterior accumulators aligned to the wrong (user, item)
-	// pairs.
-	PinSeed bool
-	// Seed is the training seed Test was derived from (with PinSeed).
-	Seed uint64
+	// Lineage, when non-nil, pins the checkpoint's provenance: every
+	// load and hot reload must present a checkpoint whose training Seed
+	// (and latent dimension K, when Lineage.K > 0) match. Set it
+	// whenever Test (and Exclude) were reconstructed from a specific
+	// training run's seed — a hot reload of a chain retrained under
+	// another seed would otherwise pass the count-only shape checks and
+	// serve posterior accumulators aligned to the wrong (user, item)
+	// pairs — or whenever a registry route's clients must never observe
+	// a silently swapped-in different chain.
+	Lineage *Lineage
 	// TopN > 0 precomputes every user's top-TopN list at load time;
 	// Recommend answers requests with n <= TopN from the table.
 	TopN int
 	// Pool shards the top-N precompute across its workers (nil =
 	// sequential). The pool is only used during NewModel.
 	Pool *sched.Pool
+}
+
+// Lineage names the training provenance a served checkpoint must match
+// across hot reloads (the explicit generalization of the old PinSeed
+// bool): the training Seed, and optionally the latent dimension K.
+type Lineage struct {
+	// Seed is the required training seed.
+	Seed uint64
+	// K, when > 0, is the required latent dimension.
+	K int
+}
+
+// Check validates a checkpoint's (seed, k) against the lineage.
+func (l *Lineage) Check(seed uint64, k int) error {
+	if l == nil {
+		return nil
+	}
+	if seed != l.Seed {
+		return fmt.Errorf("%w: checkpoint seed %d does not match the pinned lineage seed %d", ErrBadInput, seed, l.Seed)
+	}
+	if l.K > 0 && k != l.K {
+		return fmt.Errorf("%w: checkpoint K=%d does not match the pinned lineage K=%d", ErrBadInput, k, l.K)
+	}
+	return nil
 }
 
 // Prediction is one served rating estimate.
@@ -108,6 +138,7 @@ type Model struct {
 	nSamples int
 	hyperU   *core.Hyper
 	alpha    float64
+	clampOn  bool
 	clampMin float64
 	clampMax float64
 	exclude  *sparse.CSR
@@ -164,9 +195,13 @@ func NewModel(ckpt *core.Checkpoint, opts Options) (*Model, error) {
 		return nil, fmt.Errorf("%w: %d test entries do not match %d checkpointed accumulators",
 			ErrBadInput, len(opts.Test), len(ckpt.PredSum))
 	}
-	if opts.PinSeed && ckpt.Seed != opts.Seed {
-		return nil, fmt.Errorf("%w: checkpoint seed %d does not match the pinned training seed %d",
-			ErrBadInput, ckpt.Seed, opts.Seed)
+	if err := opts.Lineage.Check(ckpt.Seed, k); err != nil {
+		return nil, err
+	}
+	clampOn := opts.ClampEnabled || opts.ClampMax > opts.ClampMin
+	if clampOn && opts.ClampMin > opts.ClampMax {
+		return nil, fmt.Errorf("%w: clamp min (%g) exceeds clamp max (%g)",
+			ErrBadInput, opts.ClampMin, opts.ClampMax)
 	}
 	alpha := opts.Alpha
 	if alpha <= 0 {
@@ -188,6 +223,7 @@ func NewModel(ckpt *core.Checkpoint, opts Options) (*Model, error) {
 		nextIter: ckpt.NextIter,
 		nSamples: ckpt.NSamples,
 		alpha:    alpha,
+		clampOn:  clampOn,
 		clampMin: opts.ClampMin,
 		clampMax: opts.ClampMax,
 		exclude:  opts.Exclude,
@@ -251,7 +287,7 @@ func (m *Model) NSamples() int { return m.nSamples }
 
 // clamp applies the configured rating-range clip.
 func (m *Model) clamp(v float64) float64 {
-	if m.clampMax > m.clampMin {
+	if m.clampOn {
 		v = math.Min(m.clampMax, math.Max(m.clampMin, v))
 	}
 	return v
@@ -365,7 +401,7 @@ func (m *Model) leaseScores() *[]float64 {
 // clampItems clamps the reported scores of a ranked list in place and
 // returns it.
 func (m *Model) clampItems(items []rank.Item) []rank.Item {
-	if m.clampMax > m.clampMin {
+	if m.clampOn {
 		for i := range items {
 			items[i].Score = m.clamp(items[i].Score)
 		}

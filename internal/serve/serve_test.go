@@ -557,7 +557,7 @@ func TestServerPinSeedRejectsRetrainedChain(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "model.ckpt")
 	writeCheckpointFile(t, path, ckpt)
 	opts := modelOptions(prob, cfg)
-	opts.PinSeed, opts.Seed = true, cfg.Seed
+	opts.Lineage = &Lineage{Seed: cfg.Seed}
 	srv, err := Open(path, opts)
 	if err != nil {
 		t.Fatal(err)

@@ -41,6 +41,10 @@ type Server struct {
 	reloadMu sync.Mutex
 	mtime    time.Time
 	size     int64
+	// lastErr is the most recent reload failure, cleared by the next
+	// successful reload; healthz reports it per model so a registry
+	// operator can see a route serving a stale-but-good snapshot.
+	lastErr error
 
 	// Reloads counts successful snapshot swaps since Open (the initial
 	// load is the first).
@@ -69,17 +73,32 @@ func (s *Server) Reload() error {
 	defer s.reloadMu.Unlock()
 	fi, err := os.Stat(s.path)
 	if err != nil {
-		return fmt.Errorf("serve: stat checkpoint: %w", err)
+		s.lastErr = fmt.Errorf("serve: stat checkpoint: %w", err)
+		return s.lastErr
 	}
 	m, err := LoadModel(s.path, s.opts)
 	if err != nil {
+		s.lastErr = err
 		return err
 	}
 	s.cur.Store(m)
 	s.mtime, s.size = fi.ModTime(), fi.Size()
+	s.lastErr = nil
 	s.Reloads.Add(1)
 	return nil
 }
+
+// LastError returns the most recent reload failure, or nil when the
+// last (re)load succeeded. A non-nil error means the server is still
+// serving its previous good snapshot.
+func (s *Server) LastError() error {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	return s.lastErr
+}
+
+// Path returns the checkpoint file the server (re)loads from.
+func (s *Server) Path() string { return s.path }
 
 // MaybeReload stats the checkpoint file and reloads only if its mtime or
 // size changed since the last successful reload. It reports whether a
@@ -88,8 +107,9 @@ func (s *Server) MaybeReload() (bool, error) {
 	s.reloadMu.Lock()
 	fi, err := os.Stat(s.path)
 	if err != nil {
+		s.lastErr = fmt.Errorf("serve: stat checkpoint: %w", err)
 		s.reloadMu.Unlock()
-		return false, fmt.Errorf("serve: stat checkpoint: %w", err)
+		return false, s.lastErr
 	}
 	unchanged := fi.ModTime().Equal(s.mtime) && fi.Size() == s.size
 	s.reloadMu.Unlock()
