@@ -77,7 +77,7 @@ func main() {
 		if err := json.Unmarshal(data, &traj); err != nil {
 			log.Fatalf("%s is not a trajectory file: %v", cfg.Out, err)
 		}
-		table, err := Diff(traj, labelA, labelB)
+		table, err := Diff(traj, labelA, labelB, cfg.Metric)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -133,12 +133,16 @@ func main() {
 		len(snap.Benchmarks), snap.Label, cfg.Out)
 }
 
-// Diff renders the per-benchmark speedup table between two labelled
-// snapshots: ns/op under each label and the ratio old/new (>1 means b is
-// faster), for every benchmark recorded in both. Benchmarks present in
-// only one snapshot are listed below the table so a renamed series is
+// Diff renders the per-benchmark comparison table between two labelled
+// snapshots. With metric == "" it compares the headline ns/op and the
+// ratio column is the speedup old/new (>1 means b is faster). A named
+// metric (p99-ns, req/s, B/op, ...) compares that recorded unit
+// instead, and the ratio column becomes new/old (>1 means b reports a
+// larger value — better or worse depends on the metric, so the header
+// says what it is). Benchmarks present in only one snapshot (or
+// missing the metric) are listed below the table so a renamed series is
 // visible rather than silently dropped.
-func Diff(traj []Snapshot, labelA, labelB string) (string, error) {
+func Diff(traj []Snapshot, labelA, labelB, metric string) (string, error) {
 	find := func(label string) (*Snapshot, error) {
 		for i := range traj {
 			if traj[i].Label == label {
@@ -160,6 +164,23 @@ func Diff(traj []Snapshot, labelA, labelB string) (string, error) {
 		return "", err
 	}
 
+	// value pulls the compared figure out of one benchmark; render and
+	// the ratio direction depend on whether it is the headline ns/op or
+	// a named metric.
+	value := func(bench Benchmark) (float64, bool) {
+		if metric == "" {
+			return bench.NsPerOp, true
+		}
+		v, ok := bench.Metrics[metric]
+		return v, ok
+	}
+	render := fmtNs
+	ratioHead := "speedup"
+	if metric != "" {
+		render = func(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+		ratioHead = metric + " new/old"
+	}
+
 	aByName := make(map[string]Benchmark, len(a.Benchmarks))
 	for _, bench := range a.Benchmarks {
 		aByName[bench.Name] = bench
@@ -171,20 +192,30 @@ func Diff(traj []Snapshot, labelA, labelB string) (string, error) {
 			width = len(bench.Name)
 		}
 	}
-	fmt.Fprintf(&sb, "%-*s  %14s  %14s  %8s\n", width, "benchmark", labelA, labelB, "speedup")
+	fmt.Fprintf(&sb, "%-*s  %14s  %14s  %*s\n", width, "benchmark", labelA, labelB, len(ratioHead), ratioHead)
 	matched := make(map[string]bool, len(b.Benchmarks))
 	for _, bb := range b.Benchmarks {
-		ab, ok := aByName[bb.Name]
-		if !ok {
+		ab, inA := aByName[bb.Name]
+		if !inA {
+			continue
+		}
+		av, aOK := value(ab)
+		bv, bOK := value(bb)
+		if !aOK || !bOK {
+			fmt.Fprintf(&sb, "# no %s recorded for %s in both labels\n", metric, bb.Name)
+			matched[bb.Name] = true // present in both; just not comparable
 			continue
 		}
 		matched[bb.Name] = true
 		ratio := "n/a"
-		if bb.NsPerOp > 0 {
-			ratio = fmt.Sprintf("%.2fx", ab.NsPerOp/bb.NsPerOp)
+		switch {
+		case metric == "" && bv > 0:
+			ratio = fmt.Sprintf("%.2fx", av/bv)
+		case metric != "" && av > 0:
+			ratio = fmt.Sprintf("%.2fx", bv/av)
 		}
-		fmt.Fprintf(&sb, "%-*s  %14s  %14s  %8s\n",
-			width, bb.Name, fmtNs(ab.NsPerOp), fmtNs(bb.NsPerOp), ratio)
+		fmt.Fprintf(&sb, "%-*s  %14s  %14s  %*s\n",
+			width, bb.Name, render(av), render(bv), len(ratioHead), ratio)
 	}
 	for _, ab := range a.Benchmarks {
 		if !matched[ab.Name] {

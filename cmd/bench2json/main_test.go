@@ -40,7 +40,7 @@ func diffFixture() []Snapshot {
 }
 
 func TestDiffSpeedupTable(t *testing.T) {
-	table, err := Diff(diffFixture(), "old", "new")
+	table, err := Diff(diffFixture(), "old", "new", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,11 +57,48 @@ func TestDiffSpeedupTable(t *testing.T) {
 	}
 }
 
+// TestDiffNamedMetric pins the -metric extension: a named unit is
+// compared instead of ns/op, the ratio flips to new/old, and series
+// missing the metric are flagged instead of silently dropped.
+func TestDiffNamedMetric(t *testing.T) {
+	traj := []Snapshot{
+		{Label: "unbatched", Benchmarks: []Benchmark{
+			{Name: "ServeLoad/closed/vus=8", NsPerOp: 5e6, Metrics: map[string]float64{"req/s": 1000, "p99-ns": 9e6}},
+			{Name: "ServeLoad/closed/vus=1", NsPerOp: 1e6, Metrics: map[string]float64{"p99-ns": 2e6}},
+		}},
+		{Label: "batched", Benchmarks: []Benchmark{
+			{Name: "ServeLoad/closed/vus=8", NsPerOp: 4e6, Metrics: map[string]float64{"req/s": 2500, "p99-ns": 8e6}},
+			{Name: "ServeLoad/closed/vus=1", NsPerOp: 1e6, Metrics: map[string]float64{"p99-ns": 2e6}},
+		}},
+	}
+	table, err := Diff(traj, "unbatched", "batched", "req/s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"req/s new/old", "2.50x", "1000", "2500",
+		"# no req/s recorded for ServeLoad/closed/vus=1 in both labels",
+	} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("metric table missing %q:\n%s", want, table)
+		}
+	}
+
+	// The default ns/op diff still reads speedup = old/new.
+	table, err = Diff(traj, "unbatched", "batched", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table, "1.25x") || !strings.Contains(table, "speedup") {
+		t.Fatalf("default diff broken:\n%s", table)
+	}
+}
+
 func TestDiffUnknownLabel(t *testing.T) {
-	if _, err := Diff(diffFixture(), "old", "nope"); err == nil {
+	if _, err := Diff(diffFixture(), "old", "nope", ""); err == nil {
 		t.Fatal("unknown label must error")
 	}
-	if _, err := Diff(diffFixture(), "nope", "new"); err == nil {
+	if _, err := Diff(diffFixture(), "nope", "new", ""); err == nil {
 		t.Fatal("unknown label must error")
 	}
 }
@@ -71,7 +108,7 @@ func TestDiffNoSharedBenchmarks(t *testing.T) {
 		{Label: "a", Benchmarks: []Benchmark{{Name: "X", NsPerOp: 1}}},
 		{Label: "b", Benchmarks: []Benchmark{{Name: "Y", NsPerOp: 1}}},
 	}
-	if _, err := Diff(traj, "a", "b"); err == nil {
+	if _, err := Diff(traj, "a", "b", ""); err == nil {
 		t.Fatal("disjoint snapshots must error")
 	}
 }

@@ -52,7 +52,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"math"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -63,6 +66,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/la"
 	"repro/internal/rank"
 	"repro/internal/sched"
 	"repro/internal/serve"
@@ -128,7 +132,22 @@ func main() {
 		})
 	}
 
-	hs := &http.Server{Addr: cfg.Addr, Handler: newMux(reg)}
+	reg.EnableBatching(batchOptions(cfg.Serving))
+	log.Printf("serving path: max-batch=%d max-delay=%s queue-bound=%d rate=%g",
+		cfg.Serving.MaxBatch, cfg.Serving.MaxDelay, cfg.Serving.QueueBound, cfg.Serving.Rate)
+
+	// Timeouts on every phase of the exchange so one stalled or
+	// malicious client can never pin a connection (and its goroutine)
+	// forever: slowloris headers, dribbled bodies, unread responses and
+	// idle keep-alives all get bounded.
+	hs := &http.Server{
+		Addr:              cfg.Addr,
+		Handler:           newMux(reg),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 	go func() {
 		<-ctx.Done()
 		sd, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -138,6 +157,19 @@ func main() {
 	log.Printf("listening on %s (%d models)", cfg.Addr, reg.Len())
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
+	}
+}
+
+// batchOptions maps the validated Serving config onto the serving
+// layer's batcher knobs.
+func batchOptions(s config.Serving) serve.BatchOptions {
+	return serve.BatchOptions{
+		MaxBatch:   s.MaxBatch,
+		MaxDelay:   s.MaxDelay.Std(),
+		QueueBound: s.QueueBound,
+		Rate:       s.Rate,
+		Burst:      s.Burst,
+		RetryAfter: s.RetryAfter.Std(),
 	}
 }
 
@@ -233,30 +265,84 @@ func buildSpec(name string, mc config.ServeModel, pool *sched.Pool, logf func(st
 	return spec, nil
 }
 
+// route is one model's request path: its hot-reloading server plus the
+// batcher coalescing its scoring work (nil = batching disabled, serve
+// the per-request path directly).
+type route struct {
+	srv *serve.Server
+	bt  *serve.Batcher
+}
+
+// admit applies per-client admission control before any scoring work.
+// A false return means the request was shed and the 429 response (with
+// its Retry-After hint) already written.
+func (rt route) admit(w http.ResponseWriter, r *http.Request) bool {
+	if rt.bt == nil {
+		return true
+	}
+	if err := rt.bt.Admit(clientKey(r)); err != nil {
+		httpError(w, statusOf(err), err)
+		return false
+	}
+	return true
+}
+
+// clientKey buckets requests for rate limiting by client host.
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+func (rt route) predict(user, item int) (serve.Prediction, error) {
+	m := rt.srv.Model()
+	if rt.bt != nil {
+		return rt.bt.Predict(m, user, item)
+	}
+	return m.Predict(user, item)
+}
+
+func (rt route) recommend(user, n int) ([]rank.Item, error) {
+	m := rt.srv.Model()
+	if rt.bt != nil {
+		return rt.bt.Recommend(m, user, n)
+	}
+	return m.Recommend(user, n)
+}
+
+func (rt route) recommendVector(m *serve.Model, u la.Vector, excl []int32, n int) ([]rank.Item, error) {
+	if rt.bt != nil {
+		return rt.bt.RecommendVector(m, u, excl, n)
+	}
+	return m.RecommendVector(u, excl, n)
+}
+
 // newMux wires the HTTP endpoints onto the model registry. The
 // /v1/<model>/... routes address models by name; the unversioned
 // legacy routes serve the model named "default", so pre-registry
 // single-model deployments keep their URLs.
 func newMux(reg *serve.Registry) *http.ServeMux {
 	mux := http.NewServeMux()
-	byName := func(h func(*serve.Server, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	byName := func(h func(route, http.ResponseWriter, *http.Request)) http.HandlerFunc {
 		return func(w http.ResponseWriter, r *http.Request) {
 			srv, ok := reg.Get(r.PathValue("model"))
 			if !ok {
 				unknownModel(w, reg, r.PathValue("model"))
 				return
 			}
-			h(srv, w, r)
+			h(route{srv: srv, bt: reg.Batcher(r.PathValue("model"))}, w, r)
 		}
 	}
-	legacy := func(h func(*serve.Server, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	legacy := func(h func(route, http.ResponseWriter, *http.Request)) http.HandlerFunc {
 		return func(w http.ResponseWriter, r *http.Request) {
 			srv, ok := reg.Get("default")
 			if !ok {
 				unknownModel(w, reg, "default")
 				return
 			}
-			h(srv, w, r)
+			h(route{srv: srv, bt: reg.Batcher("default")}, w, r)
 		}
 	}
 	mux.HandleFunc("/v1/{model}/predict", byName(handlePredict))
@@ -308,17 +394,17 @@ func unknownModel(w http.ResponseWriter, reg *serve.Registry, name string) {
 // server state, so it demands POST — a crawler or monitoring GET must
 // never trigger a reload the way it could when every method was
 // accepted.
-func handleReload(srv *serve.Server, w http.ResponseWriter, r *http.Request) {
+func handleReload(rt route, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		httpError(w, http.StatusMethodNotAllowed, errors.New("POST to reload"))
 		return
 	}
-	if err := srv.Reload(); err != nil {
+	if err := rt.srv.Reload(); err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, map[string]any{"reloads": srv.Reloads.Load()})
+	writeJSON(w, map[string]any{"reloads": rt.srv.Reloads.Load()})
 }
 
 // loadExclusions reads the training rating matrix and, when testFrac > 0,
@@ -351,7 +437,10 @@ func loadExclusions(dataPath string, testFrac float64, ckptPath string) (*sparse
 	return train, test, ckpt.Seed, nil
 }
 
-func handlePredict(srv *serve.Server, w http.ResponseWriter, r *http.Request) {
+func handlePredict(rt route, w http.ResponseWriter, r *http.Request) {
+	if !rt.admit(w, r) {
+		return
+	}
 	user, err := intParam(r, "user")
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
@@ -362,7 +451,7 @@ func handlePredict(srv *serve.Server, w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	p, err := srv.Model().Predict(user, item)
+	p, err := rt.predict(user, item)
 	if err != nil {
 		httpError(w, statusOf(err), err)
 		return
@@ -373,7 +462,10 @@ func handlePredict(srv *serve.Server, w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func handleRecommend(srv *serve.Server, w http.ResponseWriter, r *http.Request) {
+func handleRecommend(rt route, w http.ResponseWriter, r *http.Request) {
+	if !rt.admit(w, r) {
+		return
+	}
 	user, err := intParam(r, "user")
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
@@ -384,7 +476,7 @@ func handleRecommend(srv *serve.Server, w http.ResponseWriter, r *http.Request) 
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	top, err := srv.Model().Recommend(user, n)
+	top, err := rt.recommend(user, n)
 	if err != nil {
 		httpError(w, statusOf(err), err)
 		return
@@ -401,17 +493,40 @@ type foldInRequest struct {
 	N      int       `json:"n"`
 }
 
-func handleFoldIn(srv *serve.Server, w http.ResponseWriter, r *http.Request) {
+// maxFoldInBody caps /foldin request bodies: a fold-in carries one
+// user's ratings, so 1 MiB is generous — anything bigger is a mistake
+// or abuse, rejected with 413 before it can balloon the decoder.
+const maxFoldInBody = 1 << 20
+
+func handleFoldIn(rt route, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, errors.New("POST a JSON body"))
 		return
 	}
+	if !rt.admit(w, r) {
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxFoldInBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
 	var req foldInRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	m := srv.Model()
+	// One JSON document per request: trailing garbage would be silently
+	// ignored by a bare Decode, masking client bugs.
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		httpError(w, http.StatusBadRequest, errors.New("request body holds more than one JSON document"))
+		return
+	}
+	m := rt.srv.Model()
 	u, err := m.FoldIn(req.Items, req.Values, req.Key)
 	if err != nil {
 		httpError(w, statusOf(err), err)
@@ -419,7 +534,7 @@ func handleFoldIn(srv *serve.Server, w http.ResponseWriter, r *http.Request) {
 	}
 	resp := map[string]any{"factors": []float64(u)}
 	if req.N > 0 {
-		top, err := m.RecommendVector(u, req.Items, req.N)
+		top, err := rt.recommendVector(m, u, req.Items, req.N)
 		if err != nil {
 			httpError(w, statusOf(err), err)
 			return
@@ -438,8 +553,16 @@ func itemsJSON(top []rank.Item) []map[string]any {
 }
 
 // statusOf maps the serving layer's documented errors to HTTP statuses.
+// Admission-control sheds map to 429 (client over its rate) or 503
+// (queue at its SLO bound); httpError attaches their Retry-After hint.
 func statusOf(err error) int {
+	var shed *serve.Shed
 	switch {
+	case errors.As(err, &shed):
+		if shed.RateLimited {
+			return http.StatusTooManyRequests
+		}
+		return http.StatusServiceUnavailable
 	case errors.Is(err, serve.ErrUserRange), errors.Is(err, serve.ErrItemRange):
 		return http.StatusNotFound
 	case errors.Is(err, serve.ErrBadInput):
@@ -467,6 +590,16 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 func httpError(w http.ResponseWriter, status int, err error) {
+	var shed *serve.Shed
+	if errors.As(err, &shed) {
+		// Whole seconds, rounded up, minimum 1: Retry-After's integer
+		// form cannot express sub-second hints.
+		secs := int(math.Ceil(shed.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})

@@ -59,6 +59,7 @@ func testRegistry(t *testing.T) *serve.Registry {
 	if err != nil {
 		t.Fatal(err)
 	}
+	reg.EnableBatching(serve.DefaultBatchOptions())
 	t.Cleanup(func() { reg.Close() })
 	return reg
 }
@@ -177,6 +178,7 @@ func TestPredictMatchesPreRegistryPath(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer reg.Close()
+	reg.EnableBatching(serve.DefaultBatchOptions())
 	mux := newMux(reg)
 
 	for user := 0; user < 3; user++ {
@@ -266,5 +268,102 @@ func TestTwoModelIndependentReload(t *testing.T) {
 	}
 	if got := predict("b"); got != beforeB {
 		t.Errorf("model b's answers changed when model a reloaded:\n before %s after %s", beforeB, got)
+	}
+}
+
+// rateLimitedRegistry opens a single-model registry whose admission
+// control allows one request per client, then sheds.
+func rateLimitedRegistry(t *testing.T) *serve.Registry {
+	t.Helper()
+	ckpt, cfg := testCkpt(t, t.TempDir(), "model.ckpt", 42)
+	reg, err := serve.NewRegistry([]serve.ModelSpec{
+		{Name: "default", Path: ckpt, Opts: serve.Options{Alpha: cfg.Alpha}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { reg.Close() })
+	opts := serve.DefaultBatchOptions()
+	opts.Rate, opts.Burst = 0.001, 1
+	reg.EnableBatching(opts)
+	return reg
+}
+
+// TestRateLimitSheds429WithRetryAfter pins the admission-control
+// surface: a client over its rate gets 429 with a Retry-After hint and
+// a JSON error body, per client — another client is still served.
+func TestRateLimitSheds429WithRetryAfter(t *testing.T) {
+	mux := newMux(rateLimitedRegistry(t))
+	get := func(remote, path string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		req.RemoteAddr = remote
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, req)
+		return rec
+	}
+	if rec := get("10.0.0.1:555", "/predict?user=0&item=1"); rec.Code != http.StatusOK {
+		t.Fatalf("first request = %d, body %s", rec.Code, rec.Body.String())
+	}
+	rec := get("10.0.0.1:666", "/recommend?user=0&n=2") // same host, new port: same bucket
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("second request = %d, want 429 (body %s)", rec.Code, rec.Body.String())
+	}
+	if ra := rec.Header().Get("Retry-After"); ra == "" {
+		t.Error("429 without a Retry-After header")
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("429 Content-Type = %q, want application/json", ct)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body.Error == "" {
+		t.Errorf("429 body not a JSON error: %v (%s)", err, rec.Body.String())
+	}
+	if rec := get("10.0.0.2:555", "/predict?user=0&item=1"); rec.Code != http.StatusOK {
+		t.Errorf("other client shed too: %d (body %s)", rec.Code, rec.Body.String())
+	}
+}
+
+// postFoldIn sends one /foldin body and returns the recorder.
+func postFoldIn(mux *http.ServeMux, body string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, "/foldin", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestFoldInBodyHygiene pins the request-body satellite: oversized
+// bodies get 413, unknown fields and trailing garbage get 400, and a
+// well-formed body still works.
+func TestFoldInBodyHygiene(t *testing.T) {
+	mux := newMux(testRegistry(t))
+
+	if rec := postFoldIn(mux, `{"items":[0,1],"values":[5,4],"key":1,"n":2}`); rec.Code != http.StatusOK {
+		t.Fatalf("well-formed foldin = %d, body %s", rec.Code, rec.Body.String())
+	}
+	if rec := postFoldIn(mux, `{"items":[0],"values":[5],"key":1,"frobnicate":true}`); rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown field = %d, want 400 (body %s)", rec.Code, rec.Body.String())
+	}
+	if rec := postFoldIn(mux, `{"items":[0],"values":[5],"key":1} {"sneaky":1}`); rec.Code != http.StatusBadRequest {
+		t.Errorf("trailing garbage = %d, want 400 (body %s)", rec.Code, rec.Body.String())
+	}
+	huge := `{"items":[0],"values":[5],"key":1,"n":0` + strings.Repeat(" ", maxFoldInBody) + `}`
+	if rec := postFoldIn(mux, huge); rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body = %d, want 413 (body %s)", rec.Code, rec.Body.String())
+	}
+}
+
+// TestStatusOfShed pins the error → status mapping for admission sheds.
+func TestStatusOfShed(t *testing.T) {
+	if s := statusOf(&serve.Shed{RateLimited: true}); s != http.StatusTooManyRequests {
+		t.Errorf("rate-limit shed = %d, want 429", s)
+	}
+	if s := statusOf(&serve.Shed{}); s != http.StatusServiceUnavailable {
+		t.Errorf("overload shed = %d, want 503", s)
+	}
+	if s := statusOf(fmt.Errorf("wrapped: %w", &serve.Shed{})); s != http.StatusServiceUnavailable {
+		t.Errorf("wrapped shed = %d, want 503", s)
 	}
 }

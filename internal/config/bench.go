@@ -17,6 +17,10 @@ type Bench struct {
 	In string `json:"in,omitempty"`
 	// Diff compares two recorded snapshots: "<labelA>,<labelB>".
 	Diff string `json:"diff,omitempty"`
+	// Metric selects which recorded metric -diff compares
+	// ("" = ns/op). Load trajectories record e.g. p50-ns, p99-ns and
+	// req/s.
+	Metric string `json:"metric,omitempty"`
 }
 
 // DefaultBench returns cmd/bench2json's defaults.
@@ -31,6 +35,7 @@ func (c *Bench) RegisterFlags(fs *flag.FlagSet) {
 	fs.StringVar(&c.Out, "out", c.Out, "trajectory file to update (or read, with -diff)")
 	fs.StringVar(&c.In, "in", c.In, "bench output to parse (- = stdin)")
 	fs.StringVar(&c.Diff, "diff", c.Diff, "compare two recorded snapshots: <labelA>,<labelB>")
+	fs.StringVar(&c.Metric, "metric", c.Metric, "metric to compare with -diff (empty = ns/op)")
 }
 
 // Validate checks the merged configuration.
@@ -47,6 +52,9 @@ func (c Bench) Validate() error {
 			return fmt.Errorf("config: diff wants two comma-separated labels: <labelA>,<labelB>")
 		}
 		return nil
+	}
+	if c.Metric != "" {
+		return fmt.Errorf("config: metric only applies with -diff")
 	}
 	if c.Label == "" {
 		return fmt.Errorf("config: label is required (or use -diff)")

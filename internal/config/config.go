@@ -248,4 +248,3 @@ func (f Fault) Validate() error {
 
 // Enabled reports whether a self-kill is configured.
 func (f Fault) Enabled() bool { return f.DieRank >= 0 && f.DieIter >= 0 }
-

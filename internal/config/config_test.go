@@ -65,6 +65,40 @@ func TestDefaultsAreValid(t *testing.T) {
 	if err := bc.Validate(); err != nil {
 		t.Errorf("DefaultBench: %v", err)
 	}
+
+	ld := DefaultLoad()
+	ld.URL = "http://127.0.0.1:8080"
+	if err := ld.Validate(); err != nil {
+		t.Errorf("DefaultLoad: %v", err)
+	}
+}
+
+func TestLoadValidate(t *testing.T) {
+	base := DefaultLoad()
+	base.URL = "http://127.0.0.1:8080"
+	cases := []struct {
+		name        string
+		mut         func(*Load)
+		errContains string
+	}{
+		{"valid closed", func(c *Load) {}, ""},
+		{"valid open", func(c *Load) { c.Mode = "open"; c.Rate = 50 }, ""},
+		{"no url", func(c *Load) { c.URL = "" }, "need -url"},
+		{"bad mode", func(c *Load) { c.Mode = "burst" }, "mode must be"},
+		{"zero vus", func(c *Load) { c.VUs = 0 }, "vus must be >= 1"},
+		{"open without rate", func(c *Load) { c.Mode = "open"; c.Rate = 0 }, "arrival -rate"},
+		{"zero duration", func(c *Load) { c.Duration = 0 }, "duration must be positive"},
+		{"negative warmup", func(c *Load) { c.Warmup = Duration(-time.Second) }, "warmup"},
+		{"zero n", func(c *Load) { c.N = 0 }, "n must be >= 1"},
+		{"bad predict frac", func(c *Load) { c.PredictFrac = 1.5 }, "predict-frac"},
+		{"negative users", func(c *Load) { c.Users = -1 }, "users and items"},
+		{"zero timeout", func(c *Load) { c.Timeout = 0 }, "timeout must be positive"},
+	}
+	for _, tc := range cases {
+		c := base
+		tc.mut(&c)
+		checkValidate(t, tc.name, c.Validate(), tc.errContains)
+	}
 }
 
 func TestDataValidate(t *testing.T) {
@@ -297,6 +331,12 @@ func TestServeValidate(t *testing.T) {
 		{"inverted clamp", func(c *Serve) { c.Model.Clamp = Clamp{Min: 5, Max: 1} }, "must not exceed"},
 		{"negative topn", func(c *Serve) { c.Model.TopN = -1 }, "topn must be >= 0"},
 		{"bad lineage k", func(c *Serve) { c.Model.Lineage = &Lineage{Seed: 1, K: -1} }, "lineage k"},
+		{"zero max batch", func(c *Serve) { c.Serving.MaxBatch = 0 }, "max batch"},
+		{"negative max delay", func(c *Serve) { c.Serving.MaxDelay = Duration(-time.Millisecond) }, "max delay"},
+		{"negative queue bound", func(c *Serve) { c.Serving.QueueBound = -1 }, "queue bound"},
+		{"negative rate", func(c *Serve) { c.Serving.Rate = -1 }, "rate must be >= 0"},
+		{"negative burst", func(c *Serve) { c.Serving.Burst = -1 }, "burst must be >= 0"},
+		{"negative retry-after", func(c *Serve) { c.Serving.RetryAfter = Duration(-time.Second) }, "retry-after"},
 	}
 	for _, tc := range cases {
 		c := base
@@ -384,6 +424,8 @@ func TestBenchValidate(t *testing.T) {
 		{"empty in", func(c *Bench) { c.In = "" }, "stdin"},
 		{"diff one label", func(c *Bench) { c.Diff = "a" }, "two comma-separated labels"},
 		{"diff empty half", func(c *Bench) { c.Diff = "a," }, "two comma-separated labels"},
+		{"metric with diff", func(c *Bench) { c.Diff = "a,b"; c.Metric = "p99-ns" }, ""},
+		{"metric without diff", func(c *Bench) { c.Label = "run1"; c.Metric = "p99-ns" }, "metric only applies"},
 	}
 	for _, tc := range cases {
 		c := DefaultBench()
@@ -397,7 +439,7 @@ func TestCanonicalEngine(t *testing.T) {
 		"sequential": "sequential", "seq": "sequential",
 		"worksteal": "worksteal", "TBB": "worksteal",
 		"static": "static", "openmp": "static",
-		"graphlab": "graphlab",
+		"graphlab":    "graphlab",
 		"Distributed": "distributed", "dist": "distributed", "mpi": "distributed",
 		"cuda": "", "": "",
 	}

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"sort"
+	"time"
 )
 
 // ServeModel configures one named model in the bpmf-serve registry.
@@ -54,6 +55,78 @@ func (m ServeModel) Validate(name string) error {
 	return nil
 }
 
+// Serving configures the request path shared by every model route of
+// the registry: the batching window that coalesces concurrent requests
+// into shared GEMM flushes, the queue bound that sheds overload (503 +
+// Retry-After), and the per-client rate limit (429 + Retry-After).
+// Batching and the queue are per model route; the rate limit is per
+// (client, model).
+type Serving struct {
+	// MaxBatch caps how many queued requests one flush scores together
+	// (1 = disable coalescing, serve the per-request path).
+	MaxBatch int `json:"max_batch,omitempty"`
+	// MaxDelay bounds how long a busy batcher waits to fill a partial
+	// batch; an idle batcher always flushes immediately.
+	MaxDelay Duration `json:"max_delay,omitempty"`
+	// QueueBound is the SLO bound on queued requests per model; beyond
+	// it new requests are shed with 503 (0 = unbounded).
+	QueueBound int `json:"queue_bound,omitempty"`
+	// Rate is the per-client admission rate in requests/second
+	// (0 = no rate limit).
+	Rate float64 `json:"rate,omitempty"`
+	// Burst is the token-bucket depth per client (0 derives
+	// max(1, ceil(rate))).
+	Burst int `json:"burst,omitempty"`
+	// RetryAfter is the back-off hint attached to queue-overload sheds.
+	RetryAfter Duration `json:"retry_after,omitempty"`
+}
+
+// DefaultServing returns the serving-path defaults: coalesce up to 64
+// requests, wait at most 200µs to fill a partial batch while busy, shed
+// beyond 1024 queued requests, no per-client rate limit.
+func DefaultServing() Serving {
+	return Serving{
+		MaxBatch:   64,
+		MaxDelay:   Duration(200 * time.Microsecond),
+		QueueBound: 1024,
+		RetryAfter: Duration(time.Second),
+	}
+}
+
+// RegisterFlags declares the serving-path flag surface over the
+// struct's current values.
+func (c *Serving) RegisterFlags(fs *flag.FlagSet) {
+	fs.IntVar(&c.MaxBatch, "max-batch", c.MaxBatch, "max requests coalesced into one scoring flush (1 = unbatched)")
+	fs.Var(&c.MaxDelay, "max-delay", "max wait to fill a partial batch while busy (idle requests never wait)")
+	fs.IntVar(&c.QueueBound, "queue-bound", c.QueueBound, "shed requests with 503 beyond this many queued per model (0 = unbounded)")
+	fs.Float64Var(&c.Rate, "rate", c.Rate, "per-client request rate limit in req/s (0 = unlimited)")
+	fs.IntVar(&c.Burst, "burst", c.Burst, "per-client token-bucket burst (0 = derive from -rate)")
+	fs.Var(&c.RetryAfter, "retry-after", "Retry-After hint attached to overload sheds")
+}
+
+// Validate checks the serving-path configuration.
+func (c Serving) Validate() error {
+	if c.MaxBatch < 1 {
+		return fmt.Errorf("config: max batch must be >= 1 (1 = unbatched), got %d", c.MaxBatch)
+	}
+	if c.MaxDelay < 0 {
+		return fmt.Errorf("config: max delay must be >= 0, got %s", c.MaxDelay)
+	}
+	if c.QueueBound < 0 {
+		return fmt.Errorf("config: queue bound must be >= 0 (0 = unbounded), got %d", c.QueueBound)
+	}
+	if c.Rate < 0 {
+		return fmt.Errorf("config: rate must be >= 0 (0 = unlimited), got %g", c.Rate)
+	}
+	if c.Burst < 0 {
+		return fmt.Errorf("config: burst must be >= 0 (0 = derived), got %d", c.Burst)
+	}
+	if c.RetryAfter < 0 {
+		return fmt.Errorf("config: retry-after must be >= 0, got %s", c.RetryAfter)
+	}
+	return nil
+}
+
 // Serve configures cmd/bpmf-serve: an HTTP registry of N named models.
 // The single-model flag surface (-ckpt, -data, ...) populates Model;
 // a config file can instead declare Models, a map of name → model.
@@ -69,6 +142,9 @@ type Serve struct {
 	// independently: one model's new checkpoint never touches the
 	// others' snapshots.
 	Watch Duration `json:"watch,omitempty"`
+	// Serving configures the shared request path: batching window,
+	// queue bound, per-client rate limits.
+	Serving Serving `json:"serving"`
 
 	// Model is the single-model configuration the classic flag surface
 	// fills in; it serves under the name "default".
@@ -81,8 +157,9 @@ type Serve struct {
 // DefaultServe returns cmd/bpmf-serve's defaults.
 func DefaultServe() Serve {
 	return Serve{
-		Addr:  ":8080",
-		Model: ServeModel{Alpha: 2.0},
+		Addr:    ":8080",
+		Serving: DefaultServing(),
+		Model:   ServeModel{Alpha: 2.0},
 	}
 }
 
@@ -98,6 +175,7 @@ func (c *Serve) RegisterFlags(fs *flag.FlagSet) {
 	fs.StringVar(&c.Addr, "addr", c.Addr, "HTTP listen address")
 	fs.IntVar(&c.Threads, "threads", c.Threads, "worker threads for the top-N precompute (0 = GOMAXPROCS)")
 	fs.Var(&c.Watch, "watch", "poll each model's checkpoint at this interval and hot-reload on change (0 = SIGHUP only)")
+	c.Serving.RegisterFlags(fs)
 	fs.StringVar(&c.Model.Ckpt, "ckpt", c.Model.Ckpt, "checkpoint file to serve (single-model mode)")
 	fs.StringVar(&c.Model.Data, "data", c.Model.Data, "rating matrix (MatrixMarket .mtx or binary .bcsr): enables already-rated exclusion in /recommend")
 	fs.Float64Var(&c.Model.TestFrac, "test", c.Model.TestFrac, "held-out fraction of the training run; with -data, reconstructs the test split (seeded by the checkpoint) so /predict serves exact posterior intervals")
@@ -118,6 +196,9 @@ func (c Serve) Validate() error {
 	}
 	if c.Watch < 0 {
 		return fmt.Errorf("config: watch interval must be >= 0, got %s", c.Watch)
+	}
+	if err := c.Serving.Validate(); err != nil {
+		return err
 	}
 	if len(c.Models) == 0 {
 		if c.Model.Ckpt == "" {

@@ -1,0 +1,58 @@
+package rank
+
+import "repro/internal/la"
+
+// scoreBatchPanel is the item-panel height of the batched scoring pass:
+// V is walked once per batch in contiguous panels of this many rows, and
+// each cache-resident panel is streamed against every user of the batch
+// before the next panel is touched. It matches la.GatherPanelRows — a
+// 64-row x K-column panel sits comfortably in L1/L2 next to the users'
+// factor rows — so the whole item-factor matrix is read from memory once
+// per batch instead of once per request.
+const scoreBatchPanel = la.GatherPanelRows
+
+// ScoreBatchInto computes the multi-user score matrix out = U·Vᵀ
+// (out.Row(b)[j] = users.Row(b) · v.Row(j)) as a panel-blocked GEMM:
+// the item factors are streamed in scoreBatchPanel-row panels, each
+// panel scored against every user of the batch while it is cache
+// resident. users is the B x K batch of user factor rows; out must be
+// B x v.Rows.
+//
+// Per element the inner product runs through the same unrolled la.Dot
+// as ScoreInto and la.Gemv, so every score is bit-identical to scoring
+// that user alone — batching changes memory traffic, never results. It
+// allocates nothing.
+func ScoreBatchInto(v, users, out *la.Matrix) {
+	if users.Cols != v.Cols || out.Rows != users.Rows || out.Cols != v.Rows {
+		panic("rank: ScoreBatchInto dimension mismatch")
+	}
+	panel := la.Matrix{Cols: v.Cols}
+	for lo := 0; lo < v.Rows; lo += scoreBatchPanel {
+		hi := lo + scoreBatchPanel
+		if hi > v.Rows {
+			hi = v.Rows
+		}
+		panel.Rows = hi - lo
+		panel.Data = v.Data[lo*v.Cols : hi*v.Cols]
+		for b := 0; b < users.Rows; b++ {
+			la.Gemv(1, &panel, users.Row(b), 0, out.Row(b)[lo:hi])
+		}
+	}
+}
+
+// TopNBatchExcluding is the batched TopNScoresExcluding driver: row b of
+// scores is ranked under exclusion list excl[b] (sorted ascending; nil
+// excludes nothing) returning its top n[b] items. It is the selection
+// stage the serving batcher runs after one ScoreBatchInto pass; each
+// row's result is exactly TopNScoresExcluding(scores.Row(b), excl[b],
+// n[b]) — same heap, same tie-breaking.
+func TopNBatchExcluding(scores *la.Matrix, excl [][]int32, n []int) [][]Item {
+	if len(excl) != scores.Rows || len(n) != scores.Rows {
+		panic("rank: TopNBatchExcluding dimension mismatch")
+	}
+	out := make([][]Item, scores.Rows)
+	for b := range out {
+		out[b] = TopNScoresExcluding(scores.Row(b), excl[b], n[b])
+	}
+	return out
+}

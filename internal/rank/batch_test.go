@@ -1,0 +1,117 @@
+package rank
+
+import (
+	"testing"
+
+	"repro/internal/la"
+	"repro/internal/rng"
+)
+
+// TestScoreBatchIntoMatchesIndependentScoreInto is the batch-core
+// acceptance property: scoring B users in one panel-blocked GEMM pass
+// must be bit-identical to B independent single-user ScoreInto calls,
+// for batch sizes and catalog sizes that straddle every panel boundary.
+func TestScoreBatchIntoMatchesIndependentScoreInto(t *testing.T) {
+	stream := rng.New(17)
+	for _, rows := range []int{1, 63, 64, 65, 128, 500} {
+		for _, batch := range []int{1, 2, 16, 64} {
+			k := 1 + stream.Intn(48)
+			v := la.NewMatrix(rows, k)
+			stream.FillNorm(v.Data)
+			users := la.NewMatrix(batch, k)
+			stream.FillNorm(users.Data)
+			out := la.NewMatrix(batch, rows)
+			ScoreBatchInto(v, users, out)
+			ref := make([]float64, rows)
+			for b := 0; b < batch; b++ {
+				ScoreInto(v, users.Row(b), ref)
+				for j := 0; j < rows; j++ {
+					if out.Row(b)[j] != ref[j] {
+						t.Fatalf("rows=%d batch=%d: user %d item %d: batched %v != single %v",
+							rows, batch, b, j, out.Row(b)[j], ref[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestScoreBatchIntoAllocsNothing(t *testing.T) {
+	v := la.NewMatrix(200, 16)
+	users := la.NewMatrix(8, 16)
+	out := la.NewMatrix(8, 200)
+	stream := rng.New(3)
+	stream.FillNorm(v.Data)
+	stream.FillNorm(users.Data)
+	if n := testing.AllocsPerRun(10, func() { ScoreBatchInto(v, users, out) }); n != 0 {
+		t.Fatalf("ScoreBatchInto allocates %v times per run, want 0", n)
+	}
+}
+
+func TestScoreBatchIntoDimensionMismatchPanics(t *testing.T) {
+	cases := []func(){
+		// users width != v width
+		func() { ScoreBatchInto(la.NewMatrix(4, 3), la.NewMatrix(2, 2), la.NewMatrix(2, 4)) },
+		// out rows != batch rows
+		func() { ScoreBatchInto(la.NewMatrix(4, 3), la.NewMatrix(2, 3), la.NewMatrix(3, 4)) },
+		// out cols != catalog rows
+		func() { ScoreBatchInto(la.NewMatrix(4, 3), la.NewMatrix(2, 3), la.NewMatrix(2, 5)) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected dimension-mismatch panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestTopNBatchExcludingMatchesPerRow pins the batched selection driver
+// to the single-row primitive it wraps, across mixed per-row n and
+// exclusion lists.
+func TestTopNBatchExcludingMatchesPerRow(t *testing.T) {
+	stream := rng.New(29)
+	for trial := 0; trial < 20; trial++ {
+		items := 1 + stream.Intn(300)
+		batch := 1 + stream.Intn(10)
+		scores := la.NewMatrix(batch, items)
+		for i := range scores.Data {
+			// Coarse grid so ties occur and heap tie-breaking is exercised.
+			scores.Data[i] = float64(stream.Intn(9))
+		}
+		excl := make([][]int32, batch)
+		n := make([]int, batch)
+		for b := 0; b < batch; b++ {
+			for i := 0; i < items; i++ {
+				if stream.Float64() < 0.2 {
+					excl[b] = append(excl[b], int32(i))
+				}
+			}
+			n[b] = stream.Intn(items + 3)
+		}
+		got := TopNBatchExcluding(scores, excl, n)
+		for b := 0; b < batch; b++ {
+			want := TopNScoresExcluding(scores.Row(b), excl[b], n[b])
+			if len(got[b]) != len(want) {
+				t.Fatalf("trial %d row %d: %d items, want %d", trial, b, len(got[b]), len(want))
+			}
+			for i := range want {
+				if got[b][i] != want[i] {
+					t.Fatalf("trial %d row %d rank %d: %+v != %+v", trial, b, i, got[b][i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestTopNBatchExcludingDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched excl length")
+		}
+	}()
+	TopNBatchExcluding(la.NewMatrix(2, 3), make([][]int32, 1), make([]int, 2))
+}

@@ -23,29 +23,19 @@ type Item struct {
 	Score float64
 }
 
-// scorePanel is the item-panel height of the blocked scoring pass: V is
-// walked in contiguous panels of this many rows so each Gemv works on a
-// cache-resident block of the factor matrix.
-const scorePanel = 256
-
 // ScoreInto writes u·vⱼ for every item row vⱼ of v into out (len must be
-// v.Rows). The pass runs la.Gemv over fixed-size item panels; per item
-// the summation order equals la.Dot(u, v.Row(j)), so scores are
-// bit-identical to the naive per-item loop. It allocates nothing.
+// v.Rows). It is the single-user case of ScoreBatchInto — one pass of
+// the panel-blocked batch GEMM — so the unbatched request path and the
+// serving batcher share one scoring core. Per item the summation order
+// equals la.Dot(u, v.Row(j)), so scores are bit-identical to the naive
+// per-item loop. It allocates nothing.
 func ScoreInto(v *la.Matrix, u la.Vector, out []float64) {
 	if len(u) != v.Cols || len(out) != v.Rows {
 		panic("rank: ScoreInto dimension mismatch")
 	}
-	panel := la.Matrix{Cols: v.Cols}
-	for lo := 0; lo < v.Rows; lo += scorePanel {
-		hi := lo + scorePanel
-		if hi > v.Rows {
-			hi = v.Rows
-		}
-		panel.Rows = hi - lo
-		panel.Data = v.Data[lo*v.Cols : hi*v.Cols]
-		la.Gemv(1, &panel, u, 0, out[lo:hi])
-	}
+	users := la.Matrix{Rows: 1, Cols: len(u), Data: u}
+	scores := la.Matrix{Rows: 1, Cols: len(out), Data: out}
+	ScoreBatchInto(v, &users, &scores)
 }
 
 // TopN accumulates the n highest-scoring items offered to it, keeping a

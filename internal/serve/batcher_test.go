@@ -1,0 +1,399 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/la"
+	"repro/internal/rank"
+	"repro/internal/rng"
+)
+
+// syntheticModel builds a serving model from a synthetic checkpoint of
+// chosen dimensions, so tests can place the catalog size exactly on and
+// around the scoring panel boundaries.
+func syntheticModel(t *testing.T, users, items, k int, opts Options) *Model {
+	t.Helper()
+	stream := rng.New(uint64(users*1000 + items))
+	u := la.NewMatrix(users, k)
+	v := la.NewMatrix(items, k)
+	stream.FillNorm(u.Data)
+	stream.FillNorm(v.Data)
+	m, err := NewModel(&core.Checkpoint{K: k, Seed: 9, NextIter: 3, U: u, V: v}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// sameItems fails unless got and want are bit-identical ranked lists.
+func sameItems(t *testing.T, label string, got, want []rank.Item) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d items, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: rank %d: %+v != %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestBatchedRecommendBitIdenticalAtFixedSizes is the differential
+// acceptance test for the flush core: handcrafted batches of exactly
+// 1/2/16/64 requests — over catalogs sitting on and around the 64-item
+// panel boundary — must complete every job bit-identically to the
+// unbatched per-request path, including fold-in vector recommends with
+// explicit exclusion lists.
+func TestBatchedRecommendBitIdenticalAtFixedSizes(t *testing.T) {
+	for _, items := range []int{63, 64, 65, 200} {
+		m := syntheticModel(t, 40, items, 8, Options{ClampEnabled: true, ClampMin: 1, ClampMax: 5})
+		b := NewBatcher(DefaultBatchOptions())
+		stream := rng.New(uint64(items))
+		for _, size := range []int{1, 2, 16, 64} {
+			batch := make([]*scoreJob, size)
+			for i := range batch {
+				if i%5 == 4 {
+					vec := la.NewVector(m.K())
+					stream.FillNorm(vec)
+					excl := []int32{0, int32(1 + stream.Intn(items-1))}
+					if excl[1] == 0 {
+						excl = excl[:1]
+					}
+					batch[i] = &scoreJob{m: m, kind: jobRecommendVec, vec: vec, excl: excl,
+						n: 1 + stream.Intn(10), done: make(chan struct{})}
+				} else if i%5 == 3 {
+					batch[i] = &scoreJob{m: m, kind: jobPredict, user: stream.Intn(m.NumUsers()),
+						item: stream.Intn(items), done: make(chan struct{})}
+				} else {
+					batch[i] = &scoreJob{m: m, kind: jobRecommend, user: stream.Intn(m.NumUsers()),
+						n: 1 + stream.Intn(10), done: make(chan struct{})}
+				}
+			}
+			b.run(batch)
+			for i, j := range batch {
+				label := fmt.Sprintf("items=%d size=%d job=%d", items, size, i)
+				select {
+				case <-j.done:
+				default:
+					t.Fatalf("%s: job not completed", label)
+				}
+				if j.err != nil {
+					t.Fatalf("%s: %v", label, j.err)
+				}
+				switch j.kind {
+				case jobPredict:
+					want, err := m.Predict(j.user, j.item)
+					if err != nil || j.pred != want {
+						t.Fatalf("%s: predict %+v != %+v (%v)", label, j.pred, want, err)
+					}
+				case jobRecommend:
+					want, err := m.Recommend(j.user, j.n)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sameItems(t, label, j.items, want)
+				case jobRecommendVec:
+					want, err := m.RecommendVector(j.vec, j.excl, j.n)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sameItems(t, label, j.items, want)
+				}
+			}
+		}
+	}
+}
+
+// TestBatcherConcurrentMixedTraffic is the -race stress test: concurrent
+// mixed /predict- and /recommend-shaped traffic through the real
+// coalescing machinery (whatever batches happen to form) must answer
+// every request bit-identically to the unbatched path.
+func TestBatcherConcurrentMixedTraffic(t *testing.T) {
+	ckpt, prob, cfg := trainedChain(t, 41, 6, 3)
+	opts := modelOptions(prob, cfg)
+	m, err := NewModel(ckpt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatcher(BatchOptions{MaxBatch: 8, MaxDelay: 100 * time.Microsecond, QueueBound: 4096})
+	const workers = 16
+	const iters = 40
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			stream := rng.New(uint64(100 + w))
+			for it := 0; it < iters; it++ {
+				switch it % 3 {
+				case 0:
+					user, item := stream.Intn(m.NumUsers()), stream.Intn(m.NumItems())
+					got, err := b.Predict(m, user, item)
+					want, werr := m.Predict(user, item)
+					if err != nil || werr != nil || got != want {
+						t.Errorf("worker %d it %d: predict %+v (%v) != %+v (%v)", w, it, got, err, want, werr)
+						return
+					}
+				case 1:
+					user, n := stream.Intn(m.NumUsers()), 1+stream.Intn(20)
+					got, err := b.Recommend(m, user, n)
+					if err != nil {
+						t.Errorf("worker %d it %d: %v", w, it, err)
+						return
+					}
+					want, _ := m.Recommend(user, n)
+					if len(got) != len(want) {
+						t.Errorf("worker %d it %d: %d items != %d", w, it, len(got), len(want))
+						return
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Errorf("worker %d it %d rank %d: %+v != %+v", w, it, i, got[i], want[i])
+							return
+						}
+					}
+				default:
+					vec := la.NewVector(m.K())
+					stream.FillNorm(vec)
+					n := 1 + stream.Intn(10)
+					got, err := b.RecommendVector(m, vec, nil, n)
+					if err != nil {
+						t.Errorf("worker %d it %d: %v", w, it, err)
+						return
+					}
+					want, _ := m.RecommendVector(vec, nil, n)
+					for i := range want {
+						if got[i] != want[i] {
+							t.Errorf("worker %d it %d rank %d: %+v != %+v", w, it, i, got[i], want[i])
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestBatcherAcrossHotReload pins the snapshot-capture contract: a
+// request batched across a concurrent hot reload is scored against
+// exactly the snapshot its caller grabbed, so its response equals that
+// snapshot's own unbatched answer — never a mix of two models.
+func TestBatcherAcrossHotReload(t *testing.T) {
+	ckptA, prob, cfg := trainedChain(t, 51, 6, 3)
+	// Same problem, longer chain: a genuinely different snapshot that the
+	// serving options still accept.
+	ckptB, _, _ := trainedChain(t, 51, 9, 3)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.ckpt")
+	writeCheckpointFile(t, path, ckptA)
+	srv, err := Open(path, modelOptions(prob, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatcher(BatchOptions{MaxBatch: 8, MaxDelay: 100 * time.Microsecond, QueueBound: 4096})
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			stream := rng.New(uint64(300 + w))
+			for !stop.Load() {
+				m := srv.Model()
+				user, n := stream.Intn(m.NumUsers()), 1+stream.Intn(10)
+				got, err := b.Recommend(m, user, n)
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				// The reference is computed against the same snapshot the
+				// batched call used — a reload in between must not matter.
+				want, _ := m.Recommend(user, n)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Errorf("worker %d rank %d: %+v != %+v", w, i, got[i], want[i])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 10; r++ {
+		if r%2 == 0 {
+			writeCheckpointFile(t, path, ckptB)
+		} else {
+			writeCheckpointFile(t, path, ckptA)
+		}
+		if err := srv.Reload(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+// TestBatcherShedsAtQueueBoundAndRecovers is the overload drill: with
+// the queue at its SLO bound, the next request is shed synchronously
+// with a Retry-After hint instead of queuing unboundedly, and once the
+// queue drains the batcher serves normally again.
+func TestBatcherShedsAtQueueBoundAndRecovers(t *testing.T) {
+	m := syntheticModel(t, 10, 100, 4, Options{})
+	b := NewBatcher(BatchOptions{MaxBatch: 4, QueueBound: 3, RetryAfter: 7 * time.Second})
+
+	// Park the flusher: pretend one is active so submissions only queue.
+	b.mu.Lock()
+	b.flushing = true
+	b.mu.Unlock()
+
+	var wg sync.WaitGroup
+	results := make([]error, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, results[i] = b.Recommend(m, i, 5)
+		}(i)
+	}
+	// Wait for all three to be queued.
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		b.mu.Lock()
+		depth := len(b.queue)
+		b.mu.Unlock()
+		if depth == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never reached the bound (depth %d)", depth)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Fourth request: shed, synchronously, with the configured hint.
+	_, err := b.Recommend(m, 9, 5)
+	var shed *Shed
+	if !errors.As(err, &shed) {
+		t.Fatalf("expected a *Shed at the queue bound, got %v", err)
+	}
+	if shed.RateLimited || shed.RetryAfter != 7*time.Second {
+		t.Fatalf("unexpected shed: %+v", shed)
+	}
+
+	// Drain: run the flusher the parked flag was standing in for.
+	b.flushLoop()
+	wg.Wait()
+	for i, err := range results {
+		if err != nil {
+			t.Fatalf("queued request %d failed: %v", i, err)
+		}
+	}
+
+	// Recovery: steady-state service resumes after the burst.
+	got, err := b.Recommend(m, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := m.Recommend(0, 5)
+	sameItems(t, "post-burst", got, want)
+}
+
+// TestAdmitRateLimitsPerClient drives the token bucket with an
+// injected clock: within one bucket window a client is admitted burst
+// times and then shed with the exact refill time; other clients are
+// unaffected; time passing refills the bucket.
+func TestAdmitRateLimitsPerClient(t *testing.T) {
+	b := NewBatcher(BatchOptions{MaxBatch: 4, Rate: 2, Burst: 2})
+	now := time.Unix(1000, 0)
+	b.lim.now = func() time.Time { return now }
+
+	if err := b.Admit("10.0.0.1"); err != nil {
+		t.Fatalf("first: %v", err)
+	}
+	if err := b.Admit("10.0.0.1"); err != nil {
+		t.Fatalf("second (burst): %v", err)
+	}
+	err := b.Admit("10.0.0.1")
+	var shed *Shed
+	if !errors.As(err, &shed) || !shed.RateLimited {
+		t.Fatalf("third should rate-limit, got %v", err)
+	}
+	// Empty bucket at 2 tokens/s: the next token is 500ms away.
+	if shed.RetryAfter != 500*time.Millisecond {
+		t.Fatalf("retry-after %s, want 500ms", shed.RetryAfter)
+	}
+	// A different client has its own bucket.
+	if err := b.Admit("10.0.0.2"); err != nil {
+		t.Fatalf("other client: %v", err)
+	}
+	// One second later the first client has 2 tokens again (capped at burst).
+	now = now.Add(time.Second)
+	if err := b.Admit("10.0.0.1"); err != nil {
+		t.Fatalf("after refill: %v", err)
+	}
+	// Rate 0 admits everyone.
+	open := NewBatcher(BatchOptions{MaxBatch: 1})
+	for i := 0; i < 100; i++ {
+		if err := open.Admit("10.0.0.1"); err != nil {
+			t.Fatalf("unlimited batcher shed: %v", err)
+		}
+	}
+}
+
+// TestBatcherUnbatchedMode pins the MaxBatch=1 escape hatch (the
+// measurable baseline): requests bypass the queue entirely and answer
+// through the per-request path.
+func TestBatcherUnbatchedMode(t *testing.T) {
+	m := syntheticModel(t, 10, 100, 4, Options{})
+	b := NewBatcher(BatchOptions{MaxBatch: 1, QueueBound: 1})
+	for i := 0; i < 5; i++ {
+		got, err := b.Recommend(m, i, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := m.Recommend(i, 5)
+		sameItems(t, "unbatched", got, want)
+		p, err := b.Predict(m, i, i)
+		wp, _ := m.Predict(i, i)
+		if err != nil || p != wp {
+			t.Fatalf("predict %+v != %+v (%v)", p, wp, err)
+		}
+	}
+	b.mu.Lock()
+	depth := len(b.queue)
+	b.mu.Unlock()
+	if depth != 0 {
+		t.Fatalf("unbatched mode queued %d jobs", depth)
+	}
+}
+
+// TestBatcherErrorShapesMatchUnbatched pins the validation contract:
+// bad requests through the batcher fail with the same errors as the
+// unbatched methods, before any queuing.
+func TestBatcherErrorShapesMatchUnbatched(t *testing.T) {
+	m := syntheticModel(t, 10, 100, 4, Options{})
+	b := NewBatcher(DefaultBatchOptions())
+	if _, err := b.Recommend(m, -1, 5); !errors.Is(err, ErrUserRange) {
+		t.Fatalf("negative user: %v", err)
+	}
+	if _, err := b.Recommend(m, 10, 5); !errors.Is(err, ErrUserRange) {
+		t.Fatalf("user beyond rows: %v", err)
+	}
+	if items, err := b.Recommend(m, 3, 0); err != nil || items != nil {
+		t.Fatalf("n=0 must be a nil no-op, got %v (%v)", items, err)
+	}
+	if _, err := b.RecommendVector(m, la.NewVector(3), nil, 5); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("short vector: %v", err)
+	}
+	if _, err := b.Predict(m, 0, 100); !errors.Is(err, ErrItemRange) {
+		t.Fatalf("item beyond rows: %v", err)
+	}
+}

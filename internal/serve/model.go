@@ -296,11 +296,27 @@ func (m *Model) clamp(v float64) float64 {
 // obsStd is the observation-noise floor of every predictive Std.
 func (m *Model) obsStd() float64 { return math.Sqrt(1 / m.alpha) }
 
+// checkUser validates a user index against the snapshot's user rows.
+func (m *Model) checkUser(user int) error {
+	if user < 0 || user >= m.u.Rows {
+		return fmt.Errorf("%w: user %d of %d", ErrUserRange, user, m.u.Rows)
+	}
+	return nil
+}
+
+// checkVector validates an explicit factor vector's width.
+func (m *Model) checkVector(u la.Vector) error {
+	if len(u) != m.k {
+		return fmt.Errorf("%w: factor vector has %d features, model has %d", ErrBadInput, len(u), m.k)
+	}
+	return nil
+}
+
 // Predict serves the rating estimate for (user, item) with its posterior
 // predictive mean and standard deviation.
 func (m *Model) Predict(user, item int) (Prediction, error) {
-	if user < 0 || user >= m.u.Rows {
-		return Prediction{}, fmt.Errorf("%w: user %d of %d", ErrUserRange, user, m.u.Rows)
+	if err := m.checkUser(user); err != nil {
+		return Prediction{}, err
 	}
 	if item < 0 || item >= m.v.Rows {
 		return Prediction{}, fmt.Errorf("%w: item %d of %d", ErrItemRange, item, m.v.Rows)
@@ -321,8 +337,8 @@ func (m *Model) Predict(user, item int) (Prediction, error) {
 // degrade top-N order to index order); apply clamp to values shown to
 // users.
 func (m *Model) ScoreUser(user int, out []float64) error {
-	if user < 0 || user >= m.u.Rows {
-		return fmt.Errorf("%w: user %d of %d", ErrUserRange, user, m.u.Rows)
+	if err := m.checkUser(user); err != nil {
+		return err
 	}
 	return m.ScoreVector(m.u.Row(user), out)
 }
@@ -331,8 +347,8 @@ func (m *Model) ScoreUser(user int, out []float64) error {
 // result) against every item. out must have length NumItems. Like
 // ScoreUser, scores are raw (unclamped).
 func (m *Model) ScoreVector(u la.Vector, out []float64) error {
-	if len(u) != m.k {
-		return fmt.Errorf("%w: factor vector has %d features, model has %d", ErrBadInput, len(u), m.k)
+	if err := m.checkVector(u); err != nil {
+		return err
 	}
 	if len(out) != m.v.Rows {
 		return fmt.Errorf("%w: score buffer has %d slots, model has %d items", ErrBadInput, len(out), m.v.Rows)
@@ -349,8 +365,8 @@ func (m *Model) ScoreVector(u la.Vector, out []float64) error {
 // paths share one ranking core and return identical lists. n <= 0
 // returns nil.
 func (m *Model) Recommend(user, n int) ([]rank.Item, error) {
-	if user < 0 || user >= m.u.Rows {
-		return nil, fmt.Errorf("%w: user %d of %d", ErrUserRange, user, m.u.Rows)
+	if err := m.checkUser(user); err != nil {
+		return nil, err
 	}
 	if n <= 0 {
 		return nil, nil
@@ -363,11 +379,19 @@ func (m *Model) Recommend(user, n int) ([]rank.Item, error) {
 	if err := m.ScoreUser(user, *scores); err != nil {
 		return nil, err
 	}
+	return m.rankScored(user, *scores, n)
+}
+
+// rankScored is the selection tail shared by the unbatched request path
+// and the batcher's flush: the user's exclusion list, top-N over the
+// score row, clamp of the reported scores. Keeping it in one place
+// guarantees the batched and per-request paths cannot drift.
+func (m *Model) rankScored(user int, scores []float64, n int) ([]rank.Item, error) {
 	excl, release, err := m.excludeList(user)
 	if err != nil {
 		return nil, err
 	}
-	items := m.clampItems(rank.TopNScoresExcluding(*scores, excl, n))
+	items := m.clampItems(rank.TopNScoresExcluding(scores, excl, n))
 	if release != nil {
 		release()
 	}

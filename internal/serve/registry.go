@@ -30,9 +30,10 @@ type ModelSpec struct {
 // per-model state is managed by the Servers themselves, so Registry
 // reads need no locks.
 type Registry struct {
-	names   []string // sorted
-	models  map[string]*Server
-	closers []func() error
+	names    []string // sorted
+	models   map[string]*Server
+	batchers map[string]*Batcher
+	closers  []func() error
 }
 
 // NewRegistry opens every spec into a serving Server, failing fast (and
@@ -71,6 +72,23 @@ func (r *Registry) Get(name string) (*Server, bool) {
 	s, ok := r.models[name]
 	return s, ok
 }
+
+// EnableBatching attaches one request Batcher per model, all built from
+// the same options: coalescing and queue depth are per route (so one
+// model's burst never sheds another model's requests), while the rate
+// limit is enforced per (client, model). Call it once, before serving
+// traffic.
+func (r *Registry) EnableBatching(opts BatchOptions) {
+	r.batchers = make(map[string]*Batcher, len(r.models))
+	for name := range r.models {
+		r.batchers[name] = NewBatcher(opts)
+	}
+}
+
+// Batcher returns the named model's request batcher, or nil when
+// batching was not enabled (callers then use the Model methods
+// directly).
+func (r *Registry) Batcher(name string) *Batcher { return r.batchers[name] }
 
 // Names returns the registered model names in sorted order. Callers
 // must not mutate the returned slice.
