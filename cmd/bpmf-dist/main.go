@@ -33,6 +33,22 @@
 // handles one failure burst at a time and needs -ckpt-dir on storage all
 // ranks share. -die-rank/-die-iter inject a deterministic self-kill for
 // smoke tests, and -resume-iter pins a restart to a specific manifest.
+//
+// The membership plane makes the cluster elastic in the other direction
+// too. With -join-addr, the coordinator (rank 0, or the lowest survivor
+// after failures) accepts join requests; a late worker started with
+//
+//	bpmf-dist -join host0:9100 -advertise host9:9000 -elastic ...
+//
+// is admitted at the next iteration boundary at or after -grow-at-iter:
+// every rank checkpoints, the coordinator seals the new view (a fresh
+// epoch and member list), the old fabric tears down, and the grown
+// cluster re-meshes and resumes from the just-sealed manifest — bitwise
+// identical to a fresh cluster of the new size started from that
+// manifest. Members carry incarnation numbers, so a convicted rank can
+// rejoin at the same address under a higher incarnation without being
+// re-convicted by stale verdicts. -min-ranks/-max-ranks bound the view,
+// and -join-delay/-iter-delay pace smoke tests.
 package main
 
 import (
@@ -72,9 +88,34 @@ func main() {
 		}
 		return
 	}
-	addrs, err := cfg.Addrs() // already vetted by Validate
-	if err != nil {
-		log.Fatal(err)
+
+	// Establish the starting view: workers derive epoch 0 from -peers;
+	// a -join worker instead asks the coordinator for admission and
+	// receives the sealed view (plus its rank and resume iteration) to
+	// mesh into.
+	var view comm.View
+	var myAddr string
+	pin := cfg.Checkpoint.ResumeIter
+	origRank := cfg.Rank
+	if cfg.Join != "" {
+		origRank = -1 // joiners have no original rank; -die-rank never matches
+		if d := cfg.Fault.JoinDelay.Std(); d > 0 {
+			time.Sleep(d)
+		}
+		v, rank, resume, err := comm.RequestJoinTCP(cfg.Join, cfg.Advertise, 2*time.Minute)
+		if err != nil {
+			log.Fatalf("join %s: %v", cfg.Join, err)
+		}
+		view, pin, myAddr = v, resume, cfg.Advertise
+		log.Printf("joined epoch %d as rank %d of %d, resuming at iteration %d",
+			view.Epoch, rank, len(view.Members), resume)
+	} else {
+		addrs, err := cfg.Addrs() // already vetted by Validate
+		if err != nil {
+			log.Fatal(err)
+		}
+		view = comm.InitialView(addrs)
+		myAddr = addrs[cfg.Rank]
 	}
 
 	ccfg := core.DefaultConfig()
@@ -100,13 +141,15 @@ func main() {
 	}
 
 	// Load whatever is rank-count-independent once; each round (one round,
-	// unless -elastic recovers from failures) rebuilds the plan over the
-	// live rank set.
+	// unless -elastic recovers from failures or admits joiners) rebuilds
+	// the plan over the current view.
 	w := &worker{
 		cfg: ccfg, opt: opt, testFrac: cfg.Data.TestFrac, reorder: cfg.Reorder,
 		synthetic: cfg.Data.Synthetic, scale: cfg.Data.Scale,
-		elastic: cfg.Elastic, origRank: cfg.Rank,
+		elastic: cfg.Elastic, origRank: origRank,
 		dieRank: cfg.Fault.DieRank, dieIter: cfg.Fault.DieIter,
+		table:   comm.NewSuspicionTable(),
+		growAt:  cfg.Fault.GrowAtIter, iterDelay: cfg.Fault.IterDelay.Std(),
 	}
 	if useShards {
 		// Open (and validate) the file before joining the cluster:
@@ -123,27 +166,46 @@ func main() {
 		}
 	}
 
-	// live holds the original rank numbers still believed alive, in rank
-	// order; each round renumbers survivors by position. One process can
-	// only be sure of failures its own detector (or a reset connection)
-	// reported, so recovery handles one failure burst at a time — see
-	// PERF.md for the semantics.
-	myOrig := cfg.Rank
-	live := make([]int, len(addrs))
-	for i := range live {
-		live[i] = i
-	}
-	pin := cfg.Checkpoint.ResumeIter
+	// Each round runs one sealed view (an epoch plus a member list in
+	// rank order); ranks renumber themselves by their address's position.
+	// A round ends three ways: clean (done), a sealed view change (grow —
+	// re-mesh and resume), or a peer failure (shrink the view locally and
+	// resume; one process can only be sure of failures its own detector
+	// or a reset connection reported, so recovery handles one failure
+	// burst at a time — see PERF.md for the semantics).
+	var mem *comm.Membership
+	var srv *comm.MembershipServer
 	for {
-		me := -1
-		cur := make([]string, len(live))
-		for i, o := range live {
-			cur[i] = addrs[o]
-			if o == myOrig {
-				me = i
+		me := view.RankOf(myAddr)
+		if me < 0 {
+			log.Fatalf("%s is not a member of epoch %d", myAddr, view.Epoch)
+		}
+		if len(view.Members) < cfg.MinRanks {
+			log.Fatalf("epoch %d has %d ranks, below -min-ranks %d", view.Epoch, len(view.Members), cfg.MinRanks)
+		}
+		if me == 0 && cfg.JoinAddr != "" {
+			if mem == nil {
+				// First round as coordinator (rank 0 from the start, or the
+				// lowest survivor after the old coordinator died): start the
+				// membership listener. Joiners whose requests died with the
+				// old coordinator retry and land here.
+				mem = comm.NewMembership(view, cfg.MaxRanks, w.table)
+				s, err := comm.ServeMembership(cfg.JoinAddr, mem)
+				if err != nil {
+					log.Printf("membership: cannot listen on %s (%v) — joins disabled", cfg.JoinAddr, err)
+					mem = nil
+				} else {
+					srv = s
+					defer srv.Close()
+					log.Printf("membership: coordinator listening on %s (epoch %d)", s.Addr(), view.Epoch)
+				}
+			} else {
+				// A shrink committed outside the membership object; sealed
+				// views were committed by Seal below.
+				mem.Adopt(view)
 			}
 		}
-		res, stats, err := w.round(me, cur, pin)
+		res, stats, err := w.round(me, view, pin, mem)
 		if err == nil {
 			if me == 0 {
 				for i, r := range res.AvgRMSE {
@@ -152,25 +214,36 @@ func main() {
 				fmt.Printf("final RMSE %.6f  %.0f updates/s\n", res.FinalRMSE(), res.UpdatesPerSec())
 			}
 			fmt.Printf("rank %d: sent %d items in %d msgs (%d flushes), received %d ghosts, compute %v, wait %v\n",
-				myOrig, stats.ItemsSent, stats.Comm.MsgsSent, stats.Flushes,
+				me, stats.ItemsSent, stats.Comm.MsgsSent, stats.Flushes,
 				stats.GhostsRecv, stats.ComputeTime.Round(time.Millisecond),
 				stats.WaitTime.Round(time.Millisecond))
+			if srv != nil {
+				srv.Close()
+			}
 			return
 		}
-		var rf *comm.RankFailedError
-		if !cfg.Elastic || !errors.As(err, &rf) || rf.Rank < 0 || rf.Rank >= len(live) || live[rf.Rank] == myOrig {
-			log.Fatalf("rank %d: %v", myOrig, err)
-		}
-		dead := live[rf.Rank]
-		log.Printf("rank %d: peer rank %d (original rank %d) failed: %v — resuming with %d survivors from the latest checkpoint",
-			myOrig, rf.Rank, dead, rf.Err, len(live)-1)
-		next := make([]int, 0, len(live)-1)
-		for _, o := range live {
-			if o != dead {
-				next = append(next, o)
+		var vc *dist.ViewChange
+		if errors.As(err, &vc) {
+			if mem != nil && me == 0 {
+				mem.Seal(vc.View, vc.NextIter)
+				log.Printf("membership: sealed epoch %d at iteration %d (%d ranks)",
+					vc.View.Epoch, vc.NextIter, len(vc.View.Members))
 			}
+			view = vc.View
+			pin = vc.NextIter
+			continue
 		}
-		live = next
+		var rf *comm.RankFailedError
+		if !cfg.Elastic || !errors.As(err, &rf) || rf.Rank < 0 || rf.Rank >= len(view.Members) || rf.Rank == me {
+			log.Fatalf("rank %d: %v", me, err)
+		}
+		dead := view.Members[rf.Rank]
+		// Record the conviction so a future coordinator takeover on this
+		// process never re-issues a dead incarnation to a rejoiner.
+		w.table.Convict(dead.Addr, dead.Incarnation)
+		log.Printf("rank %d: peer rank %d (%s, incarnation %d) failed: %v — resuming with %d survivors from the latest checkpoint",
+			me, rf.Rank, dead.Addr, dead.Incarnation, rf.Err, len(view.Members)-1)
+		view = view.Shrink(dead.Addr)
 		pin = 0
 		// Let every survivor unwind, close its sockets, and free its listen
 		// port before the re-dial.
@@ -179,7 +252,7 @@ func main() {
 }
 
 // worker bundles a process's rank-count-independent state; round() runs
-// one attempt over the currently live rank set.
+// one attempt over the currently sealed view.
 type worker struct {
 	cfg              core.Config
 	opt              dist.Options // Ranks is overwritten per round
@@ -191,18 +264,28 @@ type worker struct {
 	synthetic        string
 	reorder          bool
 	elastic          bool
-	origRank         int
+	origRank         int // rank in the epoch-0 view; -1 for a -join worker
 	dieRank, dieIter int
+	table            *comm.SuspicionTable
+	growAt           int
+	iterDelay        time.Duration
 }
 
-// round dials the live mesh (renumbered so survivors are 0..len(cur)-1),
+// round dials the view's mesh (members renumbered 0..n-1 in view order),
 // rebuilds the partition plan over the current rank count, resumes from a
 // sealed checkpoint when one exists, and runs the sampler until it
-// finishes or a peer failure unwinds it.
-func (w *worker) round(me int, cur []string, pin int) (*core.Result, *dist.Stats, error) {
+// finishes, a view change drains it, or a peer failure unwinds it.
+func (w *worker) round(me int, view comm.View, pin int, mem *comm.Membership) (*core.Result, *dist.Stats, error) {
+	cur := view.Addrs()
 	opt := w.opt
 	opt.Ranks = len(cur)
-	if w.dieRank == w.origRank && w.dieIter >= 0 {
+	opt.Epoch = view.Epoch
+	opt.Members = view.Members
+	opt.Suspicions = w.table
+	opt.Membership = mem
+	opt.GrowAtIter = w.growAt
+	opt.IterDelay = w.iterDelay
+	if w.dieRank >= 0 && w.dieRank == w.origRank && w.dieIter >= 0 {
 		// Deterministic self-kill for fault-injection smoke tests: exit
 		// hard (no cleanup) right after the configured iteration — from
 		// the survivors' side this is indistinguishable from a crash.
@@ -228,7 +311,7 @@ func (w *worker) round(me int, cur []string, pin int) (*core.Result, *dist.Stats
 			return nil, nil, err
 		}
 		fmt.Printf("rank %d: mapped %d of %d shards (%.2f MB payload + %.2f KB metadata)\n",
-			w.origRank, sp.Shards, sp.TotalShards,
+			me, sp.Shards, sp.TotalShards,
 			float64(sp.Load.PayloadBytesTouched)/1e6, float64(sp.Load.HeaderBytes)/1e3)
 		if node, err = dist.NewNodeLocal(c, w.cfg, sp.Plan, sp.RT, sp.Test, opt); err != nil {
 			return nil, nil, err
@@ -278,8 +361,10 @@ func (w *worker) round(me int, cur []string, pin int) (*core.Result, *dist.Stats
 		// Our verdict on the dead rank is in, but peers relying on
 		// heartbeat silence need up to a full suspicion window to convict
 		// the same rank — keep proving we are alive until they have, or
-		// the survivors disagree about who died and cannot re-mesh.
-		comm.Keepalive(c, 0, w.opt.SuspicionTimeout*3/2)
+		// the survivors disagree about who died and cannot re-mesh. The
+		// beats carry our incarnation so peers with a conviction against a
+		// previous life at this address still count them.
+		comm.KeepaliveView(c, 0, w.opt.SuspicionTimeout*3/2, view.Members[me].Incarnation)
 	}
 	return res, stats, rerr
 }

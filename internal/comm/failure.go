@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"encoding/binary"
 	"fmt"
 	"time"
 )
@@ -47,6 +48,9 @@ func (e *RankFailedError) Unwrap() error { return e.Err }
 type Detector struct {
 	c                    *Comm
 	interval, suspicion  time.Duration
+	members              []Member        // per-rank identities; nil = unkeyed
+	table                *SuspicionTable // cross-round convictions; may be nil
+	beat                 []byte          // heartbeat payload (own incarnation), nil unkeyed
 	done                 chan struct{}
 	senderDone, recvDone chan struct{}
 }
@@ -57,6 +61,22 @@ type Detector struct {
 // single-rank communicator the detector is inert. Stop it before
 // closing the endpoint.
 func StartDetector(c *Comm, interval, suspicion time.Duration) *Detector {
+	return StartDetectorView(c, interval, suspicion, nil, nil)
+}
+
+// StartDetectorView is StartDetector with detector state keyed by
+// (address, incarnation): members names each rank's identity and table
+// carries convictions across re-meshes. Heartbeats then carry the
+// sender's incarnation; beats from an older incarnation at a peer's
+// address are ignored (a stale process cannot keep its successor's
+// entry fresh), convictions are recorded in the table, and a member
+// whose exact incarnation the table already convicted is failed
+// immediately — while a *new* incarnation at a convicted address gets a
+// full suspicion window, which is what lets a crashed rank rejoin at
+// its old address without being insta-convicted by survivors' stale
+// state. nil members (and table) degrade to the unkeyed StartDetector
+// behavior.
+func StartDetectorView(c *Comm, interval, suspicion time.Duration, members []Member, table *SuspicionTable) *Detector {
 	if interval <= 0 {
 		interval = suspicion / 20
 	}
@@ -65,9 +85,33 @@ func StartDetector(c *Comm, interval, suspicion time.Duration) *Detector {
 	}
 	d := &Detector{
 		c: c, interval: interval, suspicion: suspicion,
+		members:    members,
+		table:      table,
 		done:       make(chan struct{}),
 		senderDone: make(chan struct{}),
 		recvDone:   make(chan struct{}),
+	}
+	if members != nil {
+		if len(members) != c.Size() {
+			c.Fail(&RankFailedError{Rank: -1, Err: fmt.Errorf("detector got %d member identities for a size-%d communicator", len(members), c.Size())})
+			close(d.senderDone)
+			close(d.recvDone)
+			return d
+		}
+		d.beat = binary.LittleEndian.AppendUint64(nil, members[c.Rank()].Incarnation)
+		if table != nil {
+			for r, mb := range members {
+				if r != c.Rank() && table.Convicted(mb.Addr, mb.Incarnation) {
+					c.Fail(&RankFailedError{
+						Rank: r,
+						Err:  fmt.Errorf("incarnation %d at %s was already convicted", mb.Incarnation, mb.Addr),
+					})
+					close(d.senderDone)
+					close(d.recvDone)
+					return d
+				}
+			}
+		}
 	}
 	if c.Size() > 1 && suspicion > 0 {
 		go d.sendLoop()
@@ -96,7 +140,7 @@ func (d *Detector) Stop() {
 // own liveness while its owner unwinds, or peers whose detectors have not
 // yet convicted the dead rank would suspect this one instead. Only a
 // closed endpoint stops heartbeats.
-func (c *Comm) sendHeartbeat(dst int) error {
+func (c *Comm) sendHeartbeat(dst int, payload []byte) error {
 	if dst < 0 || dst >= c.size {
 		return fmt.Errorf("invalid destination rank %d (size %d)", dst, c.size)
 	}
@@ -110,7 +154,7 @@ func (c *Comm) sendHeartbeat(dst int) error {
 	if tr == nil {
 		return fmt.Errorf("endpoint has no transport")
 	}
-	return tr.Send(dst, heartbeatTag, nil)
+	return tr.Send(dst, heartbeatTag, payload)
 }
 
 // Keepalive emits best-effort heartbeats to every peer for the given
@@ -122,6 +166,19 @@ func (c *Comm) sendHeartbeat(dst int) error {
 // cover a full suspicion window, so the slowest peer convicts the right
 // rank before this one goes silent.
 func Keepalive(c *Comm, interval, duration time.Duration) {
+	keepalive(c, interval, duration, nil)
+}
+
+// KeepaliveView is Keepalive with the sender's incarnation stamped on
+// every beat, for clusters running incarnation-keyed detectors (an
+// unstamped beat is accepted as current by both detector modes, but a
+// stamped one lets peers discard beats from a stale incarnation at this
+// address).
+func KeepaliveView(c *Comm, interval, duration time.Duration, incarnation uint64) {
+	keepalive(c, interval, duration, binary.LittleEndian.AppendUint64(nil, incarnation))
+}
+
+func keepalive(c *Comm, interval, duration time.Duration, payload []byte) {
 	if interval <= 0 {
 		interval = 50 * time.Millisecond
 	}
@@ -131,7 +188,7 @@ func Keepalive(c *Comm, interval, duration time.Duration) {
 			if peer == c.Rank() {
 				continue
 			}
-			if c.sendHeartbeat(peer) != nil {
+			if c.sendHeartbeat(peer, payload) != nil {
 				return // endpoint closed: nothing left to prove
 			}
 		}
@@ -151,7 +208,7 @@ func (d *Detector) sendLoop() {
 			if peer == d.c.Rank() {
 				continue
 			}
-			if err := d.c.sendHeartbeat(peer); err != nil {
+			if err := d.c.sendHeartbeat(peer, d.beat); err != nil {
 				return false
 			}
 		}
@@ -170,6 +227,18 @@ func (d *Detector) sendLoop() {
 			}
 		}
 	}
+}
+
+// staleBeat reports whether a received heartbeat came from an older
+// incarnation than the member the detector expects at that rank — a
+// process from a previous view still draining must not keep its
+// successor's liveness entry fresh. Unstamped beats (legacy detectors,
+// plain Keepalive) are always accepted as current.
+func (d *Detector) staleBeat(m Message) bool {
+	if d.members == nil || m.Src < 0 || m.Src >= len(d.members) || len(m.Data) < 8 {
+		return false
+	}
+	return binary.LittleEndian.Uint64(m.Data) < d.members[m.Src].Incarnation
 }
 
 // recvLoop consumes heartbeats and fails the endpoint on the first peer
@@ -193,7 +262,9 @@ func (d *Detector) recvLoop() {
 		m, err := d.c.RecvTimeout(AnySource, heartbeatTag, d.interval)
 		switch {
 		case err == nil:
-			last[m.Src] = time.Now()
+			if !d.staleBeat(m) {
+				last[m.Src] = time.Now()
+			}
 		case err == ErrRecvTimeout:
 			// fall through to the suspicion check
 		default:
@@ -205,6 +276,9 @@ func (d *Detector) recvLoop() {
 				continue
 			}
 			if silence := now.Sub(last[r]); silence > d.suspicion {
+				if d.table != nil && d.members != nil {
+					d.table.Convict(d.members[r].Addr, d.members[r].Incarnation)
+				}
 				d.c.Fail(&RankFailedError{
 					Rank: r,
 					Err:  fmt.Errorf("no heartbeat for %v (suspicion timeout %v)", silence.Round(time.Millisecond), d.suspicion),

@@ -1,0 +1,313 @@
+package comm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// membership.go is the epoch/view plane of an elastic cluster: a View is
+// a generation-numbered list of (address, incarnation) members, and a
+// Membership is the coordinator-side state machine — rank 0, or the
+// lowest survivor after a failure — that accepts join requests, proposes
+// the next view, and seals it once every current member has drained to
+// an iteration boundary. Views only ever move forward: every change
+// (admission or failure shrink) bumps the epoch, and a returning address
+// gets a fresh incarnation so survivors' stale suspicion state (see
+// SuspicionTable) can never convict the new process for the old one's
+// death.
+
+// Member identifies one cluster process: its fabric listen address plus
+// an incarnation number distinguishing successive processes at the same
+// address. Incarnations start at 1 and only grow.
+type Member struct {
+	Addr        string `json:"addr"`
+	Incarnation uint64 `json:"incarnation"`
+}
+
+// View is one sealed membership generation: the member list in rank
+// order. Rank i of epoch E is Members[i].
+type View struct {
+	Epoch   int      `json:"epoch"`
+	Members []Member `json:"members"`
+}
+
+// InitialView builds epoch 0 over a fixed address list, every member at
+// incarnation 1 — the view a statically-launched cluster starts from.
+func InitialView(addrs []string) View {
+	v := View{Members: make([]Member, len(addrs))}
+	for i, a := range addrs {
+		v.Members[i] = Member{Addr: a, Incarnation: 1}
+	}
+	return v
+}
+
+// InProcView is InitialView over synthetic in-process addresses — the
+// identity space of the virtual-cluster drivers and their tests.
+func InProcView(n int) View {
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("inproc-%d", i)
+	}
+	return InitialView(addrs)
+}
+
+// Addrs returns the members' addresses in rank order.
+func (v View) Addrs() []string {
+	out := make([]string, len(v.Members))
+	for i, m := range v.Members {
+		out[i] = m.Addr
+	}
+	return out
+}
+
+// RankOf returns the rank of the member at addr, or -1.
+func (v View) RankOf(addr string) int {
+	for i, m := range v.Members {
+		if m.Addr == addr {
+			return i
+		}
+	}
+	return -1
+}
+
+// Contains reports whether the exact (address, incarnation) member is in
+// the view.
+func (v View) Contains(mb Member) bool {
+	r := v.RankOf(mb.Addr)
+	return r >= 0 && v.Members[r].Incarnation == mb.Incarnation
+}
+
+// Shrink returns the next-epoch view with the dead addresses removed.
+// Survivors keep their relative order, so every survivor computing
+// Shrink over the same verdict derives the identical view without any
+// extra agreement round.
+func (v View) Shrink(dead ...string) View {
+	gone := make(map[string]bool, len(dead))
+	for _, a := range dead {
+		gone[a] = true
+	}
+	next := View{Epoch: v.Epoch + 1, Members: make([]Member, 0, len(v.Members))}
+	for _, m := range v.Members {
+		if !gone[m.Addr] {
+			next.Members = append(next.Members, m)
+		}
+	}
+	return next
+}
+
+// SuspicionTable records convicted (address, incarnation) pairs across
+// the rounds of an elastic run. Detector state itself is per-round; the
+// table is what survives a re-mesh, so a returning address is insta-
+// convicted only when it presents an incarnation the cluster already
+// declared dead — a fresh incarnation always gets a full suspicion
+// window.
+type SuspicionTable struct {
+	mu        sync.Mutex
+	convicted map[string]uint64 // addr → highest convicted incarnation
+}
+
+// NewSuspicionTable returns an empty conviction table.
+func NewSuspicionTable() *SuspicionTable {
+	return &SuspicionTable{convicted: make(map[string]uint64)}
+}
+
+// Convict records that the given incarnation at addr was declared dead.
+func (t *SuspicionTable) Convict(addr string, inc uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if inc > t.convicted[addr] {
+		t.convicted[addr] = inc
+	}
+}
+
+// Convicted reports whether the (addr, incarnation) pair is covered by a
+// recorded conviction — the exact incarnation or an older one.
+func (t *SuspicionTable) Convicted(addr string, inc uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return inc <= t.convicted[addr]
+}
+
+// Highest returns the highest convicted incarnation at addr (0 = none).
+func (t *SuspicionTable) Highest(addr string) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.convicted[addr]
+}
+
+// Membership is the coordinator's view state machine. Join requests
+// accumulate as pending members; Propose folds them into the next-epoch
+// view; Seal commits a view once the cluster has drained to it, waking
+// any joiner blocked in WaitSealed. All methods are safe for concurrent
+// use — joiners arrive over TCP while the coordinator's sampler runs.
+type Membership struct {
+	mu         sync.Mutex
+	view       View
+	pending    []Member
+	high       map[string]uint64 // addr → highest incarnation ever issued or seen
+	max        int               // admission cap (0 = unbounded)
+	table      *SuspicionTable   // optional: convicted incarnations also raise the high-water mark
+	resumeIter int
+	sealCh     chan struct{} // closed (and replaced) on every Seal
+}
+
+// NewMembership starts the state machine at the given sealed view.
+// maxRanks caps admissions (0 = unbounded). table, when non-nil, makes
+// incarnation assignment account for convictions recorded before this
+// coordinator took over — a rejoiner at a dead address must outnumber
+// the incarnation the cluster convicted, even when this process never
+// issued it.
+func NewMembership(view View, maxRanks int, table *SuspicionTable) *Membership {
+	m := &Membership{
+		view:   view,
+		high:   make(map[string]uint64),
+		max:    maxRanks,
+		table:  table,
+		sealCh: make(chan struct{}),
+	}
+	m.bumpHighLocked(view)
+	return m
+}
+
+func (m *Membership) bumpHighLocked(v View) {
+	for _, mb := range v.Members {
+		if mb.Incarnation > m.high[mb.Addr] {
+			m.high[mb.Addr] = mb.Incarnation
+		}
+	}
+}
+
+// View returns the current sealed view.
+func (m *Membership) View() View {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.view
+}
+
+// HasPending reports whether any join requests await admission.
+func (m *Membership) HasPending() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.pending) > 0
+}
+
+// RequestJoin files a join request for addr and returns the member
+// identity it will be admitted as. Duplicate requests for an address
+// already pending are idempotent (the retransmit case: a joiner whose
+// reply was lost asks again and must not be admitted twice). An address
+// that is currently a member is rejected with ErrAlreadyMember — the
+// caller retries after the failure shrink has deposed it.
+func (m *Membership) RequestJoin(addr string) (Member, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.view.RankOf(addr) >= 0 {
+		return Member{}, fmt.Errorf("%w: %s is in epoch %d", ErrAlreadyMember, addr, m.view.Epoch)
+	}
+	for _, p := range m.pending {
+		if p.Addr == addr {
+			return p, nil
+		}
+	}
+	if m.max > 0 && len(m.view.Members)+len(m.pending) >= m.max {
+		return Member{}, fmt.Errorf("comm: membership is full (%d members, %d pending, max %d)",
+			len(m.view.Members), len(m.pending), m.max)
+	}
+	base := m.high[addr]
+	if m.table != nil {
+		if c := m.table.Highest(addr); c > base {
+			base = c
+		}
+	}
+	mb := Member{Addr: addr, Incarnation: base + 1}
+	m.high[addr] = mb.Incarnation
+	m.pending = append(m.pending, mb)
+	return mb, nil
+}
+
+// ErrAlreadyMember rejects a join for an address the current view still
+// holds. Retryable: once the failure shrink deposes the old incarnation,
+// the same request succeeds with a fresh one.
+var ErrAlreadyMember = fmt.Errorf("comm: address is already a member")
+
+// Propose returns the next-epoch view: current members in rank order,
+// then the pending joiners sorted by (address, incarnation). The sort
+// makes the proposal independent of request arrival order, so two joins
+// racing the same epoch always produce the same view. Propose does not
+// commit — the cluster drains first, then the coordinator Seals.
+func (m *Membership) Propose() View {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	next := View{Epoch: m.view.Epoch + 1, Members: append([]Member(nil), m.view.Members...)}
+	pend := append([]Member(nil), m.pending...)
+	sort.Slice(pend, func(a, b int) bool {
+		if pend[a].Addr != pend[b].Addr {
+			return pend[a].Addr < pend[b].Addr
+		}
+		return pend[a].Incarnation < pend[b].Incarnation
+	})
+	next.Members = append(next.Members, pend...)
+	return next
+}
+
+// Seal commits a drained view change: v becomes the current view,
+// pending members now admitted are cleared, resumeIter records the
+// iteration the new cluster resumes from, and every joiner blocked in
+// WaitSealed wakes.
+func (m *Membership) Seal(v View, resumeIter int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.view = v
+	m.resumeIter = resumeIter
+	m.bumpHighLocked(v)
+	kept := m.pending[:0]
+	for _, p := range m.pending {
+		if !v.Contains(p) {
+			kept = append(kept, p)
+		}
+	}
+	m.pending = kept
+	close(m.sealCh)
+	m.sealCh = make(chan struct{})
+}
+
+// Adopt records a view change this process did not seal itself — the
+// failure-shrink path, where every survivor derives the same Shrink
+// view locally. Pending joins are kept: the next Propose re-offers them
+// (the "coordinator died during a proposed-but-unsealed view" case
+// resolves by the takeover coordinator re-proposing).
+func (m *Membership) Adopt(v View) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.view = v
+	m.bumpHighLocked(v)
+}
+
+// WaitSealed blocks until a sealed view contains mb, returning that
+// view, mb's rank in it, and the iteration the new cluster resumes
+// from.
+func (m *Membership) WaitSealed(mb Member, timeout time.Duration) (View, int, int, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		m.mu.Lock()
+		if m.view.Contains(mb) {
+			v, ri := m.view, m.resumeIter
+			m.mu.Unlock()
+			return v, v.RankOf(mb.Addr), ri, nil
+		}
+		ch := m.sealCh
+		m.mu.Unlock()
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			return View{}, 0, 0, fmt.Errorf("comm: no sealed view admitted %s (incarnation %d) within %v", mb.Addr, mb.Incarnation, timeout)
+		}
+		tm := time.NewTimer(wait)
+		select {
+		case <-ch:
+			tm.Stop()
+		case <-tm.C:
+			return View{}, 0, 0, fmt.Errorf("comm: no sealed view admitted %s (incarnation %d) within %v", mb.Addr, mb.Incarnation, timeout)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package comm
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// membership_tcp.go carries the join handshake over real sockets: a
+// joiner dials the coordinator's membership listener, sends one JSON
+// join request, and the coordinator holds the connection open until the
+// requested member is in a sealed view — the reply then carries the
+// view, the joiner's rank, and the iteration to resume from. The
+// request is idempotent (Membership.RequestJoin dedups by address), so
+// a joiner whose connection died mid-handshake simply redials and asks
+// again.
+
+// joinRequest is the joiner→coordinator half of the handshake.
+type joinRequest struct {
+	Addr string `json:"addr"` // the joiner's fabric listen address
+}
+
+// joinReply is the coordinator→joiner half. Retry marks transient
+// rejections (address still in the view awaiting its failure shrink, or
+// the seal wait timed out) the joiner should redial for.
+type joinReply struct {
+	Err        string `json:"err,omitempty"`
+	Retry      bool   `json:"retry,omitempty"`
+	View       View   `json:"view,omitempty"`
+	Rank       int    `json:"rank,omitempty"`
+	ResumeIter int    `json:"resume_iter,omitempty"`
+}
+
+// serveSealTimeout caps how long one join connection may wait for its
+// seal before the joiner is told to redial (keeping the handshake
+// re-entrant instead of pinning connections forever).
+const serveSealTimeout = 5 * time.Minute
+
+// MembershipServer accepts join requests on a listen address and parks
+// each until its member is sealed into a view.
+type MembershipServer struct {
+	ln  net.Listener
+	m   *Membership
+	wg  sync.WaitGroup
+	mu  sync.Mutex
+	cls bool
+}
+
+// ServeMembership starts a join listener for the coordinator's
+// membership state machine.
+func ServeMembership(addr string, m *Membership) (*MembershipServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &MembershipServer{ln: ln, m: m}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener's bound address (useful with ":0").
+func (s *MembershipServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting joins and waits for in-flight handshakes.
+func (s *MembershipServer) Close() {
+	s.mu.Lock()
+	s.cls = true
+	s.mu.Unlock()
+	s.ln.Close()
+	s.wg.Wait()
+}
+
+func (s *MembershipServer) closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cls
+}
+
+func (s *MembershipServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if s.closed() {
+				return
+			}
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *MembershipServer) handle(conn net.Conn) {
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	var req joinRequest
+	if err := json.NewDecoder(conn).Decode(&req); err != nil {
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	reply := func(r joinReply) {
+		conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+		_ = json.NewEncoder(conn).Encode(&r)
+	}
+	mb, err := s.m.RequestJoin(req.Addr)
+	if err != nil {
+		reply(joinReply{Err: err.Error(), Retry: errors.Is(err, ErrAlreadyMember)})
+		return
+	}
+	view, rank, resume, err := s.m.WaitSealed(mb, serveSealTimeout)
+	if err != nil {
+		reply(joinReply{Err: err.Error(), Retry: true})
+		return
+	}
+	reply(joinReply{View: view, Rank: rank, ResumeIter: resume})
+}
+
+// RequestJoinTCP asks the coordinator at coordAddr to admit selfAddr as
+// a new member and blocks until a view including it is sealed (or the
+// timeout expires). Transient failures — coordinator not up yet,
+// connection lost mid-handshake, the address still awaiting its failure
+// shrink — are retried with backoff; the request is idempotent on the
+// coordinator, so retries can never be admitted twice. Returns the
+// sealed view, this process's rank in it, and the iteration to resume
+// from.
+func RequestJoinTCP(coordAddr, selfAddr string, timeout time.Duration) (View, int, int, error) {
+	deadline := time.Now().Add(timeout)
+	backoff := 100 * time.Millisecond
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("no attempt completed")
+			}
+			return View{}, 0, 0, fmt.Errorf("comm: join via %s timed out after %v: %w", coordAddr, timeout, lastErr)
+		}
+		view, rank, resume, retry, err := requestJoinOnce(coordAddr, selfAddr, remain)
+		if err == nil {
+			return view, rank, resume, nil
+		}
+		if !retry {
+			return View{}, 0, 0, err
+		}
+		lastErr = err
+		sleep := backoff
+		if sleep > remain {
+			sleep = remain
+		}
+		time.Sleep(sleep)
+		if backoff < 2*time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// requestJoinOnce runs one handshake attempt; retry marks errors worth
+// redialing for.
+func requestJoinOnce(coordAddr, selfAddr string, budget time.Duration) (View, int, int, bool, error) {
+	dialTO := budget
+	if dialTO > 5*time.Second {
+		dialTO = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", coordAddr, dialTO)
+	if err != nil {
+		return View{}, 0, 0, true, err
+	}
+	defer conn.Close()
+	conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	if err := json.NewEncoder(conn).Encode(&joinRequest{Addr: selfAddr}); err != nil {
+		return View{}, 0, 0, true, err
+	}
+	conn.SetWriteDeadline(time.Time{})
+	// The reply arrives only when the cluster drains to a sealed view —
+	// potentially minutes later (-grow-at-iter). The overall budget is
+	// the read deadline.
+	conn.SetReadDeadline(time.Now().Add(budget))
+	var rep joinReply
+	if err := json.NewDecoder(conn).Decode(&rep); err != nil {
+		return View{}, 0, 0, true, err
+	}
+	if rep.Err != "" {
+		return View{}, 0, 0, rep.Retry, fmt.Errorf("comm: join rejected by %s: %s", coordAddr, rep.Err)
+	}
+	return rep.View, rep.Rank, rep.ResumeIter, false, nil
+}

@@ -229,19 +229,40 @@ func (c Checkpoint) Validate() error {
 	return nil
 }
 
-// Fault configures the deterministic self-kill injection used by the
-// crash-recovery smoke tests. The disabled value is {-1, -1}.
+// Fault configures the deterministic fault/membership test hooks used
+// by the crash-recovery and elastic smoke tests. The disabled self-kill
+// value is {-1, -1}.
 type Fault struct {
 	// DieRank is the rank that kills itself (-1 = never).
 	DieRank int `json:"die_rank,omitempty"`
 	// DieIter is the iteration after which DieRank exits (-1 = never).
 	DieIter int `json:"die_iter,omitempty"`
+	// GrowAtIter defers admitting pending joiners until this iteration
+	// (0 = the first boundary after a join request arrives).
+	GrowAtIter int `json:"grow_at_iter,omitempty"`
+	// JoinDelay sleeps this long before a -join worker files its
+	// request, so a smoke test can aim the join at a mid-run iteration.
+	JoinDelay Duration `json:"join_delay,omitempty"`
+	// IterDelay pauses every rank after each iteration — pacing for
+	// smoke tests whose membership events must land mid-run. It cannot
+	// change the sampled chain.
+	IterDelay Duration `json:"iter_delay,omitempty"`
 }
 
-// Validate requires the two halves of the injection together.
+// Validate requires the two halves of the injection together and
+// non-negative test-hook knobs.
 func (f Fault) Validate() error {
 	if (f.DieRank >= 0) != (f.DieIter >= 0) {
 		return fmt.Errorf("config: fault injection needs both die-rank and die-iter (got die-rank %d, die-iter %d)", f.DieRank, f.DieIter)
+	}
+	if f.GrowAtIter < 0 {
+		return fmt.Errorf("config: grow-at-iter must be >= 0, got %d", f.GrowAtIter)
+	}
+	if f.JoinDelay < 0 {
+		return fmt.Errorf("config: join-delay must be >= 0, got %s", f.JoinDelay)
+	}
+	if f.IterDelay < 0 {
+		return fmt.Errorf("config: iter-delay must be >= 0, got %s", f.IterDelay)
 	}
 	return nil
 }

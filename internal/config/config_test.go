@@ -286,6 +286,61 @@ func TestDistValidate(t *testing.T) {
 		{"worker bad peers", func(c *Dist) { c.Peers = "localhost" }, "host:port"},
 		{"rank out of range", func(c *Dist) { c.Rank = 2 }, "outside the 2 addresses"},
 		{"negative rank", func(c *Dist) { c.Rank = -1 }, "outside the 2 addresses"},
+		{"valid joiner", func(c *Dist) {
+			c.Rank, c.Peers = 0, ""
+			c.Join, c.Advertise = "127.0.0.1:9890", "127.0.0.1:9802"
+			c.Elastic = true
+			c.Checkpoint = Checkpoint{Dir: "/ckpt", Every: 2}
+		}, ""},
+		{"join with launch", func(c *Dist) {
+			c.Launch, c.Join, c.Advertise = 4, "127.0.0.1:9890", "127.0.0.1:9802"
+			c.Elastic = true
+			c.Checkpoint = Checkpoint{Dir: "/ckpt", Every: 2}
+		}, "cannot be combined with -launch"},
+		{"join bad addr", func(c *Dist) {
+			c.Join, c.Advertise = "coordinator", "127.0.0.1:9802"
+			c.Elastic = true
+			c.Checkpoint = Checkpoint{Dir: "/ckpt", Every: 2}
+		}, "not host:port"},
+		{"join without advertise", func(c *Dist) {
+			c.Join = "127.0.0.1:9890"
+			c.Elastic = true
+			c.Checkpoint = Checkpoint{Dir: "/ckpt", Every: 2}
+		}, "needs -advertise"},
+		{"join bad advertise", func(c *Dist) {
+			c.Join, c.Advertise = "127.0.0.1:9890", "somewhere"
+			c.Elastic = true
+			c.Checkpoint = Checkpoint{Dir: "/ckpt", Every: 2}
+		}, "not host:port"},
+		{"join without elastic", func(c *Dist) {
+			c.Join, c.Advertise = "127.0.0.1:9890", "127.0.0.1:9802"
+		}, "-join needs -elastic"},
+		{"valid join-addr", func(c *Dist) {
+			c.JoinAddr = "127.0.0.1:9890"
+			c.Elastic = true
+			c.Checkpoint = Checkpoint{Dir: "/ckpt", Every: 2}
+		}, ""},
+		{"join-addr bad addr", func(c *Dist) {
+			c.JoinAddr = "everywhere"
+			c.Elastic = true
+			c.Checkpoint = Checkpoint{Dir: "/ckpt", Every: 2}
+		}, "not host:port"},
+		{"join-addr without elastic", func(c *Dist) { c.JoinAddr = "127.0.0.1:9890" }, "join-addr needs -elastic"},
+		{"zero min-ranks", func(c *Dist) { c.MinRanks = 0 }, "min-ranks must be >= 1"},
+		{"max below min", func(c *Dist) { c.MinRanks, c.MaxRanks = 3, 2 }, "0 or >= min-ranks"},
+		{"max below worker size", func(c *Dist) { c.MaxRanks = 1 }, "below the initial cluster size"},
+		{"min above worker size", func(c *Dist) { c.MinRanks = 3 }, "exceeds the initial cluster size"},
+		{"max below launch size", func(c *Dist) {
+			c.Launch, c.Rank, c.Peers = 4, -1, ""
+			c.MaxRanks = 3
+		}, "below the launched cluster size"},
+		{"min above launch size", func(c *Dist) {
+			c.Launch, c.Rank, c.Peers = 4, -1, ""
+			c.MinRanks = 5
+		}, "exceeds the launched cluster size"},
+		{"negative grow-at-iter", func(c *Dist) { c.Fault.GrowAtIter = -1 }, "grow-at-iter must be >= 0"},
+		{"negative join-delay", func(c *Dist) { c.Fault.JoinDelay = -1 }, "join-delay must be >= 0"},
+		{"negative iter-delay", func(c *Dist) { c.Fault.IterDelay = -1 }, "iter-delay must be >= 0"},
 	}
 	for _, tc := range cases {
 		c := base

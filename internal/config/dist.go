@@ -42,6 +42,22 @@ type Dist struct {
 	// declared dead after this long.
 	Suspicion Duration `json:"suspicion,omitempty"`
 	Fault     Fault    `json:"fault"`
+
+	// Join runs this process as a late worker: it asks the coordinator's
+	// membership listener at this address to admit it, waits for the
+	// sealed view, and enters the cluster at the resume iteration.
+	Join string `json:"join,omitempty"`
+	// Advertise is a -join worker's own fabric listen address (host:port
+	// reachable by every member).
+	Advertise string `json:"advertise,omitempty"`
+	// JoinAddr is the membership listen address the coordinator (rank 0,
+	// or the lowest survivor after a failure) accepts join requests on.
+	JoinAddr string `json:"join_addr,omitempty"`
+	// MinRanks aborts the run when a shrunken view falls below this many
+	// members (default 1: shrink all the way to a single rank).
+	MinRanks int `json:"min_ranks,omitempty"`
+	// MaxRanks caps admissions (0 = unbounded).
+	MaxRanks int `json:"max_ranks,omitempty"`
 }
 
 // DefaultDist returns cmd/bpmf-dist's defaults: a short chain at K=16
@@ -56,6 +72,7 @@ func DefaultDist() Dist {
 		Buffer:    64 << 10,
 		Suspicion: Duration(3 * time.Second),
 		Fault:     Fault{DieRank: -1, DieIter: -1},
+		MinRanks:  1,
 	}
 }
 
@@ -79,6 +96,14 @@ func (c *Dist) RegisterFlags(fs *flag.FlagSet) {
 	fs.Var(&c.Suspicion, "suspicion", "failure-detector timeout: a silent peer is declared dead after this long")
 	fs.IntVar(&c.Fault.DieRank, "die-rank", c.Fault.DieRank, "fault injection: the rank that kills itself (requires -die-iter)")
 	fs.IntVar(&c.Fault.DieIter, "die-iter", c.Fault.DieIter, "fault injection: the iteration after which -die-rank exits")
+	fs.StringVar(&c.Join, "join", c.Join, "join a running cluster as a late worker via this coordinator membership address")
+	fs.StringVar(&c.Advertise, "advertise", c.Advertise, "this -join worker's own fabric listen address (host:port)")
+	fs.StringVar(&c.JoinAddr, "join-addr", c.JoinAddr, "membership listen address the coordinator accepts -join requests on")
+	fs.IntVar(&c.MinRanks, "min-ranks", c.MinRanks, "abort when a shrunken cluster falls below this many ranks")
+	fs.IntVar(&c.MaxRanks, "max-ranks", c.MaxRanks, "cap on admitted cluster size (0 = unbounded)")
+	fs.IntVar(&c.Fault.GrowAtIter, "grow-at-iter", c.Fault.GrowAtIter, "membership test hook: defer admitting pending joiners until this iteration")
+	fs.Var(&c.Fault.JoinDelay, "join-delay", "membership test hook: sleep this long before filing the -join request")
+	fs.Var(&c.Fault.IterDelay, "iter-delay", "test pacing: pause every rank this long after each iteration")
 }
 
 // Validate checks the merged configuration, including the cross-flag
@@ -121,9 +146,48 @@ func (c Dist) Validate() error {
 			return fmt.Errorf("config: elastic is incompatible with reorder (checkpoints live in the unpermuted index space)")
 		}
 	}
+	if c.MinRanks < 1 {
+		return fmt.Errorf("config: min-ranks must be >= 1, got %d", c.MinRanks)
+	}
+	if c.MaxRanks != 0 && c.MaxRanks < c.MinRanks {
+		return fmt.Errorf("config: max-ranks (%d) must be 0 or >= min-ranks (%d)", c.MaxRanks, c.MinRanks)
+	}
+	if c.JoinAddr != "" {
+		if _, _, err := net.SplitHostPort(c.JoinAddr); err != nil {
+			return fmt.Errorf("config: join-addr %q is not host:port: %v", c.JoinAddr, err)
+		}
+		if !c.Elastic {
+			return fmt.Errorf("config: join-addr needs -elastic (admitting a member re-meshes through the elastic drain/resume machinery)")
+		}
+	}
+	if c.Join != "" {
+		// Late-joiner mode: the view replaces -rank/-peers entirely.
+		if c.Launch > 0 {
+			return fmt.Errorf("config: -join cannot be combined with -launch (a joiner is a single late worker)")
+		}
+		if _, _, err := net.SplitHostPort(c.Join); err != nil {
+			return fmt.Errorf("config: join %q is not host:port: %v", c.Join, err)
+		}
+		if c.Advertise == "" {
+			return fmt.Errorf("config: -join needs -advertise (the joiner's own fabric listen address)")
+		}
+		if _, _, err := net.SplitHostPort(c.Advertise); err != nil {
+			return fmt.Errorf("config: advertise %q is not host:port: %v", c.Advertise, err)
+		}
+		if !c.Elastic {
+			return fmt.Errorf("config: -join needs -elastic (the joiner resumes through the elastic checkpoint plane)")
+		}
+		return nil
+	}
 	if c.Launch > 0 {
 		if c.BasePort < 1 || c.BasePort > 65535-c.Launch {
 			return fmt.Errorf("config: baseport %d cannot host %d consecutive rank ports", c.BasePort, c.Launch)
+		}
+		if c.MaxRanks != 0 && c.MaxRanks < c.Launch {
+			return fmt.Errorf("config: max-ranks (%d) is below the launched cluster size (%d)", c.MaxRanks, c.Launch)
+		}
+		if c.MinRanks > c.Launch {
+			return fmt.Errorf("config: min-ranks (%d) exceeds the launched cluster size (%d)", c.MinRanks, c.Launch)
 		}
 		return nil
 	}
@@ -134,6 +198,12 @@ func (c Dist) Validate() error {
 	}
 	if c.Rank < 0 || c.Rank >= len(addrs) {
 		return fmt.Errorf("config: rank %d outside the %d addresses in peers", c.Rank, len(addrs))
+	}
+	if c.MaxRanks != 0 && c.MaxRanks < len(addrs) {
+		return fmt.Errorf("config: max-ranks (%d) is below the initial cluster size (%d)", c.MaxRanks, len(addrs))
+	}
+	if c.MinRanks > len(addrs) {
+		return fmt.Errorf("config: min-ranks (%d) exceeds the initial cluster size (%d)", c.MinRanks, len(addrs))
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log"
 	"os"
 	"path/filepath"
 
@@ -53,8 +54,22 @@ func fragmentName(iter, rank, ranks int) string {
 	return fmt.Sprintf("ckpt-iter%06d-rank%d-of%d.frag", iter, rank, ranks)
 }
 
+// check validates the manifest's internal structure — the bounds and
+// fragment lists a resume is about to index by.
+func (m *Manifest) check() error {
+	if len(m.RowBounds) != m.Ranks+1 || len(m.ColBounds) != m.Ranks+1 ||
+		len(m.Fragments) != m.Ranks {
+		return fmt.Errorf("dist: manifest for iter %d is inconsistent (%d ranks, %d/%d bounds, %d fragments)",
+			m.Iter, m.Ranks, len(m.RowBounds), len(m.ColBounds), len(m.Fragments))
+	}
+	return nil
+}
+
 // ReadManifest loads the sealed manifest of one specific iteration —
-// for pinning a resume to a known round instead of the latest.
+// for pinning a resume to a known round instead of the latest. Unlike
+// LatestManifest's scan, a pinned manifest fails loudly: the caller
+// named this exact round, so a torn or inconsistent file is an error,
+// never something to skip past.
 func ReadManifest(dir string, iter int) (*Manifest, error) {
 	data, err := os.ReadFile(filepath.Join(dir, manifestName(iter)))
 	if err != nil {
@@ -64,11 +79,19 @@ func ReadManifest(dir string, iter int) (*Manifest, error) {
 	if err := json.Unmarshal(data, &m); err != nil {
 		return nil, fmt.Errorf("dist: manifest for iter %d: %w", iter, err)
 	}
+	if err := m.check(); err != nil {
+		return nil, err
+	}
 	return &m, nil
 }
 
 // LatestManifest scans dir for sealed checkpoint manifests and returns
 // the one with the highest iteration, or (nil, nil) when none exist.
+// Unreadable, torn, or structurally inconsistent manifest files are
+// skipped with a logged warning instead of failing the whole resume:
+// the manifest write is atomic-rename, so a bad file is debris from a
+// foreign writer or a damaged filesystem — and recovery should proceed
+// from the newest manifest that is actually intact.
 func LatestManifest(dir string) (*Manifest, error) {
 	names, err := filepath.Glob(filepath.Join(dir, "manifest-iter*.json"))
 	if err != nil {
@@ -78,11 +101,17 @@ func LatestManifest(dir string) (*Manifest, error) {
 	for _, name := range names {
 		data, err := os.ReadFile(name)
 		if err != nil {
-			return nil, err
+			log.Printf("dist: skipping unreadable checkpoint manifest %s: %v", name, err)
+			continue
 		}
 		var m Manifest
 		if err := json.Unmarshal(data, &m); err != nil {
-			return nil, fmt.Errorf("dist: manifest %s: %w", name, err)
+			log.Printf("dist: skipping torn checkpoint manifest %s: %v", name, err)
+			continue
+		}
+		if err := m.check(); err != nil {
+			log.Printf("dist: skipping checkpoint manifest %s: %v", name, err)
+			continue
 		}
 		if best == nil || m.Iter > best.Iter {
 			mm := m
@@ -98,10 +127,8 @@ func LatestManifest(dir string) (*Manifest, error) {
 // row ownership, so the walk must see the same entries in the same
 // order).
 func LoadDistCheckpoint(dir string, man *Manifest, test []sparse.Entry) (*core.Checkpoint, error) {
-	if len(man.RowBounds) != man.Ranks+1 || len(man.ColBounds) != man.Ranks+1 ||
-		len(man.Fragments) != man.Ranks {
-		return nil, fmt.Errorf("dist: manifest for iter %d is inconsistent (%d ranks, %d/%d bounds, %d fragments)",
-			man.Iter, man.Ranks, len(man.RowBounds), len(man.ColBounds), len(man.Fragments))
+	if err := man.check(); err != nil {
+		return nil, err
 	}
 	out := &core.Checkpoint{
 		K:           man.K,

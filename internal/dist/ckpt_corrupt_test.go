@@ -1,0 +1,119 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// ckpt_corrupt_test.go pins the manifest plane's behavior over a corpus
+// of damaged files: LatestManifest (the recovery scan) must skip
+// unreadable, torn, and structurally inconsistent manifests with a
+// logged warning and still find the newest intact one, while
+// ReadManifest (the pinned path, where the caller named an exact round)
+// must fail loudly with byte-accurate errors.
+
+// writeCorruptCorpus populates dir with one valid manifest (iter 4)
+// surrounded by damaged ones at higher iterations.
+func writeCorruptCorpus(t *testing.T, dir string) {
+	t.Helper()
+	valid := Manifest{
+		Iter: 4, K: 6, Ranks: 2, Seed: 1, M: 40, N: 30,
+		RowBounds: []int{0, 20, 40},
+		ColBounds: []int{0, 15, 30},
+		Fragments: []string{"ckpt-iter000004-rank0-of2.frag", "ckpt-iter000004-rank1-of2.frag"},
+	}
+	blob, err := json.Marshal(&valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, data []byte) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(manifestName(4), blob)
+	// Torn mid-write by a foreign (non-atomic) writer: truncated JSON.
+	write(manifestName(6), blob[:len(blob)/2])
+	// Zero bytes — an empty debris file.
+	write(manifestName(8), nil)
+	// Parses, but the structure lies: 2 ranks with one fragment and
+	// 1-rank bounds.
+	inconsistent := Manifest{
+		Iter: 10, K: 6, Ranks: 2, Seed: 1, M: 40, N: 30,
+		RowBounds: []int{0, 40},
+		ColBounds: []int{0, 30},
+		Fragments: []string{"ckpt-iter000010-rank0-of2.frag"},
+	}
+	blob10, err := json.Marshal(&inconsistent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write(manifestName(10), blob10)
+}
+
+func TestLatestManifestSkipsCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	writeCorruptCorpus(t, dir)
+
+	var logs bytes.Buffer
+	prevOut, prevFlags := log.Writer(), log.Flags()
+	log.SetOutput(&logs)
+	log.SetFlags(0)
+	defer func() {
+		log.SetOutput(prevOut)
+		log.SetFlags(prevFlags)
+	}()
+
+	man, err := LatestManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man == nil || man.Iter != 4 {
+		t.Fatalf("latest manifest %+v, want the intact iter-4 one", man)
+	}
+	warned := logs.String()
+	for _, name := range []string{manifestName(6), manifestName(8), manifestName(10)} {
+		if !strings.Contains(warned, name) {
+			t.Fatalf("no skip warning for %s in:\n%s", name, warned)
+		}
+	}
+	if !strings.Contains(warned, "skipping torn checkpoint manifest") {
+		t.Fatalf("torn manifest not reported as torn:\n%s", warned)
+	}
+	if !strings.Contains(warned, "is inconsistent (2 ranks, 2/2 bounds, 1 fragments)") {
+		t.Fatalf("inconsistent manifest not reported structurally:\n%s", warned)
+	}
+}
+
+// TestReadManifestFailsLoudlyOnCorpus pins the pinned-manifest contract
+// byte for byte: a named round that is damaged is an error, never
+// something to skip past.
+func TestReadManifestFailsLoudlyOnCorpus(t *testing.T) {
+	dir := t.TempDir()
+	writeCorruptCorpus(t, dir)
+
+	if man, err := ReadManifest(dir, 4); err != nil || man.Iter != 4 {
+		t.Fatalf("intact manifest: got (%+v, %v)", man, err)
+	}
+	if _, err := ReadManifest(dir, 6); err == nil ||
+		err.Error() != "dist: manifest for iter 6: unexpected end of JSON input" {
+		t.Fatalf("torn manifest error = %v", err)
+	}
+	if _, err := ReadManifest(dir, 8); err == nil ||
+		err.Error() != "dist: manifest for iter 8: unexpected end of JSON input" {
+		t.Fatalf("empty manifest error = %v", err)
+	}
+	if _, err := ReadManifest(dir, 10); err == nil ||
+		err.Error() != "dist: manifest for iter 10 is inconsistent (2 ranks, 2/2 bounds, 1 fragments)" {
+		t.Fatalf("inconsistent manifest error = %v", err)
+	}
+	if _, err := ReadManifest(dir, 12); !os.IsNotExist(err) {
+		t.Fatalf("missing manifest error = %v, want os.IsNotExist", err)
+	}
+}

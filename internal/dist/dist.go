@@ -81,6 +81,33 @@ type Options struct {
 	// test seam: fault-injection tests use it to kill ranks at exact,
 	// reproducible iteration boundaries.
 	OnIteration func(rank, iter int)
+
+	// Epoch is the membership epoch this round runs under (0 for
+	// non-elastic runs; informational).
+	Epoch int
+	// Members names each rank's (address, incarnation) identity. Set
+	// together with Suspicions, it keys the failure detector by identity
+	// so a rejoined incarnation at a convicted address gets a fresh
+	// suspicion window instead of an instant re-conviction.
+	Members []comm.Member
+	// Suspicions carries convicted incarnations across the rounds of an
+	// elastic run (shared by every round's detector).
+	Suspicions *comm.SuspicionTable
+	// Membership, when set, gates the drain barrier: whenever it holds
+	// pending join requests (and the iteration has reached GrowAtIter),
+	// rank 0 raises a drain flag inside the evaluation allreduce — the
+	// one point every rank passes in lockstep — and the whole cluster
+	// checkpoints at that iteration boundary and returns a *ViewChange
+	// naming the proposed next view. Only rank 0 reads it; handing the
+	// same value to every rank is fine.
+	Membership *comm.Membership
+	// GrowAtIter defers raising the drain flag until this iteration
+	// (test hook; 0 admits pending joins at the first boundary).
+	GrowAtIter int
+	// IterDelay pauses every rank after each completed iteration — a
+	// pacing hook for CI smokes that need membership events to land
+	// mid-run. It cannot change the sampled chain.
+	IterDelay time.Duration
 }
 
 // normalized fills in defaulted fields.

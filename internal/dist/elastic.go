@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -9,16 +10,30 @@ import (
 	"repro/internal/core"
 )
 
-// elastic.go is the recovery driver of the fault-tolerant engine: run
-// the cluster; when ranks die mid-run (detected by the heartbeat
-// failure detector, unwinding every survivor with a RankFailedError),
-// shrink the rank set by the dead ranks, rebuild the partition plan
-// over the survivors, and resume from the latest sealed checkpoint
-// manifest. The resumed chain is — bit for bit — the chain a fresh
-// cluster of the surviving size would sample when started from that
-// same checkpoint: partitioning, routing, and the moment-reduction
-// order are pure functions of (problem, rank count), and the
-// checkpoint's fragments are re-sliced by the *new* bounds on load.
+// elastic.go is the membership-driven recovery driver of the
+// fault-tolerant engine: a run is a sequence of rounds, each over one
+// sealed membership view. Rounds end three ways —
+//
+//   - cleanly: the sampler finished; return the result.
+//   - by failure: ranks died (detected by the heartbeat detector,
+//     unwinding every survivor with a RankFailedError). The view shrinks
+//     by the dead members (epoch+1), their incarnations are recorded in
+//     the suspicion table, and the next round resumes from the latest
+//     sealed manifest. Pending join requests survive the shrink, so a
+//     coordinator death during a proposed-but-unsealed view resolves by
+//     the takeover coordinator re-proposing.
+//   - by drain: pending joins made rank 0 raise the drain flag in the
+//     evaluation allreduce; every rank checkpointed at the boundary and
+//     returned a *ViewChange carrying the proposed view, which the
+//     driver seals. The next round runs the grown cluster from the
+//     just-sealed manifest.
+//
+// The resumed chain is — bit for bit — the chain a fresh cluster of the
+// new size would sample when started from the same manifest:
+// partitioning, routing, and the moment-reduction order are pure
+// functions of (problem, rank count), and the checkpoint's fragments
+// are re-sliced by the *new* bounds on load. Growing, rejoining, and
+// shrinking all ride the identical resume path.
 
 // DefaultSuspicionTimeout is the failure-detector timeout the elastic
 // drivers fall back to when Options.SuspicionTimeout is unset.
@@ -30,6 +45,15 @@ const DefaultSuspicionTimeout = 2 * time.Second
 // links, etc. Round 0 is the initial run.
 type FaultHook func(round int, fb *comm.FaultFabric, opt *Options)
 
+// MembershipHook is FaultHook for the membership driver: it also sees
+// the round's sealed view and the coordinator state machine, so tests
+// can file join requests (mem.RequestJoin from an OnIteration seam) and
+// assert epochs, on top of injecting faults.
+type MembershipHook func(round int, view comm.View, fb *comm.FaultFabric, opt *Options, mem *comm.Membership)
+
+// rankBody runs one rank of one round.
+type rankBody func(r int, c *comm.Comm) (*core.Result, *Stats, error)
+
 // RunInProcElastic executes a distributed run as a virtual in-process
 // cluster that survives injected rank failures: every round runs on a
 // fresh FaultFabric; when ranks are killed, the next round resumes from
@@ -37,43 +61,26 @@ type FaultHook func(round int, fb *comm.FaultFabric, opt *Options)
 // Requires checkpointing to be configured. Returns the final result,
 // the last round's per-rank stats, and the rank count that finished.
 func RunInProcElastic(cfg core.Config, prob *core.Problem, opt Options, hook FaultHook) (*core.Result, []Stats, int, error) {
-	opt = opt.normalized()
-	if err := cfg.Validate(); err != nil {
-		return nil, nil, 0, err
-	}
-	if opt.CheckpointDir == "" || opt.CheckpointEvery <= 0 {
-		return nil, nil, 0, fmt.Errorf("dist: elastic runs need CheckpointDir and CheckpointEvery (recovery resumes from the latest manifest)")
-	}
-	if opt.OneSided {
-		return nil, nil, 0, fmt.Errorf("dist: elastic runs are incompatible with OneSided")
-	}
-	if opt.SuspicionTimeout <= 0 {
-		opt.SuspicionTimeout = DefaultSuspicionTimeout
-	}
+	res, stats, view, err := RunInProcMembership(cfg, prob, opt, liftFaultHook(hook))
+	return res, stats, len(view.Members), err
+}
 
-	ranks := opt.Ranks
-	for round := 0; ; round++ {
-		ropt := opt
-		ropt.Ranks = ranks
-		ropt.Schedule = nil // rebuilt per rank from the round's plan
+// RunInProcMembership is the full elastic driver: RunInProcElastic plus
+// membership — the hook can file join requests, and the cluster then
+// drains, seals the grown view, and resumes with more ranks. Returns
+// the final sealed view alongside the result.
+func RunInProcMembership(cfg core.Config, prob *core.Problem, opt Options, hook MembershipHook) (*core.Result, []Stats, comm.View, error) {
+	return runViewRounds(cfg, opt, hook, func(ropt Options, man *Manifest) (rankBody, error) {
 		plan, test := BuildPlan(prob, ropt)
 		var base *core.Checkpoint
-		man, err := LatestManifest(opt.CheckpointDir)
-		if err != nil {
-			return nil, nil, 0, err
-		}
 		if man != nil {
-			if base, err = LoadDistCheckpoint(opt.CheckpointDir, man, test); err != nil {
-				return nil, nil, 0, err
+			var err error
+			if base, err = LoadDistCheckpoint(ropt.CheckpointDir, man, test); err != nil {
+				return nil, err
 			}
 		}
-
-		fb := comm.NewFaultFabric(ranks, cfg.Seed)
-		if hook != nil {
-			hook(round, fb, &ropt)
-		}
-		results, stats, errs := runRanks(ranks, func(r int) (*core.Result, *Stats, error) {
-			node, err := NewNode(fb.Comms()[r], cfg, plan, test, ropt)
+		return func(r int, c *comm.Comm) (*core.Result, *Stats, error) {
+			node, err := NewNode(c, cfg, plan, test, ropt)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -83,30 +90,165 @@ func RunInProcElastic(cfg core.Config, prob *core.Problem, opt Options, hook Fau
 				}
 			}
 			return node.Run()
+		}, nil
+	})
+}
+
+// RunInProcElasticShards is RunInProcElastic over the shard-native data
+// plane: every round each rank re-runs the collective shard load —
+// partition.AssignPanels over the *current* rank count — so shards are
+// remapped whenever the view changes (a dead rank's shards move to
+// survivors; an admitted rank takes its share). Each rank reassembles
+// the checkpoint from the fragment files itself (shared storage in a
+// real cluster).
+func RunInProcElasticShards(cfg core.Config, path string, testFrac float64, opt Options, hook FaultHook) (*core.Result, []Stats, int, error) {
+	res, stats, view, err := RunInProcMembershipShards(cfg, path, testFrac, opt, liftFaultHook(hook))
+	return res, stats, len(view.Members), err
+}
+
+// RunInProcMembershipShards is RunInProcMembership over the shard-native
+// data plane.
+func RunInProcMembershipShards(cfg core.Config, path string, testFrac float64, opt Options, hook MembershipHook) (*core.Result, []Stats, comm.View, error) {
+	return runViewRounds(cfg, opt, hook, func(ropt Options, man *Manifest) (rankBody, error) {
+		return func(r int, c *comm.Comm) (*core.Result, *Stats, error) {
+			sp, err := LoadShardsLocal(c, path, testFrac, cfg.Seed, ropt)
+			if err != nil {
+				return nil, nil, err
+			}
+			node, err := NewNodeLocal(c, cfg, sp.Plan, sp.RT, sp.Test, ropt)
+			if err != nil {
+				return nil, nil, err
+			}
+			if man != nil {
+				base, err := LoadDistCheckpoint(ropt.CheckpointDir, man, sp.Test)
+				if err != nil {
+					return nil, nil, err
+				}
+				if err := node.Resume(base); err != nil {
+					return nil, nil, err
+				}
+			}
+			return node.Run()
+		}, nil
+	})
+}
+
+// liftFaultHook adapts the membership-unaware hook signature.
+func liftFaultHook(hook FaultHook) MembershipHook {
+	if hook == nil {
+		return nil
+	}
+	return func(round int, _ comm.View, fb *comm.FaultFabric, opt *Options, _ *comm.Membership) {
+		hook(round, fb, opt)
+	}
+}
+
+// runViewRounds is the round loop shared by the full-data and
+// shard-native drivers. prepare builds one round's per-rank body from
+// the round's options and the manifest to resume from (nil on a fresh
+// start).
+func runViewRounds(cfg core.Config, opt Options, hook MembershipHook,
+	prepare func(ropt Options, man *Manifest) (rankBody, error)) (*core.Result, []Stats, comm.View, error) {
+	opt = opt.normalized()
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, comm.View{}, err
+	}
+	if opt.CheckpointDir == "" || opt.CheckpointEvery <= 0 {
+		return nil, nil, comm.View{}, fmt.Errorf("dist: elastic runs need CheckpointDir and CheckpointEvery (recovery resumes from the latest manifest)")
+	}
+	if opt.OneSided {
+		return nil, nil, comm.View{}, fmt.Errorf("dist: elastic runs are incompatible with OneSided")
+	}
+	if opt.SuspicionTimeout <= 0 {
+		opt.SuspicionTimeout = DefaultSuspicionTimeout
+	}
+
+	table := comm.NewSuspicionTable()
+	mem := comm.NewMembership(comm.InProcView(opt.Ranks), 0, table)
+	for round := 0; ; round++ {
+		view := mem.View()
+		ranks := len(view.Members)
+		ropt := opt
+		ropt.Ranks = ranks
+		ropt.Schedule = nil // rebuilt per rank from the round's plan
+		ropt.Epoch = view.Epoch
+		ropt.Members = view.Members
+		ropt.Suspicions = table
+		ropt.Membership = mem
+
+		man, err := LatestManifest(ropt.CheckpointDir)
+		if err != nil {
+			return nil, nil, view, err
+		}
+
+		fb := comm.NewFaultFabric(ranks, cfg.Seed)
+		if hook != nil {
+			hook(round, view, fb, &ropt, mem)
+		}
+		body, err := prepare(ropt, man)
+		if err != nil {
+			fb.Close()
+			return nil, nil, view, err
+		}
+		results, stats, errs := runRanks(ranks, func(r int) (*core.Result, *Stats, error) {
+			return body(r, fb.Comms()[r])
 		})
 		fb.Close()
 
-		killed := fb.Killed()
 		firstErr := firstError(errs)
 		if firstErr == nil {
-			return results[0], stats, ranks, nil
+			return results[0], stats, view, nil
 		}
-		if len(killed) == 0 {
-			// Nothing was injected, so this is a genuine failure (bad
-			// config, I/O error, ...), not something recovery can fix.
-			return nil, nil, 0, firstErr
+		if killed := fb.Killed(); len(killed) > 0 {
+			// Failure shrink: depose the dead incarnations (recording them
+			// in the suspicion table — a rejoin at the same address must be
+			// issued a higher one) and rerun over the survivors. Any
+			// ViewChange a rank returned this round was proposed but never
+			// sealed; dropping it is safe because the pending joins behind
+			// it survive in mem and the next drain re-proposes them.
+			dead := make([]string, 0, len(killed))
+			for _, r := range killed {
+				table.Convict(view.Members[r].Addr, view.Members[r].Incarnation)
+				dead = append(dead, view.Members[r].Addr)
+			}
+			next := view.Shrink(dead...)
+			if len(next.Members) < 1 {
+				return nil, nil, view, fmt.Errorf("dist: all ranks failed (last error: %w)", firstErr)
+			}
+			mem.Adopt(next)
+			continue
 		}
-		ranks -= len(killed)
-		if ranks < 1 {
-			return nil, nil, 0, fmt.Errorf("dist: all ranks failed (last error: %w)", firstErr)
+		if vc := allViewChange(errs); vc != nil {
+			mem.Seal(vc.View, vc.NextIter)
+			continue
+		}
+		// Nothing was injected and nobody drained, so this is a genuine
+		// failure (bad config, I/O error, ...), not something recovery can
+		// fix.
+		return nil, nil, view, firstErr
+	}
+}
+
+// allViewChange returns the round's drain verdict when every rank
+// returned a *ViewChange (the only way a drain completes), else nil.
+func allViewChange(errs []error) *ViewChange {
+	var first *ViewChange
+	for _, e := range errs {
+		var vc *ViewChange
+		if e == nil || !errors.As(e, &vc) {
+			return nil
+		}
+		if first == nil {
+			first = vc
 		}
 	}
+	return first
 }
 
 // ResumeInProc is the clean-restart reference for the elastic driver: a
 // fresh in-process cluster of opt.Ranks nodes started from a reassembled
-// global checkpoint, with no faults. The differential tests pin
-// RunInProcElastic's post-recovery chain bit-identical to this.
+// global checkpoint, with no faults. The differential tests pin the
+// recovered (or grown) chain bit-identical to this.
 func ResumeInProc(cfg core.Config, prob *core.Problem, base *core.Checkpoint, opt Options) (*core.Result, []Stats, error) {
 	opt = opt.normalized()
 	if err := cfg.Validate(); err != nil {
@@ -129,78 +271,6 @@ func ResumeInProc(cfg core.Config, prob *core.Problem, base *core.Checkpoint, op
 		return nil, nil, err
 	}
 	return results[0], stats, nil
-}
-
-// RunInProcElasticShards is RunInProcElastic over the shard-native data
-// plane: every round each rank re-runs the collective shard load —
-// partition.AssignPanels over the *surviving* rank count — so a dead
-// rank's .bcsr shards are remapped to survivors before the round
-// resumes. Each rank reassembles the checkpoint from the fragment files
-// itself (shared storage in a real cluster).
-func RunInProcElasticShards(cfg core.Config, path string, testFrac float64, opt Options, hook FaultHook) (*core.Result, []Stats, int, error) {
-	opt = opt.normalized()
-	if err := cfg.Validate(); err != nil {
-		return nil, nil, 0, err
-	}
-	if opt.CheckpointDir == "" || opt.CheckpointEvery <= 0 {
-		return nil, nil, 0, fmt.Errorf("dist: elastic runs need CheckpointDir and CheckpointEvery (recovery resumes from the latest manifest)")
-	}
-	if opt.OneSided {
-		return nil, nil, 0, fmt.Errorf("dist: elastic runs are incompatible with OneSided")
-	}
-	if opt.SuspicionTimeout <= 0 {
-		opt.SuspicionTimeout = DefaultSuspicionTimeout
-	}
-
-	ranks := opt.Ranks
-	for round := 0; ; round++ {
-		ropt := opt
-		ropt.Ranks = ranks
-		ropt.Schedule = nil
-		man, err := LatestManifest(opt.CheckpointDir)
-		if err != nil {
-			return nil, nil, 0, err
-		}
-
-		fb := comm.NewFaultFabric(ranks, cfg.Seed)
-		if hook != nil {
-			hook(round, fb, &ropt)
-		}
-		results, stats, errs := runRanks(ranks, func(r int) (*core.Result, *Stats, error) {
-			sp, err := LoadShardsLocal(fb.Comms()[r], path, testFrac, cfg.Seed, ropt)
-			if err != nil {
-				return nil, nil, err
-			}
-			node, err := NewNodeLocal(fb.Comms()[r], cfg, sp.Plan, sp.RT, sp.Test, ropt)
-			if err != nil {
-				return nil, nil, err
-			}
-			if man != nil {
-				base, err := LoadDistCheckpoint(opt.CheckpointDir, man, sp.Test)
-				if err != nil {
-					return nil, nil, err
-				}
-				if err := node.Resume(base); err != nil {
-					return nil, nil, err
-				}
-			}
-			return node.Run()
-		})
-		fb.Close()
-
-		killed := fb.Killed()
-		firstErr := firstError(errs)
-		if firstErr == nil {
-			return results[0], stats, ranks, nil
-		}
-		if len(killed) == 0 {
-			return nil, nil, 0, firstErr
-		}
-		ranks -= len(killed)
-		if ranks < 1 {
-			return nil, nil, 0, fmt.Errorf("dist: all ranks failed (last error: %w)", firstErr)
-		}
-	}
 }
 
 // ResumeInProcShards is the clean-restart reference of the shard-native

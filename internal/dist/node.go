@@ -2,6 +2,7 @@ package dist
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -77,6 +78,11 @@ type Node struct {
 	// segments executed before this run — see Resume).
 	firstIter int
 	ckBase    [3]int64
+
+	// drainPending latches the drain flag of the last evaluation
+	// allreduce: the cluster agreed to seal a view change at this
+	// iteration boundary.
+	drainPending bool
 
 	kernelCounts [3]atomic.Int64
 	stats        Stats
@@ -521,12 +527,25 @@ func (nd *Node) evaluate(iter int) error {
 		}
 	}
 	seS, seA, n := nd.pred.PartialUpdatePar(nd.u, nd.v, collect, runAll)
+	// The vector's fourth element is the membership drain flag: rank 0
+	// raises it when pending joins await admission, and the reduction
+	// delivers it to every rank at the same iteration — the evaluation
+	// allreduce is the one point all ranks pass in lockstep, so no
+	// out-of-band message ordering can make ranks disagree about the
+	// drain boundary. The element is always present (and 0 outside
+	// membership runs), so it is chain-inert: the RMSE math below never
+	// reads it.
+	drain := 0.0
+	if nd.rank == 0 && nd.opt.Membership != nil && iter >= nd.opt.GrowAtIter && nd.opt.Membership.HasPending() {
+		drain = 1
+	}
 	t0 := time.Now()
-	tot, err := nd.allreduce([]float64{seS, seA, n})
+	tot, err := nd.allreduce([]float64{seS, seA, n, drain})
 	nd.stats.WaitTime += time.Since(t0)
 	if err != nil {
 		return err
 	}
+	nd.drainPending = tot[3] != 0
 	sr, ar := math.NaN(), math.NaN()
 	if tot[2] > 0 {
 		sr, ar = math.Sqrt(tot[0]/tot[2]), math.Sqrt(tot[1]/tot[2])
@@ -596,7 +615,7 @@ func (nd *Node) Run() (*core.Result, *Stats, error) {
 		defer nd.win.Close()
 	}
 	if nd.opt.SuspicionTimeout > 0 {
-		det := comm.StartDetector(nd.c, nd.opt.HeartbeatInterval, nd.opt.SuspicionTimeout)
+		det := comm.StartDetectorView(nd.c, nd.opt.HeartbeatInterval, nd.opt.SuspicionTimeout, nd.opt.Members, nd.opt.Suspicions)
 		defer det.Stop()
 	}
 	if nd.opt.ThreadsPerRank > 1 {
@@ -624,16 +643,39 @@ func (nd *Node) Run() (*core.Result, *Stats, error) {
 		if err := nd.evaluate(it); err != nil {
 			return nil, nil, err
 		}
+		drained := nd.drainPending
+		nd.drainPending = false
+		wrote := false
 		if nd.opt.CheckpointDir != "" && nd.opt.CheckpointEvery > 0 && (it+1)%nd.opt.CheckpointEvery == 0 {
+			if err := nd.writeCheckpoint(it + 1); err != nil {
+				return nil, nil, err
+			}
+			wrote = true
+		}
+		if drained && !wrote {
+			// A drain boundary always seals a manifest, cadence-aligned or
+			// not: the grown cluster resumes from exactly this iteration.
 			if err := nd.writeCheckpoint(it + 1); err != nil {
 				return nil, nil, err
 			}
 		}
 		// The hook runs after the iteration's checkpoint (if any) is
 		// sealed, so a hook-injected kill at iteration t tests recovery
-		// from exactly the latest manifest ≤ t+1.
+		// from exactly the latest manifest ≤ t+1 — and, at a drain
+		// iteration, a kill lands between the sealed manifest and the
+		// view exchange (the proposed-but-unsealed window).
 		if nd.opt.OnIteration != nil {
 			nd.opt.OnIteration(nd.rank, it)
+		}
+		if nd.opt.IterDelay > 0 {
+			time.Sleep(nd.opt.IterDelay)
+		}
+		if drained {
+			view, err := nd.exchangeView()
+			if err != nil {
+				return nil, nil, err
+			}
+			return nil, nil, &ViewChange{NextIter: it + 1, View: view}
 		}
 	}
 
@@ -677,6 +719,51 @@ func (nd *Node) Run() (*core.Result, *Stats, error) {
 	nd.stats.Comm = nd.c.Stats()
 	st := nd.stats
 	return &nd.res, &st, nil
+}
+
+// ViewChange is the control "error" Run returns when the cluster drains
+// for a sealed membership change: every rank checkpointed at NextIter,
+// agreed on the boundary through the drain flag carried in the
+// evaluation allreduce, and received the proposed next view from rank
+// 0. The caller tears down the fabric, re-meshes as View, and resumes
+// from the NextIter manifest.
+type ViewChange struct {
+	// NextIter is the sealed manifest's iteration — the first iteration
+	// the re-meshed cluster executes.
+	NextIter int
+	// View is the proposed next membership view.
+	View comm.View
+}
+
+func (e *ViewChange) Error() string {
+	return fmt.Sprintf("dist: view change to epoch %d (%d ranks) at iteration %d",
+		e.View.Epoch, len(e.View.Members), e.NextIter)
+}
+
+// exchangeView distributes rank 0's proposed next view to every rank of
+// the draining cluster (rank 0 owns the Membership state machine; the
+// others learn the view through the broadcast).
+func (nd *Node) exchangeView() (comm.View, error) {
+	var blob []byte
+	if nd.rank == 0 {
+		if nd.opt.Membership == nil {
+			return comm.View{}, fmt.Errorf("dist: drain flag raised without a membership state machine on rank 0")
+		}
+		b, err := json.Marshal(nd.opt.Membership.Propose())
+		if err != nil {
+			return comm.View{}, err
+		}
+		blob = b
+	}
+	out, err := nd.c.BcastE(0, blob)
+	if err != nil {
+		return comm.View{}, err
+	}
+	var v comm.View
+	if err := json.Unmarshal(out, &v); err != nil {
+		return comm.View{}, fmt.Errorf("dist: malformed view broadcast: %w", err)
+	}
+	return v, nil
 }
 
 // permuteBack maps a factor matrix from plan index space to the original
