@@ -389,3 +389,46 @@ func TrainWithCheckpoint(data *Data, cfg Config, w io.Writer) (*Result, error) {
 	}
 	return &Result{res: res, data: data}, nil
 }
+
+// ResumeWithCheckpoint warm-starts the Gibbs chain from a checkpoint
+// read from r and continues it on data through cfg.Iters total
+// iterations; when w is non-nil the finished chain is serialized back
+// out (the next cycle's warm-start). cfg.K and cfg.Seed must match the
+// checkpointed run, and data's test split must be the one the
+// checkpoint's posterior accumulators were built over.
+//
+// data may hold *more users* than the checkpoint (new users observed
+// since it was written): their factor rows are folded in with the
+// sampler's own keyed item-update conditional, so the resumed chain is
+// bit-identical to a chain that had resumed over the same merged matrix
+// in one shot — path independence is what makes incremental delta
+// merging safe. The item catalog cannot grow (V's shape is pinned);
+// new items need a full retrain.
+func ResumeWithCheckpoint(data *Data, cfg Config, r io.Reader, w io.Writer) (*Result, error) {
+	if data == nil || data.prob == nil {
+		return nil, fmt.Errorf("bpmf: nil data")
+	}
+	cc, err := cfg.toCore()
+	if err != nil {
+		return nil, err
+	}
+	ckpt, err := core.ReadCheckpoint(r)
+	if err != nil {
+		return nil, err
+	}
+	if ckpt.NextIter >= cc.Iters {
+		return nil, fmt.Errorf("bpmf: checkpoint already holds %d iterations; Iters (%d) must exceed it",
+			ckpt.NextIter, cc.Iters)
+	}
+	s, err := core.ResumeSamplerGrown(cc, data.prob, ckpt)
+	if err != nil {
+		return nil, err
+	}
+	res := s.RunFrom(ckpt.NextIter)
+	if w != nil {
+		if err := s.Checkpoint().Write(w); err != nil {
+			return nil, fmt.Errorf("bpmf: writing checkpoint: %w", err)
+		}
+	}
+	return &Result{res: res, data: data}, nil
+}

@@ -1,0 +1,315 @@
+// Command bpmf-trainer is the continuous-training loop: it drains an
+// append-only rating log into compacted delta .bcsr shards, warm-starts
+// the Gibbs chain from the last checkpoint over base + deltas (folding
+// in users that appeared since), extends the chain, and atomically
+// rotates the finished checkpoint into the path a bpmf-serve watcher
+// hot-reloads — fresher posteriors without a server restart.
+//
+// Producer side (append observations durably, then exit):
+//
+//	printf '7 3 4.5\n812 19 2.0\n' | bpmf-trainer -ingest -feed-log ratings.feedlog -items 25
+//
+// Training loop (one cycle per -interval, -cycles of them):
+//
+//	bpmf -synthetic tiny -k 8 -iters 10 -burnin 4 -ckpt-out base.ckpt
+//	bpmf-trainer -synthetic tiny -k 8 -iters 10 -burnin 4 \
+//	  -ckpt base.ckpt -feed-log ratings.feedlog -delta-dir deltas \
+//	  -publish model.ckpt -add-iters 5 -cycles 3
+//
+// The sampler knobs (-k, -burnin, -seed, -alpha and the data source)
+// must repeat the base run's: they are the chain's identity, and the
+// publish-side lineage guard refuses to rotate a checkpoint whose
+// (seed, K) do not match the pinned lineage (-pin-seed overrides the
+// pin — deliberately mismatching it demonstrates the refusal).
+//
+// Each cycle is bit-deterministic: the published checkpoint depends
+// only on the base chain, the merged rating matrix and the added
+// iteration count — not on how many cycles or delta shards produced
+// the merge.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/feed"
+	"repro/internal/serve"
+	"repro/internal/sparse"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bpmf-trainer: ")
+
+	cfg := config.DefaultTrainer()
+	if err := config.Parse(flag.CommandLine, os.Args[1:], &cfg); err != nil {
+		log.Fatal(err)
+	}
+	if cfg.Ingest {
+		n, err := runIngest(cfg, os.Stdin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("appended %d ratings to %s\n", n, cfg.Feed.Log)
+		return
+	}
+	if err := runLoop(cfg, log.Printf); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runIngest appends "user item value" lines (one rating each; blank
+// lines and #-comments skipped) from r to the feed log as one durable
+// batch: a single fsync'd append, so a crash either keeps every rating
+// or leaves the log exactly as it was.
+func runIngest(cfg config.Trainer, r io.Reader) (int, error) {
+	if cfg.Feed.Items < 1 {
+		return 0, fmt.Errorf("-ingest needs -items: the item-catalog width of the log")
+	}
+	var batch []sparse.Entry
+	sc := bufio.NewScanner(r)
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		fields := splitFields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 3 {
+			return 0, fmt.Errorf("stdin line %d: want \"user item value\", got %q", lineNo, sc.Text())
+		}
+		user, err1 := strconv.ParseInt(fields[0], 10, 32)
+		item, err2 := strconv.ParseInt(fields[1], 10, 32)
+		val, err3 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return 0, fmt.Errorf("stdin line %d: want \"user item value\", got %q", lineNo, sc.Text())
+		}
+		batch = append(batch, sparse.Entry{Row: int32(user), Col: int32(item), Val: val})
+	}
+	if err := sc.Err(); err != nil {
+		return 0, fmt.Errorf("reading stdin: %w", err)
+	}
+	if len(batch) == 0 {
+		return 0, nil
+	}
+	l, err := feed.OpenLog(cfg.Feed.Log, cfg.Feed.Items)
+	if err != nil {
+		return 0, err
+	}
+	if err := l.Append(batch); err != nil {
+		l.Close()
+		return 0, err
+	}
+	return len(batch), l.Close()
+}
+
+// splitFields splits an ingest line on whitespace, dropping everything
+// from a '#' on as a comment.
+func splitFields(line string) []string {
+	if i := strings.IndexByte(line, '#'); i >= 0 {
+		line = line[:i]
+	}
+	return strings.Fields(line)
+}
+
+// runLoop is the continuous-training loop. Each cycle: compact the
+// rating log into a delta shard (when it holds enough records), merge
+// the delta over the current matrix last-write-wins, warm-start the
+// chain from the previous cycle's checkpoint (growing U for users the
+// deltas introduced), extend it by add-iters iterations, and publish
+// the result atomically under the lineage pin. logf receives progress
+// lines, keeping the loop testable in-process.
+func runLoop(cfg config.Trainer, logf func(string, ...any)) error {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	train, test, err := loadBase(cfg)
+	if err != nil {
+		return err
+	}
+	// A restart resumes the published chain, not the base checkpoint:
+	// the publish path is the loop's own durable state.
+	ckptPath := cfg.Ckpt
+	if _, statErr := os.Stat(cfg.Publish.Ckpt); statErr == nil {
+		ckptPath = cfg.Publish.Ckpt
+		logf("warm-starting from previously published %s", ckptPath)
+	}
+	ckpt, err := readCheckpoint(ckptPath)
+	if err != nil {
+		return err
+	}
+
+	cc := core.DefaultConfig()
+	cc.K = cfg.Sampler.K
+	cc.Alpha = cfg.Sampler.Alpha
+	cc.Burnin = cfg.Sampler.Burnin
+	cc.Seed = cfg.Sampler.Seed
+
+	if cfg.Feed.Items != 0 && cfg.Feed.Items != train.N {
+		return fmt.Errorf("-items %d does not match the base data's %d-item catalog", cfg.Feed.Items, train.N)
+	}
+	lg, err := feed.OpenLog(cfg.Feed.Log, train.N)
+	if err != nil {
+		return err
+	}
+	defer lg.Close()
+	if rec := lg.RecoveredBytes(); rec > 0 {
+		logf("recovered rating log %s: truncated a %d-byte torn tail", cfg.Feed.Log, rec)
+	}
+
+	deltaDir := cfg.Feed.DeltaDir
+	if deltaDir == "" {
+		deltaDir = filepath.Dir(cfg.Feed.Log)
+	}
+	if err := os.MkdirAll(deltaDir, 0o755); err != nil {
+		return fmt.Errorf("creating delta dir: %w", err)
+	}
+	cur, nextDelta, err := replayDeltas(train, deltaDir, logf)
+	if err != nil {
+		return err
+	}
+
+	lin := &serve.Lineage{Seed: cfg.Sampler.Seed, K: cfg.Sampler.K}
+	if cfg.Publish.PinSeed != 0 {
+		lin.Seed = cfg.Publish.PinSeed
+	}
+
+	minRecords := int64(cfg.Feed.MinRecords)
+	if minRecords < 1 {
+		minRecords = 1
+	}
+	for cycle := 1; cfg.Publish.Cycles == 0 || cycle <= cfg.Publish.Cycles; cycle++ {
+		start := time.Now()
+		newRatings := int64(0)
+		if rec := lg.Records(); rec >= minRecords {
+			path := filepath.Join(deltaDir, deltaName(nextDelta))
+			stats, err := lg.Compact(path, cur.M, cfg.Feed.ShardNNZ)
+			if err != nil {
+				return fmt.Errorf("cycle %d: compacting the rating log: %w", cycle, err)
+			}
+			delta, err := sparse.Load(path)
+			if err != nil {
+				return fmt.Errorf("cycle %d: reading back delta shard: %w", cycle, err)
+			}
+			cur, err = sparse.MergeLastWins(cur, delta)
+			if err != nil {
+				return fmt.Errorf("cycle %d: merging delta shard: %w", cycle, err)
+			}
+			// Only after the delta shard is durable may the log forget the
+			// ratings; a crash between the two replays the shard at startup,
+			// which last-write-wins makes idempotent.
+			if err := lg.Truncate(); err != nil {
+				return fmt.Errorf("cycle %d: truncating the rating log: %w", cycle, err)
+			}
+			nextDelta++
+			newRatings = stats.NNZ
+		} else if rec > 0 {
+			logf("cycle %d: %d ratings buffered (min %d), deferring compaction", cycle, rec, minRecords)
+		}
+
+		cc.Iters = ckpt.NextIter + cfg.Publish.AddIters
+		s, err := core.ResumeSamplerGrown(cc, core.NewProblem(cur, test), ckpt)
+		if err != nil {
+			return fmt.Errorf("cycle %d: warm-starting the chain: %w", cycle, err)
+		}
+		res := s.RunFrom(ckpt.NextIter)
+		prev := ckpt.NextIter
+		ckpt = s.Checkpoint()
+
+		if err := serve.PublishCheckpoint(cfg.Publish.Ckpt, ckpt, lin); err != nil {
+			return fmt.Errorf("cycle %d: %w", cycle, err)
+		}
+		logf("cycle %d: +%d ratings, %d users x %d items, chain %d -> %d iterations, RMSE %.6f, published %s",
+			cycle, newRatings, cur.M, cur.N, prev, ckpt.NextIter, res.FinalRMSE(), cfg.Publish.Ckpt)
+
+		if iv := cfg.Publish.Interval.Std(); iv > 0 && (cfg.Publish.Cycles == 0 || cycle < cfg.Publish.Cycles) {
+			if rem := iv - time.Since(start); rem > 0 {
+				time.Sleep(rem)
+			}
+		}
+	}
+	return nil
+}
+
+// deltaName numbers delta shards so lexical order is creation order —
+// the order crash recovery must replay them in.
+func deltaName(i int) string { return fmt.Sprintf("delta-%06d.bcsr", i) }
+
+// replayDeltas overlays the delta shards already in dir (from earlier
+// runs or a crash between compaction and publish) over the base matrix,
+// in creation order, and returns the merged matrix plus the next free
+// shard number.
+func replayDeltas(base *sparse.CSR, dir string, logf func(string, ...any)) (*sparse.CSR, int, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "delta-*.bcsr"))
+	if err != nil {
+		return nil, 0, err
+	}
+	sort.Strings(paths)
+	cur := base
+	next := 0
+	for _, p := range paths {
+		d, err := sparse.Load(p)
+		if err != nil {
+			return nil, 0, fmt.Errorf("replaying delta shard %s: %w", p, err)
+		}
+		cur, err = sparse.MergeLastWins(cur, d)
+		if err != nil {
+			return nil, 0, fmt.Errorf("replaying delta shard %s: %w", p, err)
+		}
+		if n, err := strconv.Atoi(p[len(p)-len("000000.bcsr") : len(p)-len(".bcsr")]); err == nil && n >= next {
+			next = n + 1
+		} else {
+			next = len(paths)
+		}
+	}
+	if len(paths) > 0 {
+		logf("replayed %d delta shards from %s (%d users x %d items)", len(paths), dir, cur.M, cur.N)
+	}
+	return cur, next, nil
+}
+
+// loadBase resolves the base training matrix and its frozen test split
+// — the exact split the base checkpoint's posterior accumulators were
+// built over, reconstructed from (data source, test fraction, seed)
+// the same way cmd/bpmf produced it.
+func loadBase(cfg config.Trainer) (*sparse.CSR, []sparse.Entry, error) {
+	var full *sparse.CSR
+	if cfg.Data.Path != "" {
+		var err error
+		full, err = sparse.Load(cfg.Data.Path)
+		if err != nil {
+			return nil, nil, err
+		}
+	} else {
+		spec, err := cfg.Data.Spec(cfg.Sampler.Seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		full = datagen.Generate(spec).R
+	}
+	if cfg.Data.TestFrac <= 0 {
+		return full, nil, nil
+	}
+	train, test := sparse.SplitTrainTest(full, cfg.Data.TestFrac, cfg.Sampler.Seed)
+	return train, test, nil
+}
+
+// readCheckpoint loads the warm-start checkpoint.
+func readCheckpoint(path string) (*core.Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.ReadCheckpoint(f)
+}

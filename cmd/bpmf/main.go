@@ -55,7 +55,7 @@ func main() {
 	bc.Ranks = cfg.Ranks
 	bc.Reorder = cfg.Reorder
 
-	res, err := train(data, bc, cfg.CkptOut)
+	res, err := train(data, bc, cfg.CkptOut, cfg.ResumeCkpt)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,9 +72,13 @@ func main() {
 }
 
 // train runs Train, or TrainWithCheckpoint when a checkpoint path was
-// given. The checkpoint is written to a temp file and renamed into place
-// so a bpmf-serve watcher never observes a half-written snapshot.
-func train(data *bpmf.Data, cfg bpmf.Config, ckptOut string) (*bpmf.Result, error) {
+// given, or ResumeWithCheckpoint when warm-starting from -resume-ckpt.
+// Checkpoints are written to a temp file and renamed into place so a
+// bpmf-serve watcher never observes a half-written snapshot.
+func train(data *bpmf.Data, cfg bpmf.Config, ckptOut, resumeCkpt string) (*bpmf.Result, error) {
+	if resumeCkpt != "" {
+		return resume(data, cfg, ckptOut, resumeCkpt)
+	}
 	if ckptOut == "" {
 		return bpmf.Train(data, cfg)
 	}
@@ -90,6 +94,36 @@ func train(data *bpmf.Data, cfg bpmf.Config, ckptOut string) (*bpmf.Result, erro
 	err := core.WriteCheckpointFile(ckptOut, func(w io.Writer) error {
 		var trainErr error
 		res, trainErr = bpmf.TrainWithCheckpoint(data, cfg, w)
+		return trainErr
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("checkpoint written to %s\n", ckptOut)
+	return res, nil
+}
+
+// resume warm-starts the chain from resumeCkpt (sequential reference
+// sampler — the only engine that retains full resumable state; the
+// chain is the same one every engine samples) and continues it to
+// cfg.Iters total iterations, optionally rotating the finished chain
+// into ckptOut.
+func resume(data *bpmf.Data, cfg bpmf.Config, ckptOut, resumeCkpt string) (*bpmf.Result, error) {
+	if cfg.Engine != bpmf.Sequential {
+		fmt.Printf("resume requested: training with the sequential reference sampler (same chain; -engine %s and -threads ignored)\n", cfg.Engine)
+	}
+	f, err := os.Open(resumeCkpt)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if ckptOut == "" {
+		return bpmf.ResumeWithCheckpoint(data, cfg, f, nil)
+	}
+	var res *bpmf.Result
+	err = core.WriteCheckpointFile(ckptOut, func(w io.Writer) error {
+		var trainErr error
+		res, trainErr = bpmf.ResumeWithCheckpoint(data, cfg, f, w)
 		return trainErr
 	})
 	if err != nil {

@@ -37,6 +37,12 @@ type Train struct {
 	// CkptOut, when set, writes a resumable chain checkpoint there after
 	// training (servable with bpmf-serve).
 	CkptOut string `json:"ckpt_out,omitempty"`
+	// ResumeCkpt, when set, warm-starts the chain from this checkpoint
+	// instead of drawing a fresh initialization: the run continues at
+	// the checkpoint's next iteration and stops at -iters total. Users
+	// added to the rating matrix since the checkpoint are folded in
+	// deterministically; -k and -seed must match the checkpointed run.
+	ResumeCkpt string `json:"resume_ckpt,omitempty"`
 }
 
 // DefaultTrain returns cmd/bpmf's defaults: the paper's 20/10 chain at
@@ -61,6 +67,7 @@ func (c *Train) RegisterFlags(fs *flag.FlagSet) {
 	fs.IntVar(&c.Ranks, "ranks", c.Ranks, "virtual ranks for the distributed engine")
 	fs.BoolVar(&c.Reorder, "reorder", c.Reorder, "communication-minimizing reordering (distributed)")
 	fs.StringVar(&c.CkptOut, "ckpt-out", c.CkptOut, "write a resumable chain checkpoint here after training (servable with bpmf-serve)")
+	fs.StringVar(&c.ResumeCkpt, "resume-ckpt", c.ResumeCkpt, "warm-start the chain from this checkpoint and continue to -iters total iterations")
 }
 
 // Validate checks the merged configuration.

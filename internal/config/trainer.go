@@ -1,0 +1,151 @@
+package config
+
+import (
+	"flag"
+	"fmt"
+)
+
+// Feed configures the continuous-ingest side of cmd/bpmf-trainer: the
+// append-only rating log new observations land in, and how the log is
+// compacted into delta .bcsr shards.
+type Feed struct {
+	// Log is the append-only rating log (required).
+	Log string `json:"log"`
+	// DeltaDir is the directory compaction writes delta .bcsr shards to
+	// (required for the training loop; defaults to the log's directory).
+	DeltaDir string `json:"delta_dir,omitempty"`
+	// Items is the fixed item-catalog width. Required to create a new
+	// log; an existing log's recorded width must match. The catalog
+	// cannot grow online (V's shape is pinned by the warm-started
+	// chain) — new items need a full retrain.
+	Items int `json:"items,omitempty"`
+	// ShardNNZ caps ratings per delta-shard row panel (0 = the
+	// converter's default).
+	ShardNNZ int `json:"shard_nnz,omitempty"`
+	// MinRecords skips a training cycle when the log holds fewer than
+	// this many appended ratings (0 = train on any non-empty log).
+	MinRecords int `json:"min_records,omitempty"`
+}
+
+// Validate checks the feed plane.
+func (f Feed) Validate() error {
+	switch {
+	case f.Log == "":
+		return fmt.Errorf("config: feed needs a rating-log path (-feed-log)")
+	case f.Items < 0:
+		return fmt.Errorf("config: feed items must be >= 0, got %d", f.Items)
+	case f.ShardNNZ < 0:
+		return fmt.Errorf("config: feed shard-nnz must be >= 0, got %d", f.ShardNNZ)
+	case f.MinRecords < 0:
+		return fmt.Errorf("config: feed min-records must be >= 0, got %d", f.MinRecords)
+	}
+	return nil
+}
+
+// Publish configures the warm-start/publish side of cmd/bpmf-trainer:
+// where finished cycles rotate their checkpoint, how much each cycle
+// extends the chain, and the pacing of the loop.
+type Publish struct {
+	// Ckpt is the checkpoint path each cycle atomically rotates
+	// (required) — the file a bpmf-serve watcher hot-reloads.
+	Ckpt string `json:"ckpt"`
+	// AddIters is how many Gibbs iterations each cycle appends to the
+	// warm-started chain.
+	AddIters int `json:"add_iters,omitempty"`
+	// Interval paces the loop: each cycle starts this long after the
+	// previous one began (0 = back-to-back).
+	Interval Duration `json:"interval,omitempty"`
+	// Cycles bounds the loop (0 = run forever).
+	Cycles int `json:"cycles,omitempty"`
+	// PinSeed, when nonzero, overrides the lineage seed stamped on every
+	// publish (default: the sampler seed). The publish-side lineage
+	// guard refuses to rotate a checkpoint whose chain does not match —
+	// a deliberate mismatch here proves the guard without a second
+	// trainer build.
+	PinSeed uint64 `json:"pin_seed,omitempty"`
+}
+
+// Validate checks the publish plane.
+func (p Publish) Validate() error {
+	switch {
+	case p.Ckpt == "":
+		return fmt.Errorf("config: publish needs a checkpoint path (-publish)")
+	case p.AddIters < 1:
+		return fmt.Errorf("config: publish add-iters must be >= 1, got %d", p.AddIters)
+	case p.Interval < 0:
+		return fmt.Errorf("config: publish interval must be >= 0, got %s", p.Interval)
+	case p.Cycles < 0:
+		return fmt.Errorf("config: publish cycles must be >= 0 (0 = forever), got %d", p.Cycles)
+	}
+	return nil
+}
+
+// Trainer configures cmd/bpmf-trainer: the continuous-training loop
+// (rating log → delta shards → warm-start → atomic publish) and its
+// -ingest side entry that appends ratings to the log.
+type Trainer struct {
+	Data    Data    `json:"data"`
+	Sampler Sampler `json:"sampler"`
+	// Ckpt is the base checkpoint the first cycle warm-starts from
+	// (required for the loop) — typically `bpmf -ckpt-out`'s output.
+	Ckpt    string  `json:"ckpt,omitempty"`
+	Feed    Feed    `json:"feed"`
+	Publish Publish `json:"publish"`
+	// Ingest switches the command to the producer side: read
+	// "user item value" lines from stdin, append them durably to the
+	// feed log, and exit. Flag-only.
+	Ingest bool `json:"-"`
+}
+
+// DefaultTrainer returns cmd/bpmf-trainer's defaults: one cycle of 5
+// extra iterations over the paper's default chain shape.
+func DefaultTrainer() Trainer {
+	return Trainer{
+		Data:    Data{Scale: 1, TestFrac: 0.2},
+		Sampler: Sampler{K: 32, Alpha: 2, Iters: 20, Burnin: 10, Seed: 42},
+		Publish: Publish{AddIters: 5, Cycles: 1},
+	}
+}
+
+// RegisterFlags declares cmd/bpmf-trainer's flag surface over the
+// struct's current values.
+func (c *Trainer) RegisterFlags(fs *flag.FlagSet) {
+	registerData(fs, &c.Data)
+	registerSampler(fs, &c.Sampler)
+	fs.StringVar(&c.Ckpt, "ckpt", c.Ckpt, "base checkpoint the first cycle warm-starts from")
+	fs.StringVar(&c.Feed.Log, "feed-log", c.Feed.Log, "append-only rating log (created if absent)")
+	fs.StringVar(&c.Feed.DeltaDir, "delta-dir", c.Feed.DeltaDir, "directory for compacted delta .bcsr shards (default: the log's directory)")
+	fs.IntVar(&c.Feed.Items, "items", c.Feed.Items, "item-catalog width for a newly created log (0 = derive from the base data)")
+	fs.IntVar(&c.Feed.ShardNNZ, "shard-nnz", c.Feed.ShardNNZ, "ratings per delta-shard row panel (0 = converter default)")
+	fs.IntVar(&c.Feed.MinRecords, "min-records", c.Feed.MinRecords, "skip a cycle when the log holds fewer ratings than this")
+	fs.StringVar(&c.Publish.Ckpt, "publish", c.Publish.Ckpt, "checkpoint path each cycle atomically rotates (watched by bpmf-serve)")
+	fs.IntVar(&c.Publish.AddIters, "add-iters", c.Publish.AddIters, "Gibbs iterations each cycle appends to the chain")
+	fs.Var(&c.Publish.Interval, "interval", "cycle pacing (0 = back-to-back)")
+	fs.IntVar(&c.Publish.Cycles, "cycles", c.Publish.Cycles, "number of training cycles (0 = forever)")
+	fs.Uint64Var(&c.Publish.PinSeed, "pin-seed", c.Publish.PinSeed, "lineage seed stamped on publishes (0 = the sampler seed)")
+	fs.BoolVar(&c.Ingest, "ingest", c.Ingest, "append 'user item value' lines from stdin to the feed log and exit")
+}
+
+// Validate checks the merged configuration. Ingest mode needs only the
+// feed plane; the training loop needs everything.
+func (c Trainer) Validate() error {
+	if err := c.Feed.Validate(); err != nil {
+		return err
+	}
+	if c.Ingest {
+		return nil
+	}
+	if c.Data.Path == "" && c.Data.Synthetic == "" {
+		return fmt.Errorf("config: need a data path (-data) or a synthetic benchmark (-synthetic)")
+	}
+	if err := c.Data.Validate(); err != nil {
+		return err
+	}
+	if err := c.Sampler.Validate(); err != nil {
+		return err
+	}
+	if c.Ckpt == "" {
+		return fmt.Errorf("config: trainer needs a base checkpoint (-ckpt) to warm-start from")
+	}
+	return c.Publish.Validate()
+}

@@ -1,0 +1,40 @@
+package config
+
+import "testing"
+
+func TestTrainerValidate(t *testing.T) {
+	base := DefaultTrainer()
+	base.Data.Synthetic = "small"
+	base.Ckpt = "base.ckpt"
+	base.Feed.Log = "ratings.feedlog"
+	base.Publish.Ckpt = "model.ckpt"
+	cases := []struct {
+		name        string
+		mut         func(*Trainer)
+		errContains string
+	}{
+		{"valid loop", func(c *Trainer) {}, ""},
+		{"valid ingest needs only the feed", func(c *Trainer) {
+			*c = Trainer{Ingest: true, Feed: Feed{Log: "ratings.feedlog", Items: 100}}
+		}, ""},
+		{"no log", func(c *Trainer) { c.Feed.Log = "" }, "rating-log path"},
+		{"negative items", func(c *Trainer) { c.Feed.Items = -1 }, "items must be >= 0"},
+		{"negative shard nnz", func(c *Trainer) { c.Feed.ShardNNZ = -1 }, "shard-nnz"},
+		{"negative min records", func(c *Trainer) { c.Feed.MinRecords = -1 }, "min-records"},
+		{"no data", func(c *Trainer) { c.Data.Synthetic = "" }, "data path"},
+		{"no base ckpt", func(c *Trainer) { c.Ckpt = "" }, "base checkpoint"},
+		{"no publish path", func(c *Trainer) { c.Publish.Ckpt = "" }, "publish needs a checkpoint path"},
+		{"zero add iters", func(c *Trainer) { c.Publish.AddIters = 0 }, "add-iters"},
+		{"negative interval", func(c *Trainer) { c.Publish.Interval = -1 }, "interval"},
+		{"negative cycles", func(c *Trainer) { c.Publish.Cycles = -1 }, "cycles"},
+		{"bad sampler still checked", func(c *Trainer) { c.Sampler.Burnin = c.Sampler.Iters }, "burnin"},
+		{"ingest skips loop checks but not feed", func(c *Trainer) {
+			*c = Trainer{Ingest: true}
+		}, "rating-log path"},
+	}
+	for _, tc := range cases {
+		c := base
+		tc.mut(&c)
+		checkValidate(t, tc.name, c.Validate(), tc.errContains)
+	}
+}

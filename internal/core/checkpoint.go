@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"repro/internal/la"
 )
@@ -103,9 +104,11 @@ func ResumeSampler(cfg Config, prob *Problem, c *Checkpoint) (*Sampler, error) {
 // RunFrom executes the remaining iterations of a resumed chain (from
 // NextIter through Cfg.Iters-1).
 func (s *Sampler) RunFrom(firstIter int) *Result {
+	start := time.Now()
 	for it := firstIter; it < s.Cfg.Iters; it++ {
 		s.Step(it)
 	}
+	s.res.Elapsed = time.Since(start)
 	s.res.U, s.res.V = s.U, s.V
 	s.res.Iters = s.Cfg.Iters
 	s.res.Intervals = s.pred.Intervals()

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/la"
+)
+
+// GrowUsers extends a checkpoint to a problem that gained user rows
+// since the chain was checkpointed — the resume-with-new-rows contract
+// of the continuous-training loop, where delta shards introduce users
+// the base run never saw. The returned checkpoint has U grown to the
+// problem's row count; every other field (V, predictor accumulators,
+// traces) carries over, because the held-out test set is frozen at the
+// base split.
+//
+// Each new row is drawn by the serving layer's fold-in rule, which is
+// the sampler's own conditional: user-side hyperparameters are sampled
+// from the keyed stream of iteration NextIter conditioned on the
+// checkpointed U (bit-identical to serve.NewModel's reconstruction),
+// and row i is then drawn via UpdateItem conditioned on the merged
+// matrix's row i with ItemStream(seed, NextIter, SideU, i). The draw is
+// therefore a pure function of (checkpoint, problem row) — two trainers
+// growing the same checkpoint over the same merged matrix produce
+// bit-identical rows, whatever path the delta shards took to get there.
+//
+// The problem may not shrink users, and its item count must equal the
+// checkpointed V: the item catalog is pinned by the trained item
+// factors. A problem with the checkpoint's exact shape is returned
+// unchanged (same pointer).
+func (c *Checkpoint) GrowUsers(cfg Config, prob *Problem) (*Checkpoint, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.K != c.K {
+		return nil, fmt.Errorf("core: checkpoint K=%d, config K=%d", c.K, cfg.K)
+	}
+	if cfg.Seed != c.Seed {
+		return nil, fmt.Errorf("core: checkpoint seed=%d, config seed=%d", c.Seed, cfg.Seed)
+	}
+	m, n := prob.Dims()
+	if c.V.Rows != n {
+		return nil, fmt.Errorf("core: checkpoint has %d items, problem has %d (the item catalog cannot grow)",
+			c.V.Rows, n)
+	}
+	if m < c.U.Rows {
+		return nil, fmt.Errorf("core: problem has %d users, checkpoint has %d (users cannot shrink)",
+			m, c.U.Rows)
+	}
+	if m == c.U.Rows {
+		return c, nil
+	}
+
+	// The user-side hyperparameters the resumed chain would draw at
+	// iteration NextIter, conditioned on the checkpointed U.
+	hyper := NewHyper(c.K)
+	mom := MomentsGrouped(c.U, GroupBoundaries(nil, c.U.Rows), c.K, nil)
+	SampleHyper(DefaultNWPrior(c.K), mom, HyperStream(c.Seed, c.NextIter, SideU), hyper)
+
+	grown := *c
+	grown.U = la.NewMatrix(m, c.K)
+	copy(grown.U.Data[:c.U.Rows*c.K], c.U.Data)
+	ws := NewWorkspace(c.K)
+	for i := c.U.Rows; i < m; i++ {
+		cols, vals := prob.R.Row(i)
+		UpdateItem(ws, cfg.SelectKernel(len(cols)), &cfg, cols, vals, c.V, hyper,
+			ItemStream(c.Seed, c.NextIter, SideU, i), nil, nil, grown.U.Row(i))
+	}
+	return &grown, nil
+}
+
+// ResumeSamplerGrown is ResumeSampler for a problem that may have
+// gained users since the checkpoint: new rows are folded in via
+// GrowUsers, then the chain resumes exactly as ResumeSampler would.
+// Call RunFrom(c.NextIter) on the result.
+func ResumeSamplerGrown(cfg Config, prob *Problem, c *Checkpoint) (*Sampler, error) {
+	grown, err := c.GrowUsers(cfg, prob)
+	if err != nil {
+		return nil, err
+	}
+	return ResumeSampler(cfg, prob, grown)
+}

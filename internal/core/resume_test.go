@@ -1,0 +1,210 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/la"
+	"repro/internal/sparse"
+)
+
+// grownProblem extends the base training matrix with extra user rows
+// (deterministic synthetic ratings) while keeping the base test split.
+func grownProblem(t *testing.T, base *Problem, extraUsers int) *Problem {
+	t.Helper()
+	m, n := base.Dims()
+	c := sparse.NewCOO(m+extraUsers, n, extraUsers*3)
+	for u := 0; u < extraUsers; u++ {
+		for j := 0; j < 3; j++ {
+			c.Add(m+u, (u*5+j*7)%n, float64(1+(u+j)%5))
+		}
+	}
+	merged, err := sparse.MergeLastWins(base.R, c.ToCSR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewProblem(merged, base.Test)
+}
+
+func ckptAfter(t *testing.T, cfg Config, prob *Problem, iters int) *Checkpoint {
+	t.Helper()
+	s, err := NewSampler(cfg, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for it := 0; it < iters; it++ {
+		s.Step(it)
+	}
+	return s.Checkpoint()
+}
+
+func TestGrowUsersDeterministic(t *testing.T) {
+	prob := ckptProblem(t)
+	cfg := ckptConfig()
+	ckpt := ckptAfter(t, cfg, prob, 4)
+	grownProb := grownProblem(t, prob, 5)
+
+	g1, err := ckpt.GrowUsers(cfg, grownProb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ckpt.GrowUsers(cfg, grownProb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := grownProb.Dims()
+	if g1.U.Rows != m {
+		t.Fatalf("grown U has %d rows, want %d", g1.U.Rows, m)
+	}
+	if la.MaxAbsDiff(g1.U, g2.U) != 0 {
+		t.Fatal("GrowUsers is not deterministic")
+	}
+	// Trained rows carry over bit-for-bit; V is untouched.
+	for i := 0; i < ckpt.U.Rows; i++ {
+		old, grown := ckpt.U.Row(i), g1.U.Row(i)
+		for k := range old {
+			if old[k] != grown[k] {
+				t.Fatalf("trained row %d changed during growth", i)
+			}
+		}
+	}
+	if g1.V != ckpt.V || g1.NextIter != ckpt.NextIter {
+		t.Fatal("growth must only touch U")
+	}
+	// New rows must not be all-zero (they are posterior draws).
+	allZero := true
+	for _, v := range g1.U.Row(m - 1) {
+		if v != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		t.Fatal("new user row was never drawn")
+	}
+}
+
+func TestGrowUsersNoGrowthReturnsSame(t *testing.T) {
+	prob := ckptProblem(t)
+	cfg := ckptConfig()
+	ckpt := ckptAfter(t, cfg, prob, 4)
+	g, err := ckpt.GrowUsers(cfg, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != ckpt {
+		t.Fatal("exact-shape growth must return the checkpoint unchanged")
+	}
+}
+
+func TestGrowUsersRejects(t *testing.T) {
+	prob := ckptProblem(t)
+	cfg := ckptConfig()
+	ckpt := ckptAfter(t, cfg, prob, 4)
+
+	badK := cfg
+	badK.K = cfg.K + 1
+	if _, err := ckpt.GrowUsers(badK, prob); err == nil {
+		t.Error("K mismatch accepted")
+	}
+	badSeed := cfg
+	badSeed.Seed = cfg.Seed + 1
+	if _, err := ckpt.GrowUsers(badSeed, prob); err == nil {
+		t.Error("seed mismatch accepted")
+	}
+
+	// Users cannot shrink.
+	m, n := prob.Dims()
+	sub := sparse.NewCOO(m-1, n, 1)
+	sub.Add(0, 0, 1)
+	_, err := ckpt.GrowUsers(cfg, NewProblem(sub.ToCSR(), prob.Test))
+	if err == nil || !strings.Contains(err.Error(), "shrink") {
+		t.Errorf("user shrink accepted: %v", err)
+	}
+
+	// Items cannot grow.
+	wide := sparse.NewCOO(m, n+1, 1)
+	wide.Add(0, 0, 1)
+	_, err = ckpt.GrowUsers(cfg, NewProblem(wide.ToCSR(), prob.Test))
+	if err == nil || !strings.Contains(err.Error(), "item catalog") {
+		t.Errorf("item growth accepted: %v", err)
+	}
+}
+
+// TestResumeSamplerGrownContinuesChain: a warm-started chain over a
+// grown problem must resume cleanly and keep evaluating the frozen test
+// split; its pre-growth trace is the base chain's, bit-for-bit.
+func TestResumeSamplerGrownContinuesChain(t *testing.T) {
+	prob := ckptProblem(t)
+	cfg := ckptConfig()
+	ckpt := ckptAfter(t, cfg, prob, 4)
+	grownProb := grownProblem(t, prob, 4)
+
+	s, err := ResumeSamplerGrown(cfg, grownProb, ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.RunFrom(ckpt.NextIter)
+	if len(res.AvgRMSE) != cfg.Iters {
+		t.Fatalf("trace has %d iterations, want %d", len(res.AvgRMSE), cfg.Iters)
+	}
+	for i := 0; i < ckpt.NextIter; i++ {
+		if res.AvgRMSE[i] != ckpt.AvgRMSE[i] {
+			t.Fatalf("pre-resume trace rewritten at iteration %d", i)
+		}
+	}
+	m, _ := grownProb.Dims()
+	if res.U.Rows != m {
+		t.Fatalf("resumed U has %d rows, want %d", res.U.Rows, m)
+	}
+}
+
+// TestGrowUsersPathIndependence pins the property the continuous
+// trainer's differential acceptance test builds on: growing a
+// checkpoint over a merged matrix depends only on the merged matrix,
+// not on which delta shards produced it.
+func TestGrowUsersPathIndependence(t *testing.T) {
+	ds := datagen.Generate(datagen.Tiny(13))
+	train, test := sparse.SplitTrainTest(ds.R, 0.2, 13)
+	prob := NewProblem(train, test)
+	cfg := ckptConfig()
+	cfg.Seed = 13
+	ckpt := ckptAfter(t, cfg, prob, 3)
+
+	m, n := prob.Dims()
+	d1 := sparse.NewCOO(m+2, n, 4)
+	d1.Add(m, 0, 4)
+	d1.Add(m+1, 1, 3)
+	d1.Add(0, 0, 2)
+	d2 := sparse.NewCOO(m+3, n, 2)
+	d2.Add(m+2, 2, 5)
+	d2.Add(m, 0, 1) // re-rates d1's entry
+
+	viaDeltas, err := sparse.MergeLastWins(train, d1.ToCSR(), d2.ToCSR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	atOnce, err := sparse.MergeLastWins(train, func() *sparse.CSR {
+		all := sparse.NewCOO(m+3, n, 5)
+		all.Add(0, 0, 2)
+		all.Add(m, 0, 1)
+		all.Add(m+1, 1, 3)
+		all.Add(m+2, 2, 5)
+		return all.ToCSR()
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g1, err := ckpt.GrowUsers(cfg, NewProblem(viaDeltas, test))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ckpt.GrowUsers(cfg, NewProblem(atOnce, test))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la.MaxAbsDiff(g1.U, g2.U) != 0 {
+		t.Fatal("grown rows depend on the delta path, not just the merged matrix")
+	}
+}

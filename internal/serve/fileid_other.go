@@ -1,0 +1,9 @@
+//go:build !unix
+
+package serve
+
+import "os"
+
+// fileID has no portable implementation here; the watcher falls back
+// to (mtime, size) comparison.
+func fileID(os.FileInfo) (dev, ino uint64, ok bool) { return 0, 0, false }

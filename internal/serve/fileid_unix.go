@@ -1,0 +1,21 @@
+//go:build unix
+
+package serve
+
+import (
+	"os"
+	"syscall"
+)
+
+// fileID extracts the (device, inode) identity from a FileInfo. An
+// atomic checkpoint rotation (write temp + rename) always installs a
+// new inode, so comparing identities detects a rotation that left both
+// mtime (coarse filesystem timestamps) and size (same-shape
+// checkpoints serialize to identical byte counts) unchanged.
+func fileID(fi os.FileInfo) (dev, ino uint64, ok bool) {
+	st, ok := fi.Sys().(*syscall.Stat_t)
+	if !ok {
+		return 0, 0, false
+	}
+	return uint64(st.Dev), uint64(st.Ino), true
+}

@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// variantOf returns a deep-enough copy of ckpt whose serialized form has
+// the exact same byte size but different factor content: the adversarial
+// publish for the watcher, since neither size nor (with Chtimes) mtime
+// distinguishes it from the previous rotation.
+func variantOf(ckpt *core.Checkpoint, bump float64) *core.Checkpoint {
+	v := *ckpt
+	v.U = ckpt.U.Clone()
+	v.U.Data[0] += bump
+	return &v
+}
+
+// TestWatcherSameSecondSameSizeRotation is the regression test for the
+// missed-rewrite bug: two checkpoint rotations that land with identical
+// mtime and identical byte size must both still be picked up, because an
+// atomic rename always installs a new inode. Before the file-identity
+// check, MaybeReload compared only (mtime, size) and served the stale
+// snapshot forever.
+func TestWatcherSameSecondSameSizeRotation(t *testing.T) {
+	ckpt, prob, cfg := trainedChain(t, 47, 4, 2)
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	writeCheckpointFile(t, path, ckpt)
+	srv, err := Open(path, modelOptions(prob, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !srv.idOK {
+		t.Skip("no stable file identity on this platform; (mtime, size) fallback cannot catch same-second rotations")
+	}
+
+	for r := 1; r <= 2; r++ {
+		before := srv.Model()
+		reloads := srv.Reloads.Load()
+		writeCheckpointFile(t, path, variantOf(ckpt, float64(r)))
+		// Force the adversarial case: rewind the new file's mtime to the
+		// recorded one, so (mtime, size) sees no change at all.
+		if err := os.Chtimes(path, srv.mtime, srv.mtime); err != nil {
+			t.Fatal(err)
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fi.ModTime().Equal(srv.mtime) || fi.Size() != srv.size {
+			t.Fatalf("rotation %d: test setup failed to make (mtime, size) indistinguishable", r)
+		}
+		swapped, err := srv.MaybeReload()
+		if err != nil {
+			t.Fatalf("rotation %d: %v", r, err)
+		}
+		if !swapped {
+			t.Fatalf("rotation %d: same-second same-size rotation was missed", r)
+		}
+		if srv.Model() == before {
+			t.Fatalf("rotation %d: model snapshot not swapped", r)
+		}
+		if got := srv.Reloads.Load(); got != reloads+1 {
+			t.Fatalf("rotation %d: reload counter %d, want %d", r, got, reloads+1)
+		}
+	}
+}
+
+// TestWatcherUnchangedFileDoesNotReload guards the other direction: with
+// identity checking in place, a tick over a genuinely unchanged file must
+// still be a no-op.
+func TestWatcherUnchangedFileDoesNotReload(t *testing.T) {
+	ckpt, prob, cfg := trainedChain(t, 48, 4, 2)
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	writeCheckpointFile(t, path, ckpt)
+	srv, err := Open(path, modelOptions(prob, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := srv.Model()
+	for tick := 0; tick < 3; tick++ {
+		swapped, err := srv.MaybeReload()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if swapped {
+			t.Fatalf("tick %d: unchanged file triggered a reload", tick)
+		}
+	}
+	if srv.Model() != before {
+		t.Fatal("snapshot replaced without any rotation")
+	}
+}
+
+func TestLineageCheckRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		lin     *Lineage
+		seed    uint64
+		k       int
+		wantErr string
+	}{
+		{name: "nil lineage passes anything", lin: nil, seed: 99, k: 3},
+		{name: "match passes", lin: &Lineage{Seed: 7, K: 8}, seed: 7, k: 8},
+		{name: "seed-only lineage ignores K", lin: &Lineage{Seed: 7}, seed: 7, k: 31},
+		{name: "seed mismatch", lin: &Lineage{Seed: 7, K: 8}, seed: 8, k: 8,
+			wantErr: "seed 8 does not match the pinned lineage seed 7"},
+		{name: "K mismatch", lin: &Lineage{Seed: 7, K: 8}, seed: 7, k: 9,
+			wantErr: "K=9 does not match the pinned lineage K=8"},
+		{name: "zero-value lineage rejects nonzero seed", lin: &Lineage{}, seed: 5, k: 8,
+			wantErr: "seed 5 does not match the pinned lineage seed 0"},
+		{name: "zero-value lineage accepts seed zero", lin: &Lineage{}, seed: 0, k: 8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.lin.Check(tc.seed, tc.k)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("got %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestPublishCheckpointRefusedLeavesOldServing: a lineage-mismatched
+// publish must fail before writing a byte — the watched file's bytes are
+// untouched and a live server keeps answering from the old snapshot.
+func TestPublishCheckpointRefusedLeavesOldServing(t *testing.T) {
+	ckpt, prob, cfg := trainedChain(t, 49, 4, 2)
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	writeCheckpointFile(t, path, ckpt)
+	srv, err := Open(path, modelOptions(prob, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := srv.Model()
+	wantBytes, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	retrained := *ckpt
+	retrained.Seed = ckpt.Seed + 1
+	err = PublishCheckpoint(path, &retrained, &Lineage{Seed: ckpt.Seed, K: ckpt.K})
+	if err == nil || !strings.Contains(err.Error(), "refusing to publish") {
+		t.Fatalf("mismatched publish not refused: %v", err)
+	}
+
+	gotBytes, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotBytes) != string(wantBytes) {
+		t.Fatal("refused publish modified the watched file")
+	}
+	swapped, err := srv.MaybeReload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swapped || srv.Model() != before {
+		t.Fatal("refused publish must leave the old model serving")
+	}
+
+	if err := PublishCheckpoint(path, nil, nil); err == nil {
+		t.Fatal("nil checkpoint accepted")
+	}
+}
+
+// TestPublishCheckpointRotatesServer: a lineage-clean publish lands
+// atomically and the server's next tick serves the new factors — no
+// restart, no Reload() call by the publisher.
+func TestPublishCheckpointRotatesServer(t *testing.T) {
+	ckpt, prob, cfg := trainedChain(t, 50, 4, 2)
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	writeCheckpointFile(t, path, ckpt)
+	srv, err := Open(path, modelOptions(prob, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := srv.Model()
+
+	next := variantOf(ckpt, 0.5)
+	if err := PublishCheckpoint(path, next, &Lineage{Seed: ckpt.Seed, K: ckpt.K}); err != nil {
+		t.Fatal(err)
+	}
+	swapped, err := srv.MaybeReload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !swapped || srv.Model() == before {
+		t.Fatal("published rotation not picked up")
+	}
+	if err := srv.LastError(); err != nil {
+		t.Fatalf("healthy rotation left a reload error: %v", err)
+	}
+}
+
+// TestServerLineageRejectedReloadKeepsServing: the serve-side half of the
+// contract — if a mismatched checkpoint lands on disk by some path that
+// bypassed PublishCheckpoint, the pinned server rejects the reload and
+// keeps its last good snapshot, then recovers on the next good rotation.
+func TestServerLineageRejectedReloadKeepsServing(t *testing.T) {
+	ckpt, prob, cfg := trainedChain(t, 51, 4, 2)
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	writeCheckpointFile(t, path, ckpt)
+	opts := modelOptions(prob, cfg)
+	opts.Lineage = &Lineage{Seed: cfg.Seed, K: cfg.K}
+	srv, err := Open(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := srv.Model()
+
+	rogue := *ckpt
+	rogue.Seed = ckpt.Seed + 1
+	writeCheckpointFile(t, path, &rogue)
+	if _, err := srv.MaybeReload(); err == nil {
+		t.Fatal("lineage-mismatched checkpoint accepted on reload")
+	}
+	if srv.Model() != before {
+		t.Fatal("rejected reload must keep the previous snapshot")
+	}
+	if srv.LastError() == nil {
+		t.Fatal("rejected reload must be visible via LastError")
+	}
+
+	// A clean rotation recovers.
+	good := variantOf(ckpt, 0.25)
+	if err := PublishCheckpoint(path, good, opts.Lineage); err != nil {
+		t.Fatal(err)
+	}
+	swapped, err := srv.MaybeReload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !swapped || srv.Model() == before {
+		t.Fatal("server did not recover on the next good rotation")
+	}
+	if srv.LastError() != nil {
+		t.Fatal("successful reload must clear LastError")
+	}
+}

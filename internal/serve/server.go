@@ -39,8 +39,20 @@ type Server struct {
 	// reloadMu serializes reloads (concurrent SIGHUP + watcher ticks);
 	// readers never take it.
 	reloadMu sync.Mutex
-	mtime    time.Time
-	size     int64
+	// mtime/size/dev/ino describe the checkpoint file whose bytes the
+	// current snapshot was loaded from — recorded by fstat'ing the very
+	// descriptor that was read, never by a separate path lookup that
+	// could observe a different (newer) file. dev/ino is the file
+	// *identity*: a publisher's atomic rename always installs a fresh
+	// inode, so a rotation is detected even when the new checkpoint has
+	// the same byte size and lands within the filesystem's timestamp
+	// granularity (same-second rewrites). idOK is false on platforms
+	// without stable file ids, which then fall back to (mtime, size).
+	mtime time.Time
+	size  int64
+	dev   uint64
+	ino   uint64
+	idOK  bool
 	// lastErr is the most recent reload failure, cleared by the next
 	// successful reload; healthz reports it per model so a registry
 	// operator can see a route serving a stale-but-good snapshot.
@@ -67,22 +79,38 @@ func Open(path string, opts Options) (*Server, error) {
 func (s *Server) Model() *Model { return s.cur.Load() }
 
 // Reload reads the checkpoint file and swaps in a fresh snapshot. On any
-// error the previous snapshot keeps serving unchanged.
+// error the previous snapshot keeps serving unchanged. The recorded
+// change-detection metadata comes from fstat'ing the descriptor the
+// checkpoint was read through, so it always describes the loaded bytes —
+// a publisher renaming a new checkpoint into place between open and
+// stat is caught by the next watcher tick instead of being masked.
 func (s *Server) Reload() error {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
-	fi, err := os.Stat(s.path)
+	f, err := os.Open(s.path)
 	if err != nil {
-		s.lastErr = fmt.Errorf("serve: stat checkpoint: %w", err)
+		s.lastErr = fmt.Errorf("serve: opening checkpoint: %w", err)
 		return s.lastErr
 	}
-	m, err := LoadModel(s.path, s.opts)
+	defer f.Close()
+	ckpt, err := core.ReadCheckpoint(f)
 	if err != nil {
 		s.lastErr = err
 		return err
 	}
+	m, err := NewModel(ckpt, s.opts)
+	if err != nil {
+		s.lastErr = err
+		return err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		s.lastErr = fmt.Errorf("serve: stat checkpoint: %w", err)
+		return s.lastErr
+	}
 	s.cur.Store(m)
 	s.mtime, s.size = fi.ModTime(), fi.Size()
+	s.dev, s.ino, s.idOK = fileID(fi)
 	s.lastErr = nil
 	s.Reloads.Add(1)
 	return nil
@@ -100,9 +128,12 @@ func (s *Server) LastError() error {
 // Path returns the checkpoint file the server (re)loads from.
 func (s *Server) Path() string { return s.path }
 
-// MaybeReload stats the checkpoint file and reloads only if its mtime or
-// size changed since the last successful reload. It reports whether a
-// swap happened.
+// MaybeReload stats the checkpoint file and reloads only if it changed
+// since the last successful reload — a different file identity
+// (device, inode: every atomic-rename rotation), mtime or size. The
+// identity comparison is what catches a publisher rotating checkpoints
+// of identical size within one filesystem-timestamp tick, which
+// (mtime, size) alone would miss. It reports whether a swap happened.
 func (s *Server) MaybeReload() (bool, error) {
 	s.reloadMu.Lock()
 	fi, err := os.Stat(s.path)
@@ -112,6 +143,9 @@ func (s *Server) MaybeReload() (bool, error) {
 		return false, s.lastErr
 	}
 	unchanged := fi.ModTime().Equal(s.mtime) && fi.Size() == s.size
+	if dev, ino, ok := fileID(fi); ok && s.idOK {
+		unchanged = unchanged && dev == s.dev && ino == s.ino
+	}
 	s.reloadMu.Unlock()
 	if unchanged {
 		return false, nil

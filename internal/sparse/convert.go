@@ -12,19 +12,47 @@ import (
 	"sort"
 )
 
-// Converter turns a MatrixMarket text file into a .bcsr shard file in
-// bounded memory, however large the input: a counting pass sizes the
-// row panels, a bucketing pass spills entries to one temp file per
-// shard, and a shard pass sorts each spill into its panel and writes
-// it with its CRC. Peak memory is O(rows + largest shard), never
-// O(total entries).
+// DedupPolicy selects what a Converter does with duplicate (row, col)
+// entries in its input stream.
+type DedupPolicy int
+
+const (
+	// DedupSum adds duplicate entries together — the MatrixMarket/COO
+	// convention this converter has always applied (COO.ToCSR sums on
+	// collision), appropriate when duplicates are partial observations
+	// of one value.
+	DedupSum DedupPolicy = iota
+	// DedupLast keeps only the value that appeared last in stream
+	// order — the compaction semantics of an append-only rating log,
+	// where a re-rated (user, item) pair must supersede, not add to,
+	// the earlier rating.
+	DedupLast
+)
+
+// Converter turns an entry stream (a MatrixMarket text file via
+// Convert, or any re-streamable source via ConvertEntries) into a
+// .bcsr shard file in bounded memory, however large the input: a
+// counting pass sizes the row panels, a bucketing pass spills entries
+// to one temp file per shard, and a shard pass sorts each spill into
+// its panel and writes it with its CRC. Peak memory is O(rows +
+// largest shard), never O(total entries).
 type Converter struct {
 	// ShardNNZ is the target entries per shard (0 = DefaultShardNNZ).
 	ShardNNZ int
 	// TmpDir holds the spill files (empty = the output file's directory,
 	// so spills land on the same filesystem as the result).
 	TmpDir string
+	// Dedup says what to do with duplicate (row, col) entries. The zero
+	// value is DedupSum, the historical behavior.
+	Dedup DedupPolicy
 }
+
+// EntryStream re-streams a sequence of entries through visit. A
+// Converter calls it twice — a counting pass and a spill pass — and
+// both calls must yield the same entries; the second pass's order
+// relative to the first does not matter to DedupSum, but DedupLast
+// resolves duplicates by the spill pass's stream order.
+type EntryStream func(visit func(Entry) error) error
 
 // ConvertStats reports what a conversion produced.
 type ConvertStats struct {
@@ -37,10 +65,6 @@ type ConvertStats struct {
 // outPath (written via a temp file + rename, so a crash never leaves a
 // half-written shard file behind).
 func (cv Converter) Convert(mmPath, outPath string) (ConvertStats, error) {
-	target := cv.ShardNNZ
-	if target < 1 {
-		target = DefaultShardNNZ
-	}
 	// Pass 1: count entries per row (and fully validate the stream).
 	var rowNNZ []int64
 	m, n, _, err := streamMM(mmPath, func(hm, hn, hnnz int) error {
@@ -53,9 +77,59 @@ func (cv Converter) Convert(mmPath, outPath string) (ConvertStats, error) {
 	if err != nil {
 		return ConvertStats{}, err
 	}
+	// Pass 2 re-reads the file, so guard against it having been swapped
+	// between passes (an upstream export job rewriting in place): a row
+	// outside pass 1's panels must surface as an error, not an
+	// out-of-range shard index.
+	stream := func(visit func(Entry) error) error {
+		_, _, _, err := streamMM(mmPath, func(m2, n2, _ int) error {
+			if m2 != m || n2 != n {
+				return fmt.Errorf("sparse: %s changed between conversion passes (%dx%d, was %dx%d)", mmPath, m2, n2, m, n)
+			}
+			return nil
+		}, visit)
+		return err
+	}
+	return cv.convertCounted(m, n, rowNNZ, stream, outPath)
+}
+
+// ConvertEntries runs the same bounded-memory panel/spill/sort pipeline
+// over an arbitrary re-streamable entry source — e.g. a feed.Log being
+// compacted into a delta shard. Entries must lie in [0, m) x [0, n)
+// with finite values; violations are reported, never spilled.
+func (cv Converter) ConvertEntries(m, n int, stream EntryStream, outPath string) (ConvertStats, error) {
+	if m < 1 || n < 1 {
+		return ConvertStats{}, fmt.Errorf("sparse: conversion needs positive dimensions, got %dx%d", m, n)
+	}
+	// Pass 1: validate and count entries per row.
+	rowNNZ := make([]int64, m)
+	err := stream(func(e Entry) error {
+		if e.Row < 0 || int(e.Row) >= m || e.Col < 0 || int(e.Col) >= n {
+			return fmt.Errorf("sparse: entry (%d, %d) outside %dx%d", e.Row, e.Col, m, n)
+		}
+		if math.IsNaN(e.Val) || math.IsInf(e.Val, 0) {
+			return fmt.Errorf("sparse: entry (%d, %d) has non-finite value", e.Row, e.Col)
+		}
+		rowNNZ[e.Row]++
+		return nil
+	})
+	if err != nil {
+		return ConvertStats{}, err
+	}
+	return cv.convertCounted(m, n, rowNNZ, stream, outPath)
+}
+
+// convertCounted is the shared spill + sort + write tail behind Convert
+// and ConvertEntries: pass 1 (counting) is done, rowNNZ sizes the
+// panels, and stream replays the entries for the spill pass.
+func (cv Converter) convertCounted(m, n int, rowNNZ []int64, stream EntryStream, outPath string) (ConvertStats, error) {
+	target := cv.ShardNNZ
+	if target < 1 {
+		target = DefaultShardNNZ
+	}
 	lo, hi := panelBounds(rowNNZ, target)
 
-	// Pass 2: bucket entries into per-shard spill files.
+	// Spill pass: bucket entries into per-shard spill files.
 	tmpDir := cv.TmpDir
 	if tmpDir == "" {
 		tmpDir = filepath.Dir(outPath)
@@ -78,17 +152,14 @@ func (cv Converter) Convert(mmPath, outPath string) (ConvertStats, error) {
 		spills[s] = f
 		spillW[s] = bufio.NewWriterSize(f, 256<<10)
 	}
-	// Pass 2 re-reads the file, so guard against it having been swapped
-	// between passes (an upstream export job rewriting in place): a row
-	// outside pass 1's panels must surface as an error, not an
-	// out-of-range shard index.
+	// A stream that yields a row pass 1 never counted (a swapped file, a
+	// non-stable source) must surface as an error, not an out-of-range
+	// shard index.
 	var rec [16]byte
-	_, _, _, err = streamMM(mmPath, func(m2, n2, _ int) error {
-		if m2 != m || n2 != n {
-			return fmt.Errorf("sparse: %s changed between conversion passes (%dx%d, was %dx%d)", mmPath, m2, n2, m, n)
+	err := stream(func(e Entry) error {
+		if e.Row < 0 || int(e.Row) >= m {
+			return fmt.Errorf("sparse: entry row %d appeared in the spill pass but not the counting pass", e.Row)
 		}
-		return nil
-	}, func(e Entry) error {
 		s := sort.Search(len(lo), func(s int) bool { return hi[s] > int(e.Row) })
 		binary.LittleEndian.PutUint32(rec[0:], uint32(e.Row))
 		binary.LittleEndian.PutUint32(rec[4:], uint32(e.Col))
@@ -140,7 +211,7 @@ func (cv Converter) Convert(mmPath, outPath string) (ConvertStats, error) {
 	var totalNNZ int64
 	var payload []byte
 	for s := range lo {
-		panel, err := loadSpill(spills[s], lo[s], hi[s], n)
+		panel, err := loadSpill(spills[s], lo[s], hi[s], n, cv.Dedup)
 		if err != nil {
 			return ConvertStats{}, fmt.Errorf("sparse: shard %d spill: %w", s, err)
 		}
@@ -178,8 +249,9 @@ func (cv Converter) Convert(mmPath, outPath string) (ConvertStats, error) {
 }
 
 // loadSpill reads one shard's spilled entries (file order preserved)
-// and builds its row panel with the canonical sort + duplicate-sum.
-func loadSpill(f *os.File, lo, hi, n int) (*CSR, error) {
+// and builds its row panel with the canonical sort plus the requested
+// duplicate resolution.
+func loadSpill(f *os.File, lo, hi, n int, dedup DedupPolicy) (*CSR, error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return nil, err
 	}
@@ -199,7 +271,34 @@ func loadSpill(f *os.File, lo, hi, n int) (*CSR, error) {
 			Val: math.Float64frombits(binary.LittleEndian.Uint64(rec[8:])),
 		}
 	}
+	if dedup == DedupLast {
+		dedupLastInPlace(coo)
+	}
 	return coo.ToCSR(), nil
+}
+
+// dedupLastInPlace resolves duplicate (row, col) pairs by keeping only
+// the entry that appeared last in stream order, so the subsequent
+// ToCSR (which would sum) sees each pair once. The sort is stable:
+// equal keys keep their spill-file order, which is the stream order.
+func dedupLastInPlace(coo *COO) {
+	es := coo.Entries
+	sort.SliceStable(es, func(i, j int) bool {
+		if es[i].Row != es[j].Row {
+			return es[i].Row < es[j].Row
+		}
+		return es[i].Col < es[j].Col
+	})
+	w := 0
+	for k := range es {
+		if w > 0 && es[w-1].Row == es[k].Row && es[w-1].Col == es[k].Col {
+			es[w-1] = es[k]
+			continue
+		}
+		es[w] = es[k]
+		w++
+	}
+	coo.Entries = es[:w]
 }
 
 // panelBounds greedily packs rows into contiguous panels of about

@@ -1,0 +1,86 @@
+package sparse
+
+import "fmt"
+
+// MergeLastWins overlays delta rating matrices onto a base matrix with
+// last-write-wins semantics: where a (row, col) pair appears in several
+// inputs, the value from the latest delta wins (deltas are ordered
+// oldest to newest, and every delta beats the base). Rows present only
+// in a delta — users first seen after the base was built — extend the
+// result, so the merged matrix has max(base.M, deltas.M) rows. All
+// inputs must agree on the column count: the item catalog is pinned by
+// the model's item factors and cannot grow through deltas.
+//
+// The result is freshly allocated; no input is mutated or aliased.
+// Overlaying is associative, so merging deltas one cycle at a time
+// yields the same matrix as merging them all at once — the property the
+// continuous trainer's incremental path relies on.
+func MergeLastWins(base *CSR, deltas ...*CSR) (*CSR, error) {
+	if base == nil {
+		return nil, fmt.Errorf("sparse: merge: nil base matrix")
+	}
+	cur := base
+	for i, d := range deltas {
+		if d == nil {
+			return nil, fmt.Errorf("sparse: merge: delta %d is nil", i)
+		}
+		if d.N != base.N {
+			return nil, fmt.Errorf("sparse: merge: delta %d has %d columns, base has %d", i, d.N, base.N)
+		}
+		cur = overlayLastWins(cur, d)
+	}
+	if cur == base {
+		// Zero deltas: still return a copy, honoring the no-aliasing
+		// contract.
+		cur = overlayLastWins(base, &CSR{M: 0, N: base.N, RowPtr: []int64{0}})
+	}
+	return cur, nil
+}
+
+// overlayLastWins merges two CSR matrices row by row; where both hold a
+// (row, col) pair, b (the newer) wins.
+func overlayLastWins(a, b *CSR) *CSR {
+	m := a.M
+	if b.M > m {
+		m = b.M
+	}
+	out := &CSR{
+		M:      m,
+		N:      a.N,
+		RowPtr: make([]int64, m+1),
+		Col:    make([]int32, 0, a.NNZ()+b.NNZ()),
+		Val:    make([]float64, 0, a.NNZ()+b.NNZ()),
+	}
+	for i := 0; i < m; i++ {
+		var ac []int32
+		var av []float64
+		if i < a.M {
+			ac, av = a.Row(i)
+		}
+		var bc []int32
+		var bv []float64
+		if i < b.M {
+			bc, bv = b.Row(i)
+		}
+		p, q := 0, 0
+		for p < len(ac) || q < len(bc) {
+			switch {
+			case q == len(bc) || (p < len(ac) && ac[p] < bc[q]):
+				out.Col = append(out.Col, ac[p])
+				out.Val = append(out.Val, av[p])
+				p++
+			case p == len(ac) || bc[q] < ac[p]:
+				out.Col = append(out.Col, bc[q])
+				out.Val = append(out.Val, bv[q])
+				q++
+			default: // same column in both: the newer matrix wins
+				out.Col = append(out.Col, bc[q])
+				out.Val = append(out.Val, bv[q])
+				p++
+				q++
+			}
+		}
+		out.RowPtr[i+1] = int64(len(out.Col))
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package sparse
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// csrOf builds a CSR from (row, col, val) triples via the canonical COO
+// path.
+func csrOf(m, n int, triples ...[3]float64) *CSR {
+	c := NewCOO(m, n, len(triples))
+	for _, t := range triples {
+		c.Add(int(t[0]), int(t[1]), t[2])
+	}
+	return c.ToCSR()
+}
+
+func TestMergeLastWinsOverlay(t *testing.T) {
+	base := csrOf(3, 4,
+		[3]float64{0, 0, 1}, [3]float64{0, 2, 2},
+		[3]float64{1, 1, 3},
+		[3]float64{2, 3, 4})
+	delta := csrOf(5, 4,
+		[3]float64{0, 2, 9}, // re-rates (0,2): must replace 2, not sum to 11
+		[3]float64{1, 0, 5}, // new pair in an existing row
+		[3]float64{4, 1, 7}) // new user past base.M; row 3 stays empty
+
+	got, err := MergeLastWins(base, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := csrOf(5, 4,
+		[3]float64{0, 0, 1}, [3]float64{0, 2, 9},
+		[3]float64{1, 0, 5}, [3]float64{1, 1, 3},
+		[3]float64{2, 3, 4},
+		[3]float64{4, 1, 7})
+	if !Equal(want, got) {
+		t.Fatalf("merged matrix differs from expected overlay")
+	}
+	// The base must be untouched and unaliased.
+	if v := base.Val[1]; v != 2 {
+		t.Fatalf("base mutated: (0,2) now %g", v)
+	}
+	got.Val[0] = 99
+	if base.Val[0] != 1 {
+		t.Fatal("merge result aliases base storage")
+	}
+}
+
+func TestMergeLastWinsLaterDeltaWins(t *testing.T) {
+	base := csrOf(2, 2, [3]float64{0, 0, 1})
+	d1 := csrOf(2, 2, [3]float64{0, 0, 2}, [3]float64{1, 1, 8})
+	d2 := csrOf(2, 2, [3]float64{0, 0, 3})
+
+	got, err := MergeLastWins(base, d1, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := csrOf(2, 2, [3]float64{0, 0, 3}, [3]float64{1, 1, 8})
+	if !Equal(want, got) {
+		t.Fatalf("latest delta must win: got (0,0)=%g", got.Val[0])
+	}
+}
+
+// TestMergeLastWinsIncremental pins the associativity the continuous
+// trainer relies on: folding deltas in one cycle at a time equals
+// merging them all at once.
+func TestMergeLastWinsIncremental(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	base := randomCSR(r, 12, 120)
+	var deltas []*CSR
+	for d := 0; d < 4; d++ {
+		c := NewCOO(12+2*d, base.N, 30)
+		for k := 0; k < 30; k++ {
+			c.Add(r.Intn(c.M), r.Intn(c.N), r.NormFloat64())
+		}
+		deltas = append(deltas, c.ToCSR())
+	}
+	atOnce, err := MergeLastWins(base, deltas...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepwise := base
+	for _, d := range deltas {
+		if stepwise, err = MergeLastWins(stepwise, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !Equal(atOnce, stepwise) {
+		t.Fatal("incremental merge differs from all-at-once merge")
+	}
+}
+
+func TestMergeLastWinsRejects(t *testing.T) {
+	base := csrOf(2, 3, [3]float64{0, 0, 1})
+	if _, err := MergeLastWins(nil, base); err == nil {
+		t.Fatal("nil base accepted")
+	}
+	if _, err := MergeLastWins(base, nil); err == nil {
+		t.Fatal("nil delta accepted")
+	}
+	wide := csrOf(2, 4, [3]float64{0, 0, 1})
+	_, err := MergeLastWins(base, wide)
+	if err == nil || !strings.Contains(err.Error(), "columns") {
+		t.Fatalf("column mismatch not rejected: %v", err)
+	}
+}
+
+func TestMergeLastWinsNoDeltasCopies(t *testing.T) {
+	base := csrOf(2, 2, [3]float64{1, 1, 5})
+	got, err := MergeLastWins(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(base, got) {
+		t.Fatal("zero-delta merge changed the matrix")
+	}
+	got.Val[0] = -1
+	if base.Val[0] != 5 {
+		t.Fatal("zero-delta merge aliases base storage")
+	}
+}

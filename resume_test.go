@@ -1,0 +1,100 @@
+package bpmf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestResumeWithCheckpointMatchesOneShot: interrupting a chain at a
+// checkpoint and resuming it with ResumeWithCheckpoint must reproduce
+// the uninterrupted chain bit-for-bit — RMSE trace, predictions, and
+// the re-serialized checkpoint bytes.
+func TestResumeWithCheckpointMatchesOneShot(t *testing.T) {
+	m, n, ratings := syntheticRatings(t, 7)
+	data, err := DataFromRatings(m, n, ratings, 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickConfig(Sequential)
+
+	// One-shot reference to cfg.Iters.
+	var oneShot bytes.Buffer
+	ref, err := TrainWithCheckpoint(data, cfg, &oneShot)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted: stop partway (same Burnin — it decides which
+	// iterations feed the posterior accumulators, so it is part of the
+	// chain's identity), checkpoint, resume to the full length.
+	half := cfg
+	half.Iters = cfg.Iters - 2
+	var mid bytes.Buffer
+	if _, err := TrainWithCheckpoint(data, half, &mid); err != nil {
+		t.Fatal(err)
+	}
+	var final bytes.Buffer
+	res, err := ResumeWithCheckpoint(data, cfg, &mid, &final)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	refTrace, resTrace := ref.RMSETrace(), res.RMSETrace()
+	if len(refTrace) != len(resTrace) {
+		t.Fatalf("trace length %d, want %d", len(resTrace), len(refTrace))
+	}
+	for i := range refTrace {
+		if refTrace[i] != resTrace[i] {
+			t.Fatalf("iteration %d: resumed RMSE %v, one-shot %v", i, resTrace[i], refTrace[i])
+		}
+	}
+	if !bytes.Equal(oneShot.Bytes(), final.Bytes()) {
+		t.Fatal("resumed checkpoint bytes differ from the one-shot chain's")
+	}
+	for u := 0; u < m; u += 31 {
+		for i := 0; i < n; i += 17 {
+			if ref.Predict(u, i) != res.Predict(u, i) {
+				t.Fatalf("prediction (%d, %d) differs after resume", u, i)
+			}
+		}
+	}
+}
+
+func TestResumeWithCheckpointRejects(t *testing.T) {
+	m, n, ratings := syntheticRatings(t, 7)
+	data, err := DataFromRatings(m, n, ratings, 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickConfig(Sequential)
+	var ckpt bytes.Buffer
+	if _, err := TrainWithCheckpoint(data, cfg, &ckpt); err != nil {
+		t.Fatal(err)
+	}
+
+	// A finished chain cannot be "resumed" to the same length.
+	_, err = ResumeWithCheckpoint(data, cfg, bytes.NewReader(ckpt.Bytes()), nil)
+	if err == nil || !strings.Contains(err.Error(), "must exceed") {
+		t.Fatalf("resume to the same iteration count accepted: %v", err)
+	}
+
+	// Seed mismatch is the lineage guard at the training layer.
+	bad := cfg
+	bad.Seed = cfg.Seed + 1
+	bad.Iters = cfg.Iters + 2
+	if _, err := ResumeWithCheckpoint(data, bad, bytes.NewReader(ckpt.Bytes()), nil); err == nil {
+		t.Fatal("seed mismatch accepted")
+	}
+
+	if _, err := ResumeWithCheckpoint(nil, cfg, bytes.NewReader(ckpt.Bytes()), nil); err == nil {
+		t.Fatal("nil data accepted")
+	}
+
+	// Garbage checkpoint bytes fail cleanly.
+	grow := cfg
+	grow.Iters = cfg.Iters + 2
+	if _, err := ResumeWithCheckpoint(data, grow, strings.NewReader("not a checkpoint"), nil); err == nil {
+		t.Fatal("garbage checkpoint accepted")
+	}
+}
